@@ -1,0 +1,54 @@
+package aequitas
+
+import "aequitas/internal/calculus"
+
+// DelayBoundHigh returns the worst-case normalized WFQ delay of the high
+// class in the 2-QoS burst model of §4.1 (Equation 1): phi is the
+// QoSh:QoSl weight ratio, rho the burst load (>1), mu the average load,
+// and x the QoSh-share of the arriving traffic. Delays are fractions of
+// the arrival period.
+func DelayBoundHigh(phi, rho, mu, x float64) float64 {
+	return calculus.TwoQoS{Phi: phi, Rho: rho, Mu: mu}.DelayHigh(x)
+}
+
+// DelayBoundLow is the low-class counterpart (Equation 8).
+func DelayBoundLow(phi, rho, mu, x float64) float64 {
+	return calculus.TwoQoS{Phi: phi, Rho: rho, Mu: mu}.DelayLow(x)
+}
+
+// WorstCaseDelays generalises the bounds to any number of QoS classes via
+// the fluid WFQ model: given per-class weights and a QoS-mix, it returns
+// each class's worst-case normalized delay under the Figure 7 burst
+// pattern.
+func WorstCaseDelays(weights, mix []float64, rho, mu float64) ([]float64, error) {
+	return calculus.WorstCaseDelays(weights, mix, rho, mu)
+}
+
+// AdmissibleShare returns the largest contiguous QoSh-share x such that
+// no priority inversion occurs for any share ≤ x (Equation 3), with the
+// non-QoSh remainder of the mix split by restMix (which must sum to 1
+// across the remaining classes).
+func AdmissibleShare(weights []float64, restMix []float64, rho, mu float64) (float64, error) {
+	mixAt := func(x float64) []float64 {
+		out := make([]float64, len(weights))
+		out[0] = x
+		for i, r := range restMix {
+			out[i+1] = (1 - x) * r
+		}
+		return out
+	}
+	return calculus.AdmissibleBoundary(weights, mixAt, rho, mu, 512)
+}
+
+// MaxShareForSLO returns the largest QoSh-share admissible at the given
+// normalized delay bound in the 2-QoS model — the knob an operator uses
+// to pick SLOs from latency-versus-mix profiles (§4.2).
+func MaxShareForSLO(phi, rho, mu, bound float64) float64 {
+	return calculus.TwoQoS{Phi: phi, Rho: rho, Mu: mu}.MaxShareForDelay(bound)
+}
+
+// GuaranteedShare is the §5.2 lower bound on traffic admitted on class i
+// as a fraction of line rate: (φi/Σφ)·(µ/ρ).
+func GuaranteedShare(weights []float64, class int, mu, rho float64) float64 {
+	return calculus.GuaranteedShare(weights, class, mu, rho)
+}

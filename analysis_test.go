@@ -1,0 +1,66 @@
+package aequitas
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDelayBoundFacade(t *testing.T) {
+	// Figure 8 parameters: zero-delay region up to φ/(φ+1)/ρ = 2/3.
+	if got := DelayBoundHigh(4, 1.2, 0.8, 0.5); got != 0 {
+		t.Errorf("DelayBoundHigh(0.5) = %v, want 0", got)
+	}
+	if got := DelayBoundHigh(4, 1.2, 0.8, 0.9); got <= 0 {
+		t.Errorf("DelayBoundHigh(0.9) = %v, want > 0", got)
+	}
+	if got := DelayBoundLow(4, 1.2, 0.8, 0.2); got <= 0 {
+		t.Errorf("DelayBoundLow(0.2) = %v, want > 0", got)
+	}
+}
+
+func TestWorstCaseDelaysFacade(t *testing.T) {
+	d, err := WorstCaseDelays([]float64{8, 4, 1}, []float64{0.3, 0.45, 0.25}, 1.4, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 3 {
+		t.Fatalf("got %d delays", len(d))
+	}
+	if _, err := WorstCaseDelays([]float64{1}, []float64{0.5, 0.5}, 1.4, 0.8); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestAdmissibleShareFacade(t *testing.T) {
+	// Figure 9a: weights 8:4:1, QoSm:QoSl = 2:1 in the remainder.
+	x, err := AdmissibleShare([]float64{8, 4, 1}, []float64{2.0 / 3, 1.0 / 3}, 1.4, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x <= 0.05 || x >= 1 {
+		t.Errorf("admissible boundary = %v", x)
+	}
+	// Larger QoSh weight extends the region (Figure 9b).
+	x50, err := AdmissibleShare([]float64{50, 4, 1}, []float64{2.0 / 3, 1.0 / 3}, 1.4, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x50 <= x {
+		t.Errorf("50:4:1 boundary %v not beyond 8:4:1 boundary %v", x50, x)
+	}
+}
+
+func TestMaxShareForSLOFacade(t *testing.T) {
+	// φ=4, ρ=2, µ=0.8: delay = x−0.4 in the admitting region.
+	if got := MaxShareForSLO(4, 2, 0.8, 0.2); math.Abs(got-0.6) > 0.01 {
+		t.Errorf("MaxShareForSLO = %v, want ~0.6", got)
+	}
+}
+
+func TestGuaranteedShareFacade(t *testing.T) {
+	got := GuaranteedShare([]float64{4, 1}, 0, 0.8, 1.6)
+	want := 0.8 * 0.8 / 1.6
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("GuaranteedShare = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,118 @@
+// Command admissible is the operator tool the paper describes (§6.1):
+// "our open source simulator also serves as a tool for datacenter
+// operators to help define the admissible region and set the right SLOs".
+// Given WFQ weights and a traffic profile, it prints the per-class
+// worst-case delay profile over the QoS-mix, the admissible region
+// boundary (no priority inversion), the maximal QoSh-share for a given
+// delay bound, and the guaranteed-admission floor.
+//
+// Example:
+//
+//	admissible -weights 8,4,1 -mu 0.8 -rho 1.4 -rest 0.67,0.33 -bound 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"aequitas"
+	"aequitas/internal/stats"
+)
+
+func main() {
+	var (
+		weightsStr = flag.String("weights", "8,4,1", "WFQ weights, highest class first")
+		mu         = flag.Float64("mu", 0.8, "average load")
+		rho        = flag.Float64("rho", 1.4, "burst load (>1)")
+		restStr    = flag.String("rest", "", "split of the non-QoSh mix across lower classes (default equal)")
+		bound      = flag.Float64("bound", 0, "normalized delay bound to size the QoSh-share for (2-QoS only)")
+		step       = flag.Float64("step", 0.05, "sweep step for the profile table")
+	)
+	flag.Parse()
+
+	weights, err := parseFloats(*weightsStr)
+	if err != nil || len(weights) < 2 {
+		log.Fatalf("bad -weights %q", *weightsStr)
+	}
+	n := len(weights)
+	rest := make([]float64, n-1)
+	if *restStr == "" {
+		for i := range rest {
+			rest[i] = 1 / float64(n-1)
+		}
+	} else {
+		rest, err = parseFloats(*restStr)
+		if err != nil || len(rest) != n-1 {
+			log.Fatalf("-rest needs %d comma-separated shares", n-1)
+		}
+	}
+
+	fmt.Printf("weights %v, mu=%.2f, rho=%.2f\n\n", weights, *mu, *rho)
+
+	header := []string{"QoSh-share(%)"}
+	for i := 0; i < n; i++ {
+		header = append(header, fmt.Sprintf("QoS%d bound", i))
+	}
+	header = append(header, "admissible")
+	tb := stats.NewTable(header...)
+	for x := *step; x < 1-1e-9; x += *step {
+		mix := make([]float64, n)
+		mix[0] = x
+		for i, r := range rest {
+			mix[i+1] = (1 - x) * r
+		}
+		d, err := aequitas.WorstCaseDelays(weights, mix, *rho, *mu)
+		if err != nil {
+			log.Fatal(err)
+		}
+		adm := true
+		row := []any{fmt.Sprintf("%.0f", 100*x)}
+		for k := 0; k < n; k++ {
+			row = append(row, d[k])
+			if k+1 < n && d[k] > d[k+1]+1e-9 {
+				adm = false
+			}
+		}
+		row = append(row, adm)
+		tb.AddRow(row...)
+	}
+	tb.Write(os.Stdout)
+
+	boundary, err := aequitas.AdmissibleShare(weights, rest, *rho, *mu)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nadmissible region boundary (no priority inversion): QoSh-share <= %.0f%%\n", 100*boundary)
+
+	if *bound > 0 {
+		if n != 2 {
+			fmt.Fprintln(os.Stderr, "-bound sizing uses the 2-QoS closed form; pass two weights")
+		} else {
+			share := aequitas.MaxShareForSLO(weights[0]/weights[1], *rho, *mu, *bound)
+			fmt.Printf("largest QoSh-share meeting delay bound %.3f: %.0f%%\n", *bound, 100*share)
+		}
+	}
+
+	fmt.Println()
+	for i := range weights {
+		fmt.Printf("guaranteed admitted share on QoS%d: %.1f%% of line rate\n",
+			i, 100*aequitas.GuaranteedShare(weights, i, *mu, *rho))
+	}
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

@@ -1,0 +1,162 @@
+// Command aequitas-sim runs one configurable simulation and prints its
+// measurements: per-QoS RNL percentiles, admitted QoS-mix, SLO
+// compliance, and utilisation. It is the general-purpose front end to the
+// simulator; cmd/figures drives the specific paper experiments.
+//
+// Example — the paper's 33-node overload with and without Aequitas:
+//
+//	aequitas-sim -hosts 33 -system aequitas -mix 0.6,0.3,0.1 \
+//	    -load 0.8 -burst 1.4 -slo-high 25us -slo-med 50us -dur 100ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"aequitas"
+)
+
+var systems = map[string]aequitas.System{
+	"baseline": aequitas.SystemBaseline,
+	"aequitas": aequitas.SystemAequitas,
+	"spq":      aequitas.SystemSPQ,
+	"dwrr":     aequitas.SystemDWRR,
+	"pfabric":  aequitas.SystemPFabric,
+	"qjump":    aequitas.SystemQJump,
+	"d3":       aequitas.SystemD3,
+	"pdq":      aequitas.SystemPDQ,
+	"homa":     aequitas.SystemHoma,
+}
+
+func main() {
+	var (
+		system   = flag.String("system", "aequitas", "system: baseline|aequitas|spq|dwrr|pfabric|qjump|d3|pdq|homa")
+		hosts    = flag.Int("hosts", 12, "number of hosts")
+		dur      = flag.Duration("dur", 40*time.Millisecond, "simulated duration")
+		seed     = flag.Int64("seed", 1, "random seed")
+		load     = flag.Float64("load", 0.8, "average offered load per host (fraction of link rate)")
+		burst    = flag.Float64("burst", 1.4, "burst load rho (0 = unmodulated)")
+		mixStr   = flag.String("mix", "0.5,0.3,0.2", "input QoS mix: PC,NC,BE byte shares")
+		rpcBytes = flag.Int64("rpc-bytes", 32<<10, "fixed RPC size; 0 = production-shaped distributions")
+		sloHigh  = flag.Duration("slo-high", 25*time.Microsecond, "QoSh RNL SLO")
+		sloMed   = flag.Duration("slo-med", 50*time.Microsecond, "QoSm RNL SLO")
+		sloRef   = flag.Int64("slo-ref-bytes", 32<<10, "RPC size the SLOs refer to (0 = per MTU)")
+		alpha    = flag.Float64("alpha", 0.01, "admit probability additive increment")
+		beta     = flag.Float64("beta", 0.01, "admit probability decrement per MTU per miss")
+		weights  = flag.String("weights", "8,4,1", "WFQ weights, highest class first")
+		trace    = flag.String("trace", "", "write a per-RPC CSV trace to this file")
+	)
+	flag.Parse()
+
+	sys, ok := systems[*system]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+		os.Exit(2)
+	}
+	mix, err := parseFloats(*mixStr)
+	if err != nil || len(mix) != 3 {
+		log.Fatalf("bad -mix %q", *mixStr)
+	}
+	w, err := parseFloats(*weights)
+	if err != nil {
+		log.Fatalf("bad -weights %q", *weights)
+	}
+
+	classes := make([]aequitas.TrafficClass, 0, 3)
+	for i, pr := range []aequitas.Priority{aequitas.PC, aequitas.NC, aequitas.BE} {
+		tc := aequitas.TrafficClass{Priority: pr, Share: mix[i]}
+		if *rpcBytes > 0 {
+			tc.FixedBytes = *rpcBytes
+		} else {
+			switch pr {
+			case aequitas.PC:
+				tc.Size = aequitas.ProductionPCSizes()
+			case aequitas.NC:
+				tc.Size = aequitas.ProductionNCSizes()
+			default:
+				tc.Size = aequitas.ProductionBESizes()
+			}
+		}
+		classes = append(classes, tc)
+	}
+
+	cfg := aequitas.SimConfig{
+		System:     sys,
+		Hosts:      *hosts,
+		Seed:       *seed,
+		Duration:   *dur,
+		QoSWeights: w,
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		cfg.TraceWriter = f
+	}
+	cfg.SLOs = []aequitas.SLO{
+		{Target: *sloHigh, ReferenceBytes: *sloRef, Percentile: 99.9},
+		{Target: *sloMed, ReferenceBytes: *sloRef, Percentile: 99.9},
+	}
+	cfg.Admission = aequitas.AdmissionParams{Alpha: *alpha, Beta: *beta}
+	cfg.Traffic = []aequitas.HostTraffic{{
+		AvgLoad:   *load,
+		BurstLoad: *burst,
+		Classes:   classes,
+	}}
+
+	start := time.Now()
+	res, err := aequitas.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("system=%s hosts=%d dur=%v seed=%d (wall %v)\n\n",
+		sys, *hosts, *dur, *seed, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("%-6s %10s %10s %10s %10s %12s\n", "class", "p50(us)", "p99(us)", "p99.9(us)", "max(us)", "in-SLO(%)")
+	for _, c := range res.Classes() {
+		l := res.RNLRun[c]
+		inSLO := "-"
+		if f, ok := res.SLOMetRunBytesFraction[c]; ok {
+			inSLO = fmt.Sprintf("%.1f", 100*f)
+		}
+		fmt.Printf("%-6s %10.1f %10.1f %10.1f %10.1f %12s\n",
+			c, l.P50US, l.P99US, l.P999US, l.MaxUS, inSLO)
+	}
+	fmt.Println()
+	fmt.Printf("issued %d, completed %d, downgraded %d, dropped %d, terminated %d\n",
+		res.Issued, res.Completed, res.Downgraded, res.Dropped, res.Terminated)
+	fmt.Printf("input mix  %s\nadmitted   %s\n", fmtMix(res.InputMix), fmtMix(res.AdmittedMix))
+	fmt.Printf("goodput fraction %.1f%%, mean downlink utilization %.1f%%\n",
+		100*res.GoodputFraction, 100*res.AvgDownlinkUtilization)
+	for pr, f := range res.SLOMetBytesFraction {
+		fmt.Printf("%v traffic meeting its original SLO: %.1f%%\n", pr, 100*f)
+	}
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func fmtMix(m []float64) string {
+	parts := make([]string, len(m))
+	for i, x := range m {
+		parts[i] = fmt.Sprintf("%5.1f%%", 100*x)
+	}
+	return strings.Join(parts, " ")
+}

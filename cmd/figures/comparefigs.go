@@ -1,0 +1,191 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"aequitas"
+	"aequitas/internal/stats"
+)
+
+func init() {
+	register("17", "fairness: 80 vs 40 Gbps channels converge to equal shares", figFairness)
+	register("18", "in-quota channel keeps p_admit ~1; max-min reclaim", figMaxMin)
+	register("22", "comparison with pFabric, QJump, D3, PDQ, Homa", figRelatedWork)
+	register("28", "beta sensitivity: Fig 17/18 with beta=0.0015", figBetaSensitivity)
+	register("ablation", "design ablations: window, size-scaled MD, floor, drop", figAblations)
+}
+
+// fairnessConfig builds the §6.5 3-node setup: channel A offers shareA of
+// line rate on QoSh, channel B shareB, QoSh SLO 15 µs per 32 KB.
+func fairnessConfig(o options, shareA, shareB, beta float64) aequitas.SimConfig {
+	return aequitas.SimConfig{
+		System: aequitas.SystemAequitas, Hosts: 3, Seed: o.seed,
+		Duration: o.long, Warmup: o.long / 8,
+		QoSWeights: []float64{4, 1},
+		SLOs:       slo32(15, 0),
+		Admission:  aequitas.AdmissionParams{Alpha: 0.01, Beta: beta},
+		Traffic: []aequitas.HostTraffic{
+			{Hosts: []int{0}, Dsts: []int{2}, AvgLoad: 1, Arrival: aequitas.ArrivalPeriodic,
+				Classes: []aequitas.TrafficClass{
+					{Priority: aequitas.PC, Share: shareA, FixedBytes: 32 << 10},
+					{Priority: aequitas.BE, Share: 1 - shareA, FixedBytes: 32 << 10},
+				}},
+			{Hosts: []int{1}, Dsts: []int{2}, AvgLoad: 1, Arrival: aequitas.ArrivalPeriodic,
+				Classes: []aequitas.TrafficClass{
+					{Priority: aequitas.PC, Share: shareB, FixedBytes: 32 << 10},
+					{Priority: aequitas.BE, Share: 1 - shareB, FixedBytes: 32 << 10},
+				}},
+		},
+		Probes: []aequitas.Probe{
+			{Src: 0, Dst: 2, Class: aequitas.High},
+			{Src: 1, Dst: 2, Class: aequitas.High},
+		},
+		SampleEvery: 2 * time.Millisecond,
+	}
+}
+
+func reportChannels(res *aequitas.Results, names [2]string) {
+	tail := 0.6 * res.Probes[0].AdmitProbability.T[len(res.Probes[0].AdmitProbability.T)-1]
+	tb := stats.NewTable("channel", "final p_admit", "mean p_admit", "admitted goodput(Gbps)")
+	for i, pr := range res.Probes {
+		tb.AddRow(names[i], pr.AdmitProbability.Final(0),
+			pr.AdmitProbability.MeanAfter(tail), pr.ThroughputGbps.MeanAfter(tail))
+	}
+	tb.Write(os.Stdout)
+}
+
+func figFairness(o options) error {
+	res, err := aequitas.Run(fairnessConfig(o, 0.4, 0.8, 0.01))
+	if err != nil {
+		return err
+	}
+	reportChannels(res, [2]string{"A (40G offered)", "B (80G offered)"})
+	fmt.Printf("QoSh 99.9p RNL %.1fus (SLO 15us); the heavier channel runs at a lower\n",
+		res.RNLQuantileUS(aequitas.High, 0.999))
+	fmt.Println("p_admit so admitted shares equalise (Fig 17)")
+	return nil
+}
+
+func figMaxMin(o options) error {
+	// Channel A in-quota at 10%; B wants 80%.
+	res, err := aequitas.Run(fairnessConfig(o, 0.1, 0.8, 0.01))
+	if err != nil {
+		return err
+	}
+	reportChannels(res, [2]string{"A (10G, in quota)", "B (80G)"})
+	pA := res.Probes[0].AdmitProbability
+	fmt.Printf("in-quota channel A: mean p_admit %.2f (paper: stays ~1.0, 1st-p 0.82);\n",
+		pA.MeanAfter(0.3*pA.T[len(pA.T)-1]))
+	fmt.Println("channel B reclaims the excess: max-min fairness (Fig 18)")
+	return nil
+}
+
+func figRelatedWork(o options) error {
+	systems := []aequitas.System{
+		aequitas.SystemAequitas, aequitas.SystemPFabric, aequitas.SystemQJump,
+		aequitas.SystemD3, aequitas.SystemPDQ, aequitas.SystemHoma,
+	}
+	tb := stats.NewTable("system", "QoSh in SLO(%)", "utilization(%)",
+		"QoSh 99.9p(us)", "QoSm 99.9p(us)", "QoSl 99.9p(us)", "terminated")
+	for _, system := range systems {
+		cfg := aequitas.SimConfig{
+			System: system, Hosts: o.nodes, Seed: o.seed, Duration: o.dur,
+			QoSWeights: []float64{8, 4, 1},
+			// Normalised per-MTU SLO targets for the production mix; for
+			// D3/PDQ these translate to the 250/300us deadlines below.
+			SLOs: []aequitas.SLO{
+				{Target: 20 * time.Microsecond, Percentile: 99.9},
+				{Target: 40 * time.Microsecond, Percentile: 99.9},
+			},
+			Traffic: []aequitas.HostTraffic{{
+				AvgLoad: 0.8, BurstLoad: 1.4,
+				Classes: []aequitas.TrafficClass{
+					{Priority: aequitas.PC, Share: 0.5, Size: aequitas.ProductionPCSizes(), Deadline: 250 * time.Microsecond},
+					{Priority: aequitas.NC, Share: 0.3, Size: aequitas.ProductionNCSizes(), Deadline: 300 * time.Microsecond},
+					{Priority: aequitas.BE, Share: 0.2, Size: aequitas.ProductionBESizes()},
+				},
+			}},
+		}
+		res, err := aequitas.Run(cfg)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(system.String(),
+			100*res.SLOMetBytesFraction[aequitas.PC],
+			100*res.GoodputFraction,
+			res.RNLQuantileUS(aequitas.High, 0.999),
+			res.RNLQuantileUS(aequitas.Medium, 0.999),
+			res.RNLQuantileUS(aequitas.Low, 0.999),
+			res.Terminated)
+	}
+	tb.Write(os.Stdout)
+	fmt.Println("(Fig 22: Aequitas admits the most SLO-compliant PC traffic; D3/PDQ")
+	fmt.Println("terminate hopeless RPCs and sacrifice utilisation; pFabric/Homa favour")
+	fmt.Println("small RPCs; QJump holds packet latency but not RPC-level SLOs)")
+	return nil
+}
+
+func figBetaSensitivity(o options) error {
+	for _, beta := range []float64{0.01, 0.0015} {
+		fmt.Printf("beta = %v (Fig 18 setup, in-quota channel A):\n", beta)
+		res, err := aequitas.Run(fairnessConfig(o, 0.1, 0.8, beta))
+		if err != nil {
+			return err
+		}
+		reportChannels(res, [2]string{"A (10G, in quota)", "B (80G)"})
+		fmt.Printf("QoSh 99.9p RNL %.1fus\n\n", res.RNLQuantileUS(aequitas.High, 0.999))
+	}
+	fmt.Println("smaller beta stabilises p_admit for in-quota channels but is less")
+	fmt.Println("aggressive about SLO compliance (Appendix C)")
+	return nil
+}
+
+func figAblations(o options) error {
+	base := func() aequitas.SimConfig {
+		return aequitas.SimConfig{
+			System: aequitas.SystemAequitas, Hosts: 3, Seed: o.seed,
+			Duration: 80 * time.Millisecond, Warmup: 30 * time.Millisecond,
+			QoSWeights: []float64{4, 1},
+			SLOs:       slo32(25, 0),
+			Traffic: []aequitas.HostTraffic{{
+				Hosts: []int{0, 1}, Dsts: []int{2},
+				AvgLoad: 1.0, Arrival: aequitas.ArrivalPeriodic,
+				Classes: []aequitas.TrafficClass{
+					{Priority: aequitas.PC, Share: 0.7, FixedBytes: 32 << 10},
+					{Priority: aequitas.BE, Share: 0.3, FixedBytes: 32 << 10},
+				},
+			}},
+		}
+	}
+	variants := []struct {
+		name string
+		mod  func(*aequitas.SimConfig)
+	}{
+		{"full design", func(*aequitas.SimConfig) {}},
+		{"no increment window", func(c *aequitas.SimConfig) { c.Admission.NoIncrementWindow = true }},
+		{"no size-scaled MD", func(c *aequitas.SimConfig) { c.Admission.NoSizeScaledMD = true }},
+		{"floor = 0.4 (too high)", func(c *aequitas.SimConfig) { c.Admission.Floor = 0.4 }},
+		{"drop instead of downgrade", func(c *aequitas.SimConfig) { c.Admission.DropInsteadOfDowngrade = true }},
+	}
+	tb := stats.NewTable("variant", "QoSh 99.9p(us)", "admitted QoSh(%)", "goodput frac", "dropped")
+	for _, v := range variants {
+		cfg := base()
+		v.mod(&cfg)
+		res, err := aequitas.Run(cfg)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(v.name,
+			res.RNLQuantileUS(aequitas.High, 0.999),
+			100*res.AdmittedMix[0],
+			res.GoodputFraction,
+			res.Dropped)
+	}
+	tb.Write(os.Stdout)
+	fmt.Println("removing the increment window overshoots and breaks the SLO; removing")
+	fmt.Println("size-scaled MD over-admits; a high floor forces SLO violations; dropping")
+	fmt.Println("permanently discards work that downgrading would eventually complete")
+	return nil
+}

@@ -1,0 +1,93 @@
+// Command figures regenerates every table and figure in the Aequitas
+// paper's evaluation (§6 and the appendices) from this repository's
+// implementation. Each figure prints the same rows/series the paper
+// plots; EXPERIMENTS.md records the comparison against the published
+// numbers.
+//
+// Usage:
+//
+//	figures -fig 8          # one figure
+//	figures -fig all        # everything (minutes)
+//	figures -list           # what's available
+//	figures -fig 12 -nodes 33 -dur 100ms   # paper-scale override
+//
+// Simulated experiments default to a reduced scale (fewer hosts, shorter
+// horizon) that preserves the paper's shape — who wins, by what factor,
+// where crossovers fall — while completing quickly. Use -nodes/-dur for
+// full-scale runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// figure is one regenerable experiment.
+type figure struct {
+	id   string
+	desc string
+	run  func(o options) error
+}
+
+// options carries the shared CLI knobs.
+type options struct {
+	nodes int           // cluster size for "33-node" experiments
+	big   int           // cluster size for the "144-node" experiment
+	dur   time.Duration // simulated horizon for cluster experiments
+	long  time.Duration // horizon for convergence experiments
+	seed  int64
+}
+
+var figures []figure
+
+func register(id, desc string, run func(o options) error) {
+	figures = append(figures, figure{id, desc, run})
+}
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "figure id to regenerate (or 'all')")
+		list  = flag.Bool("list", false, "list available figures")
+		nodes = flag.Int("nodes", 12, "hosts for cluster-scale experiments (paper: 33)")
+		big   = flag.Int("big", 24, "hosts for the large-scale experiment (paper: 144)")
+		dur   = flag.Duration("dur", 30*time.Millisecond, "simulated horizon for cluster experiments")
+		long  = flag.Duration("long", 600*time.Millisecond, "horizon for convergence experiments")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	sort.Slice(figures, func(i, j int) bool { return figures[i].id < figures[j].id })
+
+	if *list || *fig == "" {
+		fmt.Println("available figures:")
+		for _, f := range figures {
+			fmt.Printf("  %-12s %s\n", f.id, f.desc)
+		}
+		if *fig == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	o := options{nodes: *nodes, big: *big, dur: *dur, long: *long, seed: *seed}
+	ran := false
+	for _, f := range figures {
+		if *fig == "all" || f.id == *fig {
+			ran = true
+			fmt.Printf("=== %s: %s ===\n", f.id, f.desc)
+			start := time.Now()
+			if err := f.run(o); err != nil {
+				fmt.Fprintf(os.Stderr, "figure %s: %v\n", f.id, err)
+				os.Exit(1)
+			}
+			fmt.Printf("--- %s done in %v ---\n\n", f.id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown figure %q; use -list\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,398 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"aequitas"
+	"aequitas/internal/calculus"
+	"aequitas/internal/stats"
+)
+
+func init() {
+	register("10", "packet simulator vs closed-form theory (2 QoS, CC off)", figSimVsTheory)
+	register("11", "SLO compliance: achieved RNL tracks the SLO knob (3-node)", figSLOKnob)
+	register("12", "cluster RNL with vs without Aequitas vs SLOs", figClusterSLO)
+	register("13", "outstanding RPCs per switch port, before/after", figOutstanding)
+	register("14", "baseline 99.9p RNL vs QoSh-share (admissible region)", figAdmissibleSweep)
+	register("15", "admitted QoS-mix converges to target regardless of input", figMixConvergence)
+	register("16", "admitted QoSh-share vs burst load (inverse proportionality)", figBurstiness)
+	register("19", "SPQ vs Aequitas as QoSh-share grows (race to the top)", figSPQ)
+	register("20", "size-normalised SLOs with mixed 32/64KB RPCs", figMixedSizes)
+	register("21", "large scale, production sizes, extreme burst", figLargeScale)
+	register("23", "testbed reproduction: 20 nodes, 8:4:1, QoS-mix convergence", figTestbed)
+}
+
+// slo32 returns the standard absolute SLOs for 32 KB RPCs used by the
+// cluster experiments.
+func slo32(highUS, medUS float64) []aequitas.SLO {
+	out := []aequitas.SLO{{
+		Target:         time.Duration(highUS * float64(time.Microsecond)),
+		ReferenceBytes: 32 << 10,
+		Percentile:     99.9,
+	}}
+	if medUS > 0 {
+		out = append(out, aequitas.SLO{
+			Target:         time.Duration(medUS * float64(time.Microsecond)),
+			ReferenceBytes: 32 << 10,
+			Percentile:     99.9,
+		})
+	}
+	return out
+}
+
+// clusterConfig is the all-to-all "33-node" setup (§6.1): per-host load
+// 0.8 average, 1.4 burst, Poisson arrivals.
+func clusterConfig(o options, system aequitas.System, mix [3]float64) aequitas.SimConfig {
+	return aequitas.SimConfig{
+		System:     system,
+		Hosts:      o.nodes,
+		Seed:       o.seed,
+		Duration:   o.dur,
+		QoSWeights: []float64{8, 4, 1},
+		SLOs:       slo32(25, 50),
+		Traffic: []aequitas.HostTraffic{{
+			AvgLoad:   0.8,
+			BurstLoad: 1.4,
+			Classes: []aequitas.TrafficClass{
+				{Priority: aequitas.PC, Share: mix[0], FixedBytes: 32 << 10},
+				{Priority: aequitas.NC, Share: mix[1], FixedBytes: 32 << 10},
+				{Priority: aequitas.BE, Share: mix[2], FixedBytes: 32 << 10},
+			},
+		}},
+	}
+}
+
+func figSimVsTheory(o options) error {
+	const (
+		mu, rho, phi = 0.8, 1.2, 4.0
+	)
+	theory := calculus.TwoQoS{Phi: phi, Rho: rho, Mu: mu}
+	period := time.Millisecond
+	tb := stats.NewTable("QoSh-share(%)", "sim QoSh", "theory QoSh", "sim QoSl", "theory QoSl")
+	for x := 0.1; x < 0.95; x += 0.1 {
+		cfg := aequitas.SimConfig{
+			System: aequitas.SystemBaseline, Hosts: 3, Seed: o.seed,
+			Duration: 60 * time.Millisecond, Warmup: 10 * time.Millisecond,
+			QoSWeights: []float64{phi, 1}, PerClassBufferBytes: -1,
+			DisableCC: true, FixedWindow: 512, BurstPeriod: period,
+			RTOMin: 500 * time.Millisecond,
+			Traffic: []aequitas.HostTraffic{{
+				Hosts: []int{0, 1}, Dsts: []int{2},
+				AvgLoad: mu / 2, BurstLoad: rho / 2, Arrival: aequitas.ArrivalPeriodic,
+				Classes: []aequitas.TrafficClass{
+					{Priority: aequitas.PC, Share: x, FixedBytes: 1436},
+					{Priority: aequitas.NC, Share: 1 - x, FixedBytes: 1436},
+				},
+			}},
+		}
+		res, err := aequitas.Run(cfg)
+		if err != nil {
+			return err
+		}
+		p := float64(period.Microseconds())
+		tb.AddRow(fmt.Sprintf("%.0f", 100*x),
+			res.RNLRun[aequitas.High].MaxUS/p, theory.DelayHigh(x),
+			res.RNLRun[aequitas.Medium].MaxUS/p, theory.DelayLow(x))
+	}
+	tb.Write(os.Stdout)
+	fmt.Println("(normalized worst-case delay; the paper's Fig 10 validation)")
+	return nil
+}
+
+func figSLOKnob(o options) error {
+	tb := stats.NewTable("SLO(us)", "achieved 99.9p(us)", "admitted QoSh-share(%)")
+	for _, slo := range []float64{15, 25, 40, 60} {
+		// The additive-increase window scales with the SLO target
+		// (Algorithm 1 line 4), so looser SLOs converge more slowly and
+		// need a longer horizon to reach their equilibrium share.
+		cfg := aequitas.SimConfig{
+			System: aequitas.SystemAequitas, Hosts: 3, Seed: o.seed,
+			Duration: 300 * time.Millisecond, Warmup: 100 * time.Millisecond,
+			QoSWeights: []float64{4, 1},
+			SLOs:       slo32(slo, 0),
+			Traffic: []aequitas.HostTraffic{{
+				Hosts: []int{0, 1}, Dsts: []int{2},
+				AvgLoad: 1.0, Arrival: aequitas.ArrivalPeriodic,
+				Classes: []aequitas.TrafficClass{
+					{Priority: aequitas.PC, Share: 0.7, FixedBytes: 32 << 10},
+					{Priority: aequitas.BE, Share: 0.3, FixedBytes: 32 << 10},
+				},
+			}},
+		}
+		res, err := aequitas.Run(cfg)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(slo, res.RNLQuantileUS(aequitas.High, 0.999), 100*res.AdmittedMix[0])
+	}
+	tb.Write(os.Stdout)
+	fmt.Println("achieved tail RNL tracks the SLO; stricter SLOs admit less traffic")
+	return nil
+}
+
+func figClusterSLO(o options) error {
+	tb := stats.NewTable("system", "QoSh 99.9p(us)", "QoSm 99.9p(us)", "QoSl 99.9p(us)")
+	tb.AddRow("SLO", 25.0, 50.0, "-")
+	for _, system := range []aequitas.System{aequitas.SystemBaseline, aequitas.SystemAequitas} {
+		res, err := aequitas.Run(clusterConfig(o, system, [3]float64{0.6, 0.3, 0.1}))
+		if err != nil {
+			return err
+		}
+		tb.AddRow("w/ "+system.String(),
+			res.RNLQuantileUS(aequitas.High, 0.999),
+			res.RNLQuantileUS(aequitas.Medium, 0.999),
+			res.RNLQuantileUS(aequitas.Low, 0.999))
+	}
+	tb.Write(os.Stdout)
+	return nil
+}
+
+func figOutstanding(o options) error {
+	for _, system := range []aequitas.System{aequitas.SystemBaseline, aequitas.SystemAequitas} {
+		cfg := clusterConfig(o, system, [3]float64{0.6, 0.3, 0.1})
+		cfg.TrackOutstanding = true
+		res, err := aequitas.Run(cfg)
+		if err != nil {
+			return err
+		}
+		hi := cdfQuantiles(res.OutstandingHighMed)
+		lo := cdfQuantiles(res.OutstandingLow)
+		fmt.Printf("%-9s outstanding RPCs/port QoSh+QoSm p50/p90/p99: %.0f/%.0f/%.0f  QoSl: %.0f/%.0f/%.0f\n",
+			system, hi[0], hi[1], hi[2], lo[0], lo[1], lo[2])
+	}
+	fmt.Println("Aequitas cuts SLO-class outstanding RPCs; the scavenger class absorbs them")
+	return nil
+}
+
+func cdfQuantiles(pts []aequitas.Point) [3]float64 {
+	var out [3]float64
+	qs := []float64{0.5, 0.9, 0.99}
+	for i, q := range qs {
+		for _, p := range pts {
+			if p.Y >= q {
+				out[i] = p.X
+				break
+			}
+		}
+	}
+	return out
+}
+
+func figAdmissibleSweep(o options) error {
+	tb := stats.NewTable("QoSh-share(%)", "QoSh 99.9p(us)", "QoSm 99.9p(us)", "QoSl 99.9p(us)")
+	for _, x := range []float64{0.05, 0.15, 0.25, 0.40, 0.55, 0.70} {
+		qm := 0.25
+		res, err := aequitas.Run(clusterConfig(o, aequitas.SystemBaseline, [3]float64{x, qm, 1 - x - qm}))
+		if err != nil {
+			return err
+		}
+		tb.AddRow(fmt.Sprintf("%.0f", 100*x),
+			res.RNLQuantileUS(aequitas.High, 0.999),
+			res.RNLQuantileUS(aequitas.Medium, 0.999),
+			res.RNLQuantileUS(aequitas.Low, 0.999))
+	}
+	tb.Write(os.Stdout)
+	fmt.Println("the share where QoSh 99.9p crosses the SLO is the maximal admissible share")
+	return nil
+}
+
+func figMixConvergence(o options) error {
+	inputs := [][3]float64{
+		{0.25, 0.25, 0.50},
+		{0.60, 0.30, 0.10},
+		{0.50, 0.30, 0.20},
+		{0.40, 0.40, 0.20},
+	}
+	tb := stats.NewTable("input mix", "admitted mix", "QoSh 99.9p(us)")
+	for _, in := range inputs {
+		cfg := clusterConfig(o, aequitas.SystemAequitas, in)
+		res, err := aequitas.Run(cfg)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(
+			fmt.Sprintf("%.0f/%.0f/%.0f", 100*in[0], 100*in[1], 100*in[2]),
+			fmt.Sprintf("%.0f/%.0f/%.0f", 100*res.AdmittedMix[0], 100*res.AdmittedMix[1], 100*res.AdmittedMix[2]),
+			res.RNLQuantileUS(aequitas.High, 0.999))
+	}
+	tb.Write(os.Stdout)
+	fmt.Println("the admitted mix is set by the SLOs, not by the input mix (§6.3)")
+	return nil
+}
+
+func figBurstiness(o options) error {
+	tb := stats.NewTable("burst load rho", "admitted QoSh-share(%)", "share x rho")
+	for _, rho := range []float64{1.4, 1.6, 1.8, 2.0, 2.2} {
+		cfg := clusterConfig(o, aequitas.SystemAequitas, [3]float64{0.6, 0.3, 0.1})
+		cfg.Traffic[0].BurstLoad = rho
+		res, err := aequitas.Run(cfg)
+		if err != nil {
+			return err
+		}
+		share := 100 * res.AdmittedMix[0]
+		tb.AddRow(rho, share, share*rho)
+	}
+	tb.Write(os.Stdout)
+	fmt.Println("share x rho roughly constant: admitted traffic is inversely proportional to burstiness (§6.4)")
+	return nil
+}
+
+func figSPQ(o options) error {
+	tb := stats.NewTable("QoSh-share(%)", "SPQ QoSh 99.9p", "SPQ QoSm 99.9p", "AEQ QoSh 99.9p", "AEQ QoSm 99.9p")
+	for _, x := range []float64{0.5, 0.6, 0.7, 0.8} {
+		mix := [3]float64{x, 0.2, 0.8 - x}
+		spq, err := aequitas.Run(clusterConfig(o, aequitas.SystemSPQ, mix))
+		if err != nil {
+			return err
+		}
+		aeq, err := aequitas.Run(clusterConfig(o, aequitas.SystemAequitas, mix))
+		if err != nil {
+			return err
+		}
+		tb.AddRow(fmt.Sprintf("%.0f", 100*x),
+			spq.RNLQuantileUS(aequitas.High, 0.999), spq.RNLQuantileUS(aequitas.Medium, 0.999),
+			aeq.RNLQuantileUS(aequitas.High, 0.999), aeq.RNLQuantileUS(aequitas.Medium, 0.999))
+	}
+	tb.Write(os.Stdout)
+	fmt.Println("SPQ degrades as more traffic claims the top class; Aequitas holds its SLOs (§6.7)")
+	return nil
+}
+
+func figMixedSizes(o options) error {
+	cfg := clusterConfig(o, aequitas.SystemAequitas, [3]float64{0.6, 0.3, 0.1})
+	// Half the offered bytes in 32 KB RPCs, half in 64 KB RPCs (§6.8).
+	for i := range cfg.Traffic[0].Classes {
+		cfg.Traffic[0].Classes[i].FixedBytes = 0
+		cfg.Traffic[0].Classes[i].Size = aequitas.SizeChoice(
+			[]int64{32 << 10, 64 << 10}, []float64{1, 1})
+	}
+	base := clusterConfig(o, aequitas.SystemBaseline, [3]float64{0.6, 0.3, 0.1})
+	base.Traffic = cfg.Traffic
+	resB, err := aequitas.Run(base)
+	if err != nil {
+		return err
+	}
+	resA, err := aequitas.Run(cfg)
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("system", "QoSh 99.9p(us)", "QoSm 99.9p(us)", "QoSl 99.9p(us)", "QoSh in SLO(%)")
+	for _, r := range []struct {
+		name string
+		res  *aequitas.Results
+	}{{"w/o aequitas", resB}, {"w/ aequitas", resA}} {
+		tb.AddRow(r.name,
+			r.res.RNLQuantileUS(aequitas.High, 0.999),
+			r.res.RNLQuantileUS(aequitas.Medium, 0.999),
+			r.res.RNLQuantileUS(aequitas.Low, 0.999),
+			100*r.res.SLOMetRunBytesFraction[aequitas.High])
+	}
+	tb.Write(os.Stdout)
+	fmt.Println("per-MTU normalisation lets mixed 32/64KB RPCs share one SLO (§6.8)")
+	return nil
+}
+
+func figLargeScale(o options) error {
+	mkCfg := func(system aequitas.System) aequitas.SimConfig {
+		return aequitas.SimConfig{
+			System:     system,
+			Hosts:      o.big,
+			Seed:       o.seed,
+			Duration:   o.dur,
+			QoSWeights: []float64{8, 4, 1},
+			// Per-MTU SLOs for the production size mix.
+			SLOs: []aequitas.SLO{
+				{Target: 20 * time.Microsecond, Percentile: 99.9},
+				{Target: 40 * time.Microsecond, Percentile: 99.9},
+			},
+			BurstPeriod: 200 * time.Microsecond,
+			Traffic: []aequitas.HostTraffic{{
+				AvgLoad:   0.8,
+				BurstLoad: 2.0, // extreme fan-in bursts on downlinks
+				Classes: []aequitas.TrafficClass{
+					{Priority: aequitas.PC, Share: 0.6, Size: aequitas.ProductionPCSizes()},
+					{Priority: aequitas.NC, Share: 0.3, Size: aequitas.ProductionNCSizes()},
+					{Priority: aequitas.BE, Share: 0.1, Size: aequitas.ProductionBESizes()},
+				},
+			}},
+		}
+	}
+	tb := stats.NewTable("system", "QoSh 99.9p(us)", "QoSm 99.9p(us)", "QoSl 99.9p(us)", "admitted mix")
+	var tails [2][2]float64
+	for i, system := range []aequitas.System{aequitas.SystemBaseline, aequitas.SystemAequitas} {
+		res, err := aequitas.Run(mkCfg(system))
+		if err != nil {
+			return err
+		}
+		tails[i][0] = res.RNLQuantileUS(aequitas.High, 0.999)
+		tails[i][1] = res.RNLQuantileUS(aequitas.Medium, 0.999)
+		tb.AddRow(system.String(),
+			tails[i][0], tails[i][1],
+			res.RNLQuantileUS(aequitas.Low, 0.999),
+			fmt.Sprintf("%.0f/%.0f/%.0f", 100*res.AdmittedMix[0], 100*res.AdmittedMix[1], 100*res.AdmittedMix[2]))
+	}
+	tb.Write(os.Stdout)
+	fmt.Printf("tail RNL improvement: QoSh %.1fx, QoSm %.1fx (paper: 3.7x / 2.2x)\n",
+		tails[0][0]/tails[1][0], tails[0][1]/tails[1][1])
+	return nil
+}
+
+func figTestbed(o options) error {
+	hosts := 20
+	input := [3]float64{0.5, 0.35, 0.15}
+	target := [3]float64{0.2, 0.3, 0.5}
+	mk := func(system aequitas.System, mix [3]float64, slos []aequitas.SLO) aequitas.SimConfig {
+		return aequitas.SimConfig{
+			System: system, Hosts: hosts, Seed: o.seed,
+			Duration: o.dur, QoSWeights: []float64{8, 4, 1},
+			SLOs: slos,
+			Traffic: []aequitas.HostTraffic{{
+				AvgLoad: 0.8, BurstLoad: 1.4,
+				Classes: []aequitas.TrafficClass{
+					{Priority: aequitas.PC, Share: mix[0], FixedBytes: 32 << 10},
+					{Priority: aequitas.NC, Share: mix[1], FixedBytes: 32 << 10},
+					{Priority: aequitas.BE, Share: mix[2], FixedBytes: 32 << 10},
+				},
+			}},
+		}
+	}
+	// Calibrate: the SLOs are the achieved 99.9p RNL when the input mix
+	// equals the target mix (the paper's normalisation, §6.11).
+	cal, err := aequitas.Run(mk(aequitas.SystemBaseline, target, slo32(25, 50)))
+	if err != nil {
+		return err
+	}
+	calH := cal.RNLQuantileUS(aequitas.High, 0.999)
+	calM := cal.RNLQuantileUS(aequitas.Medium, 0.999)
+	calL := cal.RNLQuantileUS(aequitas.Low, 0.999)
+	slos := []aequitas.SLO{
+		{Target: time.Duration(calH * float64(time.Microsecond)), ReferenceBytes: 32 << 10, Percentile: 99.9},
+		{Target: time.Duration(calM * float64(time.Microsecond)), ReferenceBytes: 32 << 10, Percentile: 99.9},
+	}
+
+	base, err := aequitas.Run(mk(aequitas.SystemBaseline, input, slos))
+	if err != nil {
+		return err
+	}
+	aeq, err := aequitas.Run(mk(aequitas.SystemAequitas, input, slos))
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("system", "QoSh RNL(norm)", "QoSm RNL(norm)", "QoSl RNL(norm)", "QoS-share")
+	for _, r := range []struct {
+		name string
+		res  *aequitas.Results
+	}{{"w/o aequitas", base}, {"w/ aequitas", aeq}} {
+		tb.AddRow(r.name,
+			r.res.RNLQuantileUS(aequitas.High, 0.999)/calH,
+			r.res.RNLQuantileUS(aequitas.Medium, 0.999)/calM,
+			r.res.RNLQuantileUS(aequitas.Low, 0.999)/calL,
+			fmt.Sprintf("%.0f/%.0f/%.0f", 100*r.res.AdmittedMix[0], 100*r.res.AdmittedMix[1], 100*r.res.AdmittedMix[2]))
+	}
+	tb.Write(os.Stdout)
+	fmt.Printf("target QoS-mix: %.0f/%.0f/%.0f; Aequitas converges toward it while holding normalized RNL ~1 (§6.11)\n",
+		100*target[0], 100*target[1], 100*target[2])
+	return nil
+}

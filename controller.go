@@ -1,0 +1,194 @@
+package aequitas
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"aequitas/internal/core"
+	"aequitas/internal/netsim"
+	"aequitas/internal/qos"
+	"aequitas/internal/sim"
+)
+
+// Class identifies a network QoS level; 0 is the highest. The lowest
+// configured class is the scavenger: it carries best-effort and
+// downgraded traffic and has no SLO.
+type Class = qos.Class
+
+// The standard three levels.
+const (
+	High   = qos.High
+	Medium = qos.Medium
+	Low    = qos.Low
+)
+
+// Priority is an application-level RPC priority class.
+type Priority = qos.Priority
+
+// The paper's three priority classes: performance-critical, non-critical,
+// best-effort.
+const (
+	PC = qos.PC
+	NC = qos.NC
+	BE = qos.BE
+)
+
+// SLO defines one QoS class's RPC network-latency objective.
+type SLO struct {
+	// Target is the RNL objective for an RPC of ReferenceBytes. The
+	// controller normalises it per MTU internally, so larger RPCs get
+	// proportionally larger absolute targets.
+	Target time.Duration
+	// ReferenceBytes is the RPC size Target refers to. Zero means Target
+	// is already the per-MTU budget.
+	ReferenceBytes int64
+	// Percentile is the tail the SLO is defined at (default 99.9). It
+	// controls how conservatively the admit probability is raised.
+	Percentile float64
+}
+
+// perMTU converts the SLO to the per-MTU target Algorithm 1 consumes.
+func (s SLO) perMTU() sim.Duration {
+	t := sim.FromStd(s.Target)
+	if s.ReferenceBytes > 0 {
+		t = t / sim.Duration(netsim.MTUsFor(s.ReferenceBytes))
+	}
+	return t
+}
+
+// ControllerConfig parameterises an AdmissionController.
+type ControllerConfig struct {
+	// SLOs lists the objectives for every class except the lowest, from
+	// the highest class down. len(SLOs)+1 is the number of QoS levels.
+	SLOs []SLO
+	// Alpha is the additive increment of the admit probability (default
+	// 0.01).
+	Alpha float64
+	// Beta is the multiplicative decrement per SLO miss per MTU of RPC
+	// size (default 0.01).
+	Beta float64
+	// Floor is the admit probability's lower bound, preventing
+	// starvation (default 0.01).
+	Floor float64
+	// Now supplies timestamps (default time.Now), injectable for tests.
+	Now func() time.Time
+	// Seed seeds the probabilistic admission draw; 0 uses a fixed
+	// default.
+	Seed int64
+}
+
+// Decision is the controller's verdict for one RPC.
+type Decision struct {
+	// Class is the QoS level to issue the RPC on.
+	Class Class
+	// Downgraded reports that the RPC was demoted to the scavenger
+	// class. Applications receive this explicitly (Algorithm 1 lines
+	// 10-11) and may react by prioritising their most critical RPCs.
+	Downgraded bool
+}
+
+// AdmissionController is the Aequitas algorithm packaged for a real RPC
+// stack: one instance per sending process. It is safe for concurrent use.
+//
+// Usage per RPC: call Admit with the destination and the requested class,
+// issue the RPC on the returned class (e.g. via the DSCP field), and on
+// completion call Observe with the measured RPC network latency.
+type AdmissionController struct {
+	mu    sync.Mutex
+	inner *core.Controller
+	rng   *rand.Rand
+	now   func() time.Time
+	epoch time.Time
+	peers map[string]int
+}
+
+// NewController validates cfg and builds a controller.
+func NewController(cfg ControllerConfig) (*AdmissionController, error) {
+	if len(cfg.SLOs) == 0 {
+		return nil, fmt.Errorf("aequitas: at least one SLO class required")
+	}
+	levels := len(cfg.SLOs) + 1
+	cc := core.Config{
+		Levels:            levels,
+		LatencyTargets:    make([]sim.Duration, levels),
+		TargetPercentiles: make([]float64, levels),
+		Alpha:             cfg.Alpha,
+		Beta:              cfg.Beta,
+		Floor:             cfg.Floor,
+	}
+	if cc.Alpha == 0 {
+		cc.Alpha = 0.01
+	}
+	if cc.Beta == 0 {
+		cc.Beta = 0.01
+	}
+	if cc.Floor == 0 {
+		cc.Floor = 0.01
+	}
+	for i, s := range cfg.SLOs {
+		cc.LatencyTargets[i] = s.perMTU()
+		cc.TargetPercentiles[i] = s.Percentile
+		if cc.TargetPercentiles[i] == 0 {
+			cc.TargetPercentiles[i] = 99.9
+		}
+	}
+	inner, err := core.New(cc)
+	if err != nil {
+		return nil, err
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &AdmissionController{
+		inner: inner,
+		rng:   rand.New(rand.NewSource(seed)),
+		now:   now,
+		epoch: now(),
+		peers: make(map[string]int),
+	}, nil
+}
+
+func (c *AdmissionController) peerID(peer string) int {
+	id, ok := c.peers[peer]
+	if !ok {
+		id = len(c.peers)
+		c.peers[peer] = id
+	}
+	return id
+}
+
+func (c *AdmissionController) simNow() sim.Time {
+	return sim.FromStd(c.now().Sub(c.epoch))
+}
+
+// Admit decides the QoS class for an RPC of sizeBytes toward peer that
+// requested the given class.
+func (c *AdmissionController) Admit(peer string, requested Class, sizeBytes int64) Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.inner.AdmitAt(c.rng.Float64(), c.peerID(peer), requested, netsim.MTUsFor(sizeBytes))
+	return Decision{Class: d.Class, Downgraded: d.Downgraded}
+}
+
+// Observe feeds back one completed RPC's measured network latency on the
+// class it actually ran on.
+func (c *AdmissionController) Observe(peer string, ran Class, rnl time.Duration, sizeBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inner.ObserveAt(c.simNow(), c.peerID(peer), ran, sim.FromStd(rnl), netsim.MTUsFor(sizeBytes))
+}
+
+// AdmitProbability reports the current admit probability toward peer on
+// the given class, for monitoring.
+func (c *AdmissionController) AdmitProbability(peer string, class Class) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.AdmitProbability(c.peerID(peer), class)
+}

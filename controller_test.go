@@ -1,0 +1,154 @@
+package aequitas
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func testClock() (func() time.Time, func(time.Duration)) {
+	now := time.Unix(0, 0)
+	return func() time.Time { return now }, func(d time.Duration) { now = now.Add(d) }
+}
+
+func newPublicController(t *testing.T) (*AdmissionController, func(time.Duration)) {
+	t.Helper()
+	clock, advance := testClock()
+	c, err := NewController(ControllerConfig{
+		SLOs: []SLO{
+			{Target: 15 * time.Microsecond, ReferenceBytes: 32 << 10},
+			{Target: 25 * time.Microsecond, ReferenceBytes: 32 << 10},
+		},
+		Now:  clock,
+		Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, advance
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	if _, err := NewController(ControllerConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := NewController(ControllerConfig{SLOs: []SLO{{Target: -time.Second}}}); err == nil {
+		t.Error("negative target accepted")
+	}
+}
+
+func TestControllerAdmitsInitially(t *testing.T) {
+	c, _ := newPublicController(t)
+	for i := 0; i < 50; i++ {
+		d := c.Admit("server-1", High, 32<<10)
+		if d.Downgraded || d.Class != High {
+			t.Fatalf("initial admit failed: %+v", d)
+		}
+	}
+	if p := c.AdmitProbability("server-1", High); p != 1 {
+		t.Errorf("initial p = %v", p)
+	}
+}
+
+func TestControllerDowngradesAfterMisses(t *testing.T) {
+	c, advance := newPublicController(t)
+	for i := 0; i < 50; i++ {
+		c.Observe("server-1", High, 10*time.Millisecond, 32<<10)
+		advance(time.Millisecond)
+	}
+	if p := c.AdmitProbability("server-1", High); p > 0.2 {
+		t.Fatalf("p after misses = %v", p)
+	}
+	downgrades := 0
+	for i := 0; i < 200; i++ {
+		if d := c.Admit("server-1", High, 32<<10); d.Downgraded {
+			downgrades++
+			if d.Class != Low {
+				t.Fatalf("downgraded to %v", d.Class)
+			}
+		}
+	}
+	if downgrades < 100 {
+		t.Errorf("only %d/200 downgrades at low p_admit", downgrades)
+	}
+	// Another peer is unaffected.
+	if p := c.AdmitProbability("server-2", High); p != 1 {
+		t.Errorf("peer isolation broken: p = %v", p)
+	}
+}
+
+func TestControllerRecovers(t *testing.T) {
+	c, advance := newPublicController(t)
+	for i := 0; i < 50; i++ {
+		c.Observe("s", High, 10*time.Millisecond, 32<<10)
+	}
+	low := c.AdmitProbability("s", High)
+	// Compliant completions spaced beyond the increment window raise p.
+	for i := 0; i < 20; i++ {
+		advance(20 * time.Millisecond)
+		c.Observe("s", High, time.Microsecond, 32<<10)
+	}
+	if got := c.AdmitProbability("s", High); got <= low {
+		t.Errorf("no recovery: %v -> %v", low, got)
+	}
+}
+
+func TestControllerPerMTUSLO(t *testing.T) {
+	clock, _ := testClock()
+	c, err := NewController(ControllerConfig{
+		SLOs: []SLO{{Target: time.Microsecond}}, // per-MTU directly
+		Now:  clock,
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 10-MTU RPC at 5 µs is compliant (0.5 µs/MTU)...
+	c.Observe("s", High, 5*time.Microsecond, 10*1436)
+	if p := c.AdmitProbability("s", High); p != 1 {
+		t.Errorf("compliant observation decreased p to %v", p)
+	}
+	// ...but at 20 µs it misses (2 µs/MTU).
+	c.Observe("s", High, 20*time.Microsecond, 10*1436)
+	if p := c.AdmitProbability("s", High); p >= 1 {
+		t.Error("miss did not decrease p")
+	}
+}
+
+func TestSeriesHelpers(t *testing.T) {
+	s := Series{T: []float64{0, 1, 2, 3}, V: []float64{0, 10, 20, 20}}
+	if got := s.Final(-1); got != 20 {
+		t.Errorf("Final = %v", got)
+	}
+	if got := (Series{}).Final(-1); got != -1 {
+		t.Errorf("empty Final = %v", got)
+	}
+	if got := s.MeanAfter(2); got != 20 {
+		t.Errorf("MeanAfter = %v", got)
+	}
+	if got := s.MeanAfter(99); got != 0 {
+		t.Errorf("MeanAfter beyond range = %v", got)
+	}
+	if got := s.SettlingTime(0.5); got != 2 {
+		t.Errorf("SettlingTime = %v", got)
+	}
+}
+
+func TestLatencySummaryString(t *testing.T) {
+	l := LatencySummary{N: 10, MeanUS: 1.5, P50US: 1, P99US: 3, P999US: 4, MaxUS: 5}
+	if l.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestSLOPerMTUConversion(t *testing.T) {
+	s := SLO{Target: 22 * time.Microsecond, ReferenceBytes: 22 * 1436}
+	perMTU := s.perMTU()
+	if got := float64(perMTU) / 1e6; math.Abs(got-1) > 1e-9 { // 1 µs in ps
+		t.Errorf("perMTU = %v ps, want 1us", perMTU)
+	}
+	direct := SLO{Target: time.Microsecond}
+	if direct.perMTU() != s.perMTU() {
+		t.Error("ReferenceBytes normalisation inconsistent")
+	}
+}

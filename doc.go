@@ -1,0 +1,26 @@
+// Package aequitas is a from-scratch implementation of Aequitas (Zhang et
+// al., SIGCOMM 2022): distributed, sender-driven admission control that
+// provides RPC network-latency (RNL) SLOs for performance-critical RPCs in
+// datacenters by mapping RPC priorities to weighted-fair-queuing (WFQ) QoS
+// classes and downgrading excess traffic to the scavenger class.
+//
+// The package offers three entry points:
+//
+//   - AdmissionController: the Aequitas algorithm (Algorithm 1) packaged
+//     for embedding in a real RPC stack. Feed it completed-RPC latency
+//     measurements and ask it, per RPC, which QoS class to use.
+//
+//   - Simulation: a packet-level datacenter simulator (WFQ switches,
+//     Swift congestion control, an RPC layer) that reproduces the paper's
+//     evaluation. Configure a topology, a workload, and SLOs; run; read
+//     per-QoS tail latencies, admitted QoS-mix, fairness series, and
+//     baseline comparisons (pFabric, QJump, D3, PDQ, Homa, SPQ).
+//
+//   - Analytical model: the network-calculus worst-case WFQ delay bounds
+//     of §4 (closed form for 2 QoS classes, fluid simulation for N),
+//     admissible-region computation, and SLO planning helpers.
+//
+// Every figure and table in the paper's evaluation has a regeneration
+// harness: see bench_test.go and cmd/figures. EXPERIMENTS.md records
+// paper-versus-measured results.
+package aequitas

@@ -1,0 +1,61 @@
+// SLO planning: the operator-facing use of the analytical model (§4.2).
+// Given WFQ weights and a traffic profile (average load µ, burst load ρ),
+// the network-calculus bounds answer: how much traffic can run on QoSh at
+// a given delay bound, where does priority inversion begin, and what
+// admitted share is guaranteed regardless of competition?
+//
+// This example runs no packet simulation — it is the cmd/admissible
+// workflow as library calls.
+//
+// Run with: go run ./examples/slo-planning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aequitas"
+)
+
+func main() {
+	const (
+		phi = 4.0 // QoSh:QoSl weight ratio
+		rho = 1.2 // burst load
+		mu  = 0.8 // average load
+	)
+
+	fmt.Printf("WFQ delay-bound profile (phi=%.0f:1, mu=%.1f, rho=%.1f)\n\n", phi, mu, rho)
+	fmt.Printf("%-12s %-12s %-12s\n", "QoSh-share", "QoSh bound", "QoSl bound")
+	for x := 0.1; x < 1.0; x += 0.1 {
+		fmt.Printf("%-12.0f %-12.3f %-12.3f\n", x*100,
+			aequitas.DelayBoundHigh(phi, rho, mu, x),
+			aequitas.DelayBoundLow(phi, rho, mu, x))
+	}
+
+	fmt.Println()
+	for _, bound := range []float64{0.02, 0.05, 0.1, 0.2} {
+		share := aequitas.MaxShareForSLO(phi, rho, mu, bound)
+		fmt.Printf("delay bound %.2f of period -> admit at most %.0f%% on QoSh\n", bound, share*100)
+	}
+
+	fmt.Println()
+	weights := []float64{8, 4, 1}
+	boundary, err := aequitas.AdmissibleShare(weights, []float64{2.0 / 3, 1.0 / 3}, 1.4, 0.8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3-QoS (8:4:1, QoSm:QoSl=2:1, rho=1.4): no priority inversion up to QoSh-share %.0f%%\n", boundary*100)
+
+	boundary50, err := aequitas.AdmissibleShare([]float64{50, 4, 1}, []float64{2.0 / 3, 1.0 / 3}, 1.4, 0.8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("raising the QoSh weight to 50 moves the boundary to %.0f%% —\n", boundary50*100)
+	fmt.Println("at the cost of a worse QoSm bound (Figure 9b).")
+
+	fmt.Println()
+	for i, name := range []string{"QoSh", "QoSm", "QoSl"} {
+		g := aequitas.GuaranteedShare(weights, i, 0.8, 1.4)
+		fmt.Printf("guaranteed admitted share on %s: >= %.1f%% of line rate (S5.2 bound)\n", name, g*100)
+	}
+}

@@ -1,0 +1,3 @@
+module aequitas
+
+go 1.22

@@ -1,0 +1,363 @@
+package calculus
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTwoQoSValidate(t *testing.T) {
+	good := TwoQoS{Phi: 4, Rho: 1.2, Mu: 0.8}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []TwoQoS{
+		{Phi: 0, Rho: 1.2, Mu: 0.8},
+		{Phi: 4, Rho: 1.0, Mu: 0.8},
+		{Phi: 4, Rho: 1.2, Mu: 0},
+		{Phi: 4, Rho: 1.2, Mu: 1.3},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", p)
+		}
+	}
+}
+
+// The worked example at the end of Appendix B.2: φ=4, ρ=2, µ=0.8 collapses
+// to three cases: 0 for x≤0.4, x−0.4 for 0.4<x≤0.8, and 0.4 beyond.
+func TestDelayHighWorkedExample(t *testing.T) {
+	p := TwoQoS{Phi: 4, Rho: 2, Mu: 0.8}
+	cases := []struct{ x, want float64 }{
+		{0.1, 0}, {0.4, 0}, {0.5, 0.1}, {0.6, 0.2}, {0.8, 0.4},
+		{0.85, 0.4}, {0.99, 0.4},
+	}
+	for _, c := range cases {
+		if got := p.DelayHigh(c.x); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("DelayHigh(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+// The toy example of Appendix B.2 (Figure 26): 100 Gbps link, 4:1 weights,
+// 50/50 split, 120 Gbps burst, 80% average load → QoSl delay bound 0.2222
+// of the period, QoSh zero.
+func TestToyExampleFigure26(t *testing.T) {
+	p := TwoQoS{Phi: 4, Rho: 1.2, Mu: 0.8}
+	if got := p.DelayHigh(0.5); got != 0 {
+		t.Errorf("QoSh delay = %v, want 0 (within guaranteed rate)", got)
+	}
+	want := 0.8 * (1/1.2 - 1/(1.2*1.2)) / 0.5
+	if got := p.DelayLow(0.5); math.Abs(got-want) > 1e-9 {
+		t.Errorf("QoSl delay = %v, want %v", got, want)
+	}
+}
+
+// Figure 8's parameters: delays of the two classes must cross exactly at
+// the priority-inversion point x = φ/(φ+1).
+func TestPriorityInversionPoint(t *testing.T) {
+	p := TwoQoS{Phi: 4, Rho: 1.2, Mu: 0.8}
+	x := p.InversionPoint()
+	if math.Abs(x-0.8) > 1e-12 {
+		t.Fatalf("InversionPoint = %v, want 0.8", x)
+	}
+	dh, dl := p.DelayHigh(x), p.DelayLow(x)
+	if math.Abs(dh-dl) > 1e-9 {
+		t.Errorf("delays at inversion point differ: h=%v l=%v", dh, dl)
+	}
+	// Before the inversion point QoSh is strictly better; after, worse.
+	if p.DelayHigh(x-0.05) >= p.DelayLow(x-0.05) {
+		t.Error("no admissible gap before inversion point")
+	}
+	if p.DelayHigh(x+0.03) <= p.DelayLow(x+0.03) {
+		t.Error("inversion did not occur after the boundary")
+	}
+}
+
+func TestZeroDelayShare(t *testing.T) {
+	p := TwoQoS{Phi: 4, Rho: 1.2, Mu: 0.8}
+	x := p.ZeroDelayShare()
+	if math.Abs(x-0.8/1.2) > 1e-12 {
+		t.Fatalf("ZeroDelayShare = %v", x)
+	}
+	if got := p.DelayHigh(x); got != 0 {
+		t.Errorf("DelayHigh at boundary = %v, want 0", got)
+	}
+	if got := p.DelayHigh(x + 1e-6); got <= 0 {
+		t.Errorf("DelayHigh just past boundary = %v, want > 0", got)
+	}
+}
+
+// Lemma 2: as φ grows, the zero-delay boundary approaches 1/ρ and the
+// delay curve approaches the φ→∞ limit of Equation 4.
+func TestLemma2InfinitePhiLimit(t *testing.T) {
+	rho, mu := 1.5, 0.8
+	p := TwoQoS{Phi: 1e9, Rho: rho, Mu: mu}
+	for _, x := range []float64{0.1, 0.3, 0.5, 1 / rho, 0.7, 0.9} {
+		got := p.DelayHigh(x)
+		want := InfinitePhiDelayHigh(x, rho, mu)
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("x=%v: DelayHigh=%v, limit=%v", x, got, want)
+		}
+	}
+	if got := p.ZeroDelayShare(); math.Abs(got-1/rho) > 1e-6 {
+		t.Errorf("ZeroDelayShare = %v, want ~%v", got, 1/rho)
+	}
+}
+
+// Both closed-form curves must be continuous in x: the case boundaries
+// agree. This exercises every pair of adjacent cases across parameter
+// settings with different empty-domain structure.
+func TestClosedFormContinuity(t *testing.T) {
+	params := []TwoQoS{
+		{Phi: 4, Rho: 1.2, Mu: 0.8},
+		{Phi: 4, Rho: 2, Mu: 0.8},
+		{Phi: 8, Rho: 1.4, Mu: 0.9},
+		{Phi: 1, Rho: 3, Mu: 0.5},
+		{Phi: 50, Rho: 1.4, Mu: 0.8},
+		{Phi: 0.5, Rho: 1.1, Mu: 0.95},
+	}
+	const step = 1e-4
+	for _, p := range params {
+		for x := step; x < 1; x += step {
+			dh0, dh1 := p.DelayHigh(x-step), p.DelayHigh(x)
+			if math.Abs(dh1-dh0) > 0.02 {
+				t.Fatalf("%+v: DelayHigh jump at x=%v: %v -> %v", p, x, dh0, dh1)
+			}
+			dl0, dl1 := p.DelayLow(x-step), p.DelayLow(x)
+			if math.Abs(dl1-dl0) > 0.02 {
+				t.Fatalf("%+v: DelayLow jump at x=%v: %v -> %v", p, x, dl0, dl1)
+			}
+		}
+	}
+}
+
+// Central validation (mirrors the paper's Figure 10): the fluid simulator
+// must reproduce the closed-form worst-case delays for two QoS classes.
+func TestFluidMatchesClosedForm(t *testing.T) {
+	params := []TwoQoS{
+		{Phi: 4, Rho: 1.2, Mu: 0.8},
+		{Phi: 4, Rho: 2, Mu: 0.8},
+		{Phi: 8, Rho: 1.4, Mu: 0.9},
+		{Phi: 2, Rho: 1.6, Mu: 0.6},
+		{Phi: 50, Rho: 1.4, Mu: 0.8},
+	}
+	for _, p := range params {
+		for x := 0.02; x < 0.99; x += 0.02 {
+			d, err := WorstCaseDelays([]float64{p.Phi, 1}, []float64{x, 1 - x}, p.Rho, p.Mu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantH, wantL := p.DelayHigh(x), p.DelayLow(x)
+			if math.Abs(d[0]-wantH) > 1e-6 {
+				t.Errorf("%+v x=%.2f: fluid QoSh delay %v, closed form %v", p, x, d[0], wantH)
+			}
+			if math.Abs(d[1]-wantL) > 1e-6 {
+				t.Errorf("%+v x=%.2f: fluid QoSl delay %v, closed form %v", p, x, d[1], wantL)
+			}
+		}
+	}
+}
+
+// Property test over random parameters: fluid and closed form agree.
+func TestFluidMatchesClosedFormProperty(t *testing.T) {
+	f := func(a, b, c, d uint16) bool {
+		p := TwoQoS{
+			Phi: 0.5 + float64(a%64),
+			Rho: 1.05 + float64(b%200)/100, // 1.05 .. 3.05
+			Mu:  0.3 + float64(c%70)/100,   // 0.3 .. 0.99
+		}
+		x := 0.01 + 0.98*float64(d)/65535
+		delays, err := WorstCaseDelays([]float64{p.Phi, 1}, []float64{x, 1 - x}, p.Rho, p.Mu)
+		if err != nil {
+			return false
+		}
+		return math.Abs(delays[0]-p.DelayHigh(x)) < 1e-6 &&
+			math.Abs(delays[1]-p.DelayLow(x)) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Conservation: the fluid system must serve exactly what arrived.
+func TestFluidConservation(t *testing.T) {
+	fl := Fluid{
+		Weights: []float64{8, 4, 1},
+		Phases:  BurstPattern([]float64{0.5, 0.3, 0.2}, 1.4, 0.8),
+	}
+	res, err := fl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Arrived {
+		if math.Abs(res.Arrived[i]-res.Served[i]) > 1e-9 {
+			t.Errorf("class %d: arrived %v served %v", i, res.Arrived[i], res.Served[i])
+		}
+	}
+	var tot float64
+	for _, a := range res.Arrived {
+		tot += a
+	}
+	if math.Abs(tot-0.8) > 1e-9 {
+		t.Errorf("total arrivals %v, want µ=0.8", tot)
+	}
+	if res.DrainTime > 1+1e-9 {
+		t.Errorf("drain time %v exceeds the period", res.DrainTime)
+	}
+}
+
+// Three-QoS structure of Figure 9: with weights 8:4:1 the higher class has
+// zero delay at small shares, delays are ordered in the admissible region,
+// and increasing the QoSh weight to 50 moves the inversion point right.
+func TestThreeQoSFigure9Structure(t *testing.T) {
+	mixAt := func(x float64) []float64 {
+		// QoSm:QoSl fixed at 2:1 over the remainder, as in Figure 9.
+		rest := 1 - x
+		return []float64{x, rest * 2 / 3, rest / 3}
+	}
+	rho, mu := 1.4, 0.8
+
+	boundary8, err := AdmissibleBoundary([]float64{8, 4, 1}, mixAt, rho, mu, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundary50, err := AdmissibleBoundary([]float64{50, 4, 1}, mixAt, rho, mu, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boundary8 <= 0.05 {
+		t.Fatalf("8:4:1 admissible boundary too small: %v", boundary8)
+	}
+	if boundary50 <= boundary8 {
+		t.Errorf("increasing QoSh weight should move the admissible boundary right: 8:4:1 → %v, 50:4:1 → %v", boundary8, boundary50)
+	}
+
+	// Inside the admissible region, delays are ordered h ≤ m ≤ l.
+	d, err := WorstCaseDelays([]float64{8, 4, 1}, mixAt(boundary8*0.8), rho, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(d[0] <= d[1]+1e-9 && d[1] <= d[2]+1e-9) {
+		t.Errorf("delays not ordered inside admissible region: %v", d)
+	}
+	// Higher QoSm delay under 50:4:1 (the paper notes the cost of a large
+	// QoSh weight is a worse QoSm bound).
+	d8, _ := WorstCaseDelays([]float64{8, 4, 1}, mixAt(0.5), rho, mu)
+	d50, _ := WorstCaseDelays([]float64{50, 4, 1}, mixAt(0.5), rho, mu)
+	if d50[1] < d8[1]-1e-9 {
+		t.Errorf("QoSm bound should not improve when QoSh weight grows: 8:4:1 %v vs 50:4:1 %v", d8[1], d50[1])
+	}
+}
+
+func TestMaxShareForDelay(t *testing.T) {
+	p := TwoQoS{Phi: 4, Rho: 2, Mu: 0.8}
+	// DelayHigh = x−0.4 on (0.4, 0.8]; bound 0.1 → max share 0.5.
+	if got := p.MaxShareForDelay(0.1); math.Abs(got-0.5) > 1e-3 {
+		t.Errorf("MaxShareForDelay(0.1) = %v, want ~0.5", got)
+	}
+	if got := p.MaxShareForDelay(0); math.Abs(got-0.4) > 1e-3 {
+		t.Errorf("MaxShareForDelay(0) = %v, want ~0.4", got)
+	}
+	// A bound above the global max admits everything.
+	if got := p.MaxShareForDelay(1); got < 0.99 {
+		t.Errorf("MaxShareForDelay(1) = %v, want ~1", got)
+	}
+}
+
+func TestGuaranteedShare(t *testing.T) {
+	w := []float64{8, 4, 1}
+	got := GuaranteedShare(w, 0, 0.8, 1.4)
+	want := 8.0 / 13 * 0.8 / 1.4
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("GuaranteedShare = %v, want %v", got, want)
+	}
+	if GuaranteedShare(w, -1, 0.8, 1.4) != 0 || GuaranteedShare(w, 3, 0.8, 1.4) != 0 {
+		t.Error("out-of-range class should yield 0")
+	}
+	if GuaranteedShare(nil, 0, 0.8, 1.4) != 0 {
+		t.Error("empty weights should yield 0")
+	}
+	// Inverse proportionality to burstiness (§6.4).
+	if 2*GuaranteedShare(w, 0, 0.8, 2.8) != GuaranteedShare(w, 0, 0.8, 1.4) {
+		t.Error("guaranteed share must scale as 1/ρ")
+	}
+}
+
+func TestFluidValidation(t *testing.T) {
+	cases := []Fluid{
+		{Weights: nil},
+		{Weights: []float64{1, -1}, Phases: BurstPattern([]float64{0.5, 0.5}, 1.2, 0.8)},
+		{Weights: []float64{1, 1}, Phases: []Phase{{Duration: 1, Rates: []float64{1}}}},
+		{Weights: []float64{1, 1}, Phases: []Phase{{Duration: -1, Rates: []float64{1, 1}}}},
+		{Weights: []float64{1, 1}, Phases: []Phase{{Duration: 1, Rates: []float64{-1, 1}}}},
+	}
+	for i, f := range cases {
+		if _, err := f.Run(); err == nil {
+			t.Errorf("case %d: invalid fluid config accepted", i)
+		}
+	}
+}
+
+// The GPS allocator must be work conserving whenever any queue is
+// backlogged, and must never allocate more than capacity.
+func TestGPSRatesProperties(t *testing.T) {
+	f := func(ws, as, qs [3]uint8) bool {
+		w := []float64{float64(ws[0]%8) + 1, float64(ws[1]%8) + 1, float64(ws[2]%8) + 1}
+		a := []float64{float64(as[0]) / 128, float64(as[1]) / 128, float64(as[2]) / 128}
+		q := []float64{float64(qs[0] % 2), float64(qs[1] % 2), float64(qs[2] % 2)}
+		s := gpsRates(w, a, q, 1.0)
+		var tot float64
+		backlogged := false
+		for i := range s {
+			if s[i] < -1e-12 {
+				return false
+			}
+			if q[i] <= fluidEps && s[i] > a[i]+1e-12 {
+				return false // served faster than it arrives with no backlog
+			}
+			tot += s[i]
+			if q[i] > fluidEps {
+				backlogged = true
+			}
+		}
+		if tot > 1+1e-9 {
+			return false
+		}
+		if backlogged && tot < 1-1e-9 {
+			return false // not work conserving
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCurveInverse(t *testing.T) {
+	var c curve
+	c.add(0, 0)
+	c.add(1, 10)
+	c.add(2, 10) // flat segment
+	c.add(3, 20)
+	if got := c.at(0.5); got != 5 {
+		t.Errorf("at(0.5) = %v", got)
+	}
+	if got := c.at(1.5); got != 10 {
+		t.Errorf("at(1.5) = %v", got)
+	}
+	if got := c.invAt(5); got != 0.5 {
+		t.Errorf("invAt(5) = %v", got)
+	}
+	// Inverse at a flat-segment value returns the earliest time.
+	if got := c.invAt(10); got > 1+1e-9 {
+		t.Errorf("invAt(10) = %v, want 1", got)
+	}
+	if got := c.invAt(15); got != 2.5 {
+		t.Errorf("invAt(15) = %v", got)
+	}
+	if got := c.invAt(100); got != 3 {
+		t.Errorf("invAt beyond range = %v, want final time", got)
+	}
+}

@@ -1,0 +1,389 @@
+package calculus
+
+import (
+	"fmt"
+	"math"
+)
+
+// Phase is one piecewise-constant segment of an arrival pattern: every
+// class i arrives at rate Rates[i] (in units of line rate) for Duration
+// (in units of the period).
+type Phase struct {
+	Duration float64
+	Rates    []float64
+}
+
+// Fluid is a fluid-model (Generalized Processor Sharing) WFQ simulation of
+// a single link with capacity 1. It extends the closed-form 2-QoS analysis
+// to an arbitrary number of classes and arbitrary piecewise-constant
+// arrival curves; the paper uses the same approach for Figure 9.
+type Fluid struct {
+	Weights []float64
+	Phases  []Phase
+}
+
+// BurstPattern returns the Figure 7 arrival pattern: all classes arrive
+// simultaneously at aggregate instantaneous rate ρ, split across classes by
+// mix, for a duration µ/ρ, followed by an idle phase until the end of the
+// unit period.
+func BurstPattern(mix []float64, rho, mu float64) []Phase {
+	burst := make([]float64, len(mix))
+	for i, m := range mix {
+		burst[i] = rho * m
+	}
+	idle := make([]float64, len(mix))
+	burstDur := mu / rho
+	return []Phase{
+		{Duration: burstDur, Rates: burst},
+		{Duration: 1 - burstDur, Rates: idle},
+	}
+}
+
+// breakpoint is a vertex of a piecewise-linear cumulative curve.
+type breakpoint struct{ t, v float64 }
+
+// curve is a non-decreasing piecewise-linear cumulative function.
+type curve []breakpoint
+
+// append adds a vertex, merging collinear extensions.
+func (c *curve) add(t, v float64) {
+	n := len(*c)
+	if n > 0 && (*c)[n-1].t == t {
+		(*c)[n-1].v = v
+		return
+	}
+	*c = append(*c, breakpoint{t, v})
+}
+
+// at evaluates the curve at time t (clamped to its domain).
+func (c curve) at(t float64) float64 {
+	n := len(c)
+	if n == 0 {
+		return 0
+	}
+	if t <= c[0].t {
+		return c[0].v
+	}
+	if t >= c[n-1].t {
+		return c[n-1].v
+	}
+	// Linear scan is fine: curves have a handful of phases.
+	for i := 1; i < n; i++ {
+		if t <= c[i].t {
+			p, q := c[i-1], c[i]
+			if q.t == p.t {
+				return q.v
+			}
+			return p.v + (q.v-p.v)*(t-p.t)/(q.t-p.t)
+		}
+	}
+	return c[n-1].v
+}
+
+// invAt returns the earliest time at which the curve reaches value v, or
+// the curve's final time if it never does.
+func (c curve) invAt(v float64) float64 {
+	n := len(c)
+	if n == 0 {
+		return 0
+	}
+	if v <= c[0].v {
+		return c[0].t
+	}
+	for i := 1; i < n; i++ {
+		if v <= c[i].v+1e-15 {
+			p, q := c[i-1], c[i]
+			if q.v <= p.v {
+				return q.t
+			}
+			return p.t + (q.t-p.t)*(v-p.v)/(q.v-p.v)
+		}
+	}
+	return c[n-1].t
+}
+
+// FluidResult reports the outcome of a fluid simulation.
+type FluidResult struct {
+	// Delay[i] is the worst-case normalized queuing delay of class i:
+	// the maximum horizontal distance between its arrival and service
+	// cumulative curves.
+	Delay []float64
+	// Arrived[i] and Served[i] are the total traffic volumes, which must
+	// be equal once the system drains (checked by tests).
+	Arrived []float64
+	Served  []float64
+	// DrainTime is when the last backlog empties.
+	DrainTime float64
+}
+
+const fluidEps = 1e-12
+
+// Run simulates the fluid system until all arrivals end and all backlogs
+// drain, then computes per-class worst-case delays.
+func (f Fluid) Run() (FluidResult, error) {
+	n := len(f.Weights)
+	if n == 0 {
+		return FluidResult{}, fmt.Errorf("calculus: no classes")
+	}
+	for i, w := range f.Weights {
+		if w <= 0 {
+			return FluidResult{}, fmt.Errorf("calculus: weight[%d] = %v, must be positive", i, w)
+		}
+	}
+	for pi, ph := range f.Phases {
+		if len(ph.Rates) != n {
+			return FluidResult{}, fmt.Errorf("calculus: phase %d has %d rates, want %d", pi, len(ph.Rates), n)
+		}
+		if ph.Duration < 0 {
+			return FluidResult{}, fmt.Errorf("calculus: phase %d has negative duration", pi)
+		}
+		for i, r := range ph.Rates {
+			if r < 0 {
+				return FluidResult{}, fmt.Errorf("calculus: phase %d rate[%d] negative", pi, i)
+			}
+		}
+	}
+
+	arrival := make([]curve, n)
+	service := make([]curve, n)
+	q := make([]float64, n) // backlog per class
+	for i := 0; i < n; i++ {
+		arrival[i].add(0, 0)
+		service[i].add(0, 0)
+	}
+
+	now := 0.0
+	phase := 0
+	phaseEnd := 0.0
+	rates := make([]float64, n) // current arrival rates
+	if len(f.Phases) > 0 {
+		phaseEnd = f.Phases[0].Duration
+		copy(rates, f.Phases[0].Rates)
+	}
+	zero := make([]float64, n)
+
+	totalBacklog := func() float64 {
+		var s float64
+		for _, x := range q {
+			s += x
+		}
+		return s
+	}
+
+	for iter := 0; ; iter++ {
+		if iter > 1000000 {
+			return FluidResult{}, fmt.Errorf("calculus: fluid simulation did not converge")
+		}
+		// Advance past exhausted phases.
+		for phase < len(f.Phases) && now >= phaseEnd-fluidEps {
+			phase++
+			if phase < len(f.Phases) {
+				phaseEnd += f.Phases[phase].Duration
+				copy(rates, f.Phases[phase].Rates)
+			} else {
+				copy(rates, zero)
+			}
+		}
+		if phase >= len(f.Phases) && totalBacklog() < fluidEps {
+			break
+		}
+
+		s := gpsRates(f.Weights, rates, q, 1.0)
+
+		// Time to the next structural event: phase boundary or a queue
+		// draining to empty.
+		dt := math.Inf(1)
+		if phase < len(f.Phases) {
+			dt = phaseEnd - now
+		}
+		for i := 0; i < n; i++ {
+			drain := s[i] - rates[i]
+			if q[i] > fluidEps && drain > fluidEps {
+				if d := q[i] / drain; d < dt {
+					dt = d
+				}
+			}
+		}
+		if math.IsInf(dt, 1) {
+			// No arrivals and nothing draining: only possible when all
+			// service rates are zero with zero backlog.
+			break
+		}
+		if dt < fluidEps {
+			dt = fluidEps
+		}
+
+		for i := 0; i < n; i++ {
+			q[i] += (rates[i] - s[i]) * dt
+			if q[i] < 0 {
+				q[i] = 0
+			}
+			na := arrival[i][len(arrival[i])-1].v + rates[i]*dt
+			ns := service[i][len(service[i])-1].v + s[i]*dt
+			arrival[i].add(now+dt, na)
+			service[i].add(now+dt, ns)
+		}
+		now += dt
+	}
+
+	res := FluidResult{
+		Delay:   make([]float64, n),
+		Arrived: make([]float64, n),
+		Served:  make([]float64, n),
+	}
+	res.DrainTime = now
+	for i := 0; i < n; i++ {
+		res.Arrived[i] = arrival[i][len(arrival[i])-1].v
+		res.Served[i] = service[i][len(service[i])-1].v
+		res.Delay[i] = maxHorizontalDistance(arrival[i], service[i])
+	}
+	return res, nil
+}
+
+// gpsRates computes the instantaneous GPS service rates for capacity cap:
+// backlogged classes can absorb any rate; empty classes are capped at their
+// arrival rate; capacity is split proportionally to weights with capped
+// classes' surplus redistributed (progressive filling).
+func gpsRates(w, a, q []float64, cap float64) []float64 {
+	n := len(w)
+	s := make([]float64, n)
+	active := make([]bool, n)
+	anyActive := false
+	for i := 0; i < n; i++ {
+		if q[i] > fluidEps || a[i] > fluidEps {
+			active[i] = true
+			anyActive = true
+		}
+	}
+	if !anyActive {
+		return s
+	}
+	remaining := cap
+	unsat := make([]bool, n)
+	copy(unsat, active)
+	for {
+		var totW float64
+		for i := 0; i < n; i++ {
+			if unsat[i] {
+				totW += w[i]
+			}
+		}
+		if totW <= 0 || remaining <= fluidEps {
+			break
+		}
+		changed := false
+		for i := 0; i < n; i++ {
+			if !unsat[i] {
+				continue
+			}
+			alloc := remaining * w[i] / totW
+			// An empty queue cannot be served faster than it arrives.
+			if q[i] <= fluidEps && alloc >= a[i] {
+				s[i] = a[i]
+				remaining -= a[i]
+				unsat[i] = false
+				changed = true
+			}
+		}
+		if !changed {
+			for i := 0; i < n; i++ {
+				if unsat[i] {
+					s[i] = remaining * w[i] / totW
+				}
+			}
+			break
+		}
+	}
+	return s
+}
+
+// maxHorizontalDistance computes the worst-case delay between an arrival
+// curve and a service curve: max over t of S⁻¹(A(t)) − t. Both curves are
+// piecewise linear, so the maximum occurs either at a vertex of A or at a
+// time where A crosses the value of a vertex of S.
+func maxHorizontalDistance(a, s curve) float64 {
+	var worst float64
+	// Conservation guarantees every arrived unit is eventually served, but
+	// floating-point residue can leave the arrival total a few ulps above
+	// the service total; clamp lookups so that residue does not turn into
+	// a spurious full-horizon delay.
+	sFinal := 0.0
+	if len(s) > 0 {
+		sFinal = s[len(s)-1].v
+	}
+	consider := func(t float64) {
+		v := a.at(t)
+		if v > sFinal {
+			v = sFinal
+		}
+		if d := s.invAt(v) - t; d > worst {
+			worst = d
+		}
+	}
+	for _, bp := range a {
+		consider(bp.t)
+	}
+	for _, bp := range s {
+		// Find where the arrival curve reaches this service value; delay
+		// there is bp.t (or later) minus that time.
+		consider(a.invAt(bp.v))
+	}
+	if worst < 0 {
+		worst = 0
+	}
+	return worst
+}
+
+// WorstCaseDelays runs the Figure 7 burst pattern through the fluid model
+// and returns per-class worst-case normalized delays. It is the N-class
+// generalisation used for Figure 9.
+func WorstCaseDelays(weights, mix []float64, rho, mu float64) ([]float64, error) {
+	if len(weights) != len(mix) {
+		return nil, fmt.Errorf("calculus: %d weights but %d mix entries", len(weights), len(mix))
+	}
+	f := Fluid{Weights: weights, Phases: BurstPattern(mix, rho, mu)}
+	res, err := f.Run()
+	if err != nil {
+		return nil, err
+	}
+	return res.Delay, nil
+}
+
+// Admissible reports whether the given QoS-mix lies in the admissible
+// region (Equation 3): worst-case delay must be non-decreasing from the
+// highest class down (no priority inversion).
+func Admissible(weights, mix []float64, rho, mu float64) (bool, error) {
+	d, err := WorstCaseDelays(weights, mix, rho, mu)
+	if err != nil {
+		return false, err
+	}
+	for k := 0; k+1 < len(d); k++ {
+		if d[k] > d[k+1]+1e-9 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// AdmissibleBoundary returns the largest x in (0, 1) such that mixAt(y) is
+// admissible for every y ≤ x, scanned at the given resolution. mixAt maps
+// a QoSh-share to a complete mix (e.g. splitting the remainder between
+// QoSm and QoSl at a fixed ratio).
+func AdmissibleBoundary(weights []float64, mixAt func(x float64) []float64, rho, mu float64, steps int) (float64, error) {
+	if steps < 2 {
+		steps = 256
+	}
+	last := 0.0
+	for i := 1; i < steps; i++ {
+		x := float64(i) / float64(steps)
+		ok, err := Admissible(weights, mixAt(x), rho, mu)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return last, nil
+		}
+		last = x
+	}
+	return last, nil
+}

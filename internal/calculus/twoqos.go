@@ -1,0 +1,166 @@
+// Package calculus implements the network-calculus analysis of §4 and
+// Appendix B of the Aequitas paper: closed-form worst-case WFQ delay bounds
+// for two QoS classes, a fluid (Generalized Processor Sharing) simulator
+// that extends the analysis to an arbitrary number of classes, the
+// admissible-region solver of §4.2, and the guaranteed-admission bound of
+// §5.2.
+//
+// All quantities are normalized exactly as in the paper: the arrival
+// pattern of Figure 7 repeats with period one unit of time, the link rate
+// is 1, traffic arrives in a burst of instantaneous rate ρ ("burst load")
+// for a duration µ/ρ so that the average load over the period is µ < 1, and
+// delays are expressed as a fraction of the period ("normalized delay
+// bound").
+package calculus
+
+import (
+	"fmt"
+	"math"
+)
+
+// TwoQoS holds the parameters of the closed-form 2-class analysis
+// (Appendix B.2). Phi is the ratio of WFQ weights QoSh:QoSl (φ:1), Rho the
+// burst load ρ > 1, and Mu the average load µ ∈ (0, 1].
+type TwoQoS struct {
+	Phi float64 // weight ratio φ (QoSh weight with QoSl weight 1)
+	Rho float64 // burst load ρ (> 1 means overload during the burst)
+	Mu  float64 // average load µ
+}
+
+// Validate reports an error if the parameters are outside the model's
+// domain.
+func (p TwoQoS) Validate() error {
+	switch {
+	case p.Phi <= 0:
+		return fmt.Errorf("calculus: φ = %v, must be positive", p.Phi)
+	case p.Rho <= 1:
+		return fmt.Errorf("calculus: ρ = %v, model requires burst overload ρ > 1", p.Rho)
+	case p.Mu <= 0 || p.Mu > 1:
+		return fmt.Errorf("calculus: µ = %v, must be in (0, 1]", p.Mu)
+	case p.Mu >= p.Rho:
+		return fmt.Errorf("calculus: µ = %v must be below ρ = %v", p.Mu, p.Rho)
+	}
+	return nil
+}
+
+// DelayHigh returns the worst-case normalized delay of QoSh as a function
+// of the QoSh-share x ∈ (0, 1) — Equation 1 of the paper, with the five
+// cases evaluated in domain order so that empty subdomains are skipped
+// naturally.
+func (p TwoQoS) DelayHigh(x float64) float64 {
+	phi, rho, mu := p.Phi, p.Rho, p.Mu
+	share := phi / (phi + 1) // guaranteed bandwidth fraction g_h/r
+	switch {
+	case x <= 0:
+		return 0
+	case x <= share/rho:
+		// Case 1: arrival rate ρx within guaranteed rate — no delay.
+		return 0
+	case x <= share:
+		// Case 2: both classes backlogged, QoSh finishes first.
+		return mu * ((phi+1)/phi*x - 1/rho)
+	case x <= math.Min(1-1/((phi+1)*rho), 1/rho):
+		// Case 3: both backlogged, QoSl finishes first (priority
+		// inversion region).
+		return mu * (1 - x) * (phi + 1 - phi/(rho*x))
+	case x <= 1/rho:
+		// Case 4: QoSl within its guarantee; only QoSh delayed.
+		return mu * (1/rho - 1/(rho*rho)) / x
+	default:
+		// Case 5: QoSh arrival rate alone exceeds the line rate.
+		return mu * (1 - 1/rho)
+	}
+}
+
+// DelayLow returns the worst-case normalized delay of QoSl as a function of
+// the QoSh-share x — Equation 8 (Appendix B.2), symmetric to DelayHigh.
+func (p TwoQoS) DelayLow(x float64) float64 {
+	phi, rho, mu := p.Phi, p.Rho, p.Mu
+	share := phi / (phi + 1)
+	// The case domains carry explicit lower bounds (not implied by simple
+	// fall-through): when φ/(φ+1) < 1−1/ρ, cases 2 and 3 are empty and
+	// case 4 takes over directly after case 1.
+	switch {
+	case x >= 1:
+		return 0
+	case x <= math.Min(1-1/rho, share):
+		// Case 1: QoSl saturated by the rest of the traffic: full burst
+		// delay.
+		return mu * (1 - 1/rho)
+	case x > 1-1/rho && x <= math.Max(share/rho, 1-1/rho):
+		// Case 2: symmetric to DelayHigh case 4.
+		return mu * (1/rho - 1/(rho*rho)) / (1 - x)
+	case x > math.Max(share/rho, 1-1/rho) && x <= share:
+		// Case 3: both backlogged, QoSh finishes first.
+		return mu * x / phi * (phi + 1 - 1/(rho*(1-x)))
+	case x > share && x <= 1-1/((phi+1)*rho):
+		// Case 4: both backlogged, QoSl finishes first.
+		return mu * ((phi+1)*(1-x) - 1/rho)
+	default:
+		// Case 5: QoSl arrival rate within its guaranteed rate — no
+		// delay.
+		return 0
+	}
+}
+
+// InversionPoint returns the QoSh-share beyond which priority inversion
+// occurs (Lemma 1): x = φ/(φ+1), the boundary of the admissible region when
+// both classes exceed their guaranteed rates.
+func (p TwoQoS) InversionPoint() float64 { return p.Phi / (p.Phi + 1) }
+
+// ZeroDelayShare returns the largest QoSh-share with zero worst-case QoSh
+// delay (the Case 1 boundary): φ/(φ+1) · 1/ρ. As φ → ∞ this approaches
+// 1/ρ (Lemma 2).
+func (p TwoQoS) ZeroDelayShare() float64 { return p.Phi / (p.Phi + 1) / p.Rho }
+
+// MaxShareForDelay returns the largest QoSh-share x such that
+// DelayHigh(x) ≤ bound, found by scanning DelayHigh over (0, 1). DelayHigh
+// is not monotone in general (it can dip after the inversion point), so the
+// scan returns the largest x in the *contiguous admissible prefix*: the
+// largest x such that DelayHigh(y) ≤ bound for all y ≤ x. This matches how
+// an operator would provision: admitted share grows from zero until the
+// bound is first violated.
+func (p TwoQoS) MaxShareForDelay(bound float64) float64 {
+	const steps = 1 << 16
+	last := 0.0
+	for i := 1; i <= steps; i++ {
+		x := float64(i) / float64(steps+1)
+		if p.DelayHigh(x) > bound+1e-12 {
+			return last
+		}
+		last = x
+	}
+	return last
+}
+
+// InfinitePhiDelayHigh is the φ→∞ limit of Equation 1 (Lemma 2, Equation
+// 4): the single-QoS behaviour where the only control left is the amount of
+// admitted traffic.
+func InfinitePhiDelayHigh(x, rho, mu float64) float64 {
+	switch {
+	case x <= 1/rho:
+		return 0
+	case x <= 1:
+		return mu * (x - 1/rho)
+	default:
+		return mu * (1 - 1/rho)
+	}
+}
+
+// GuaranteedShare returns the lower bound of §5.2 on the average traffic
+// rate admitted on class i under Aequitas, as a fraction of line rate:
+// (φi/Σφ)·(µ/ρ). Traffic below this share never sees delay, so it is
+// always admitted regardless of the SLO.
+func GuaranteedShare(weights []float64, i int, mu, rho float64) float64 {
+	if i < 0 || i >= len(weights) || rho <= 0 {
+		return 0
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	if sum == 0 {
+		return 0
+	}
+	return weights[i] / sum * mu / rho
+}

@@ -1,0 +1,245 @@
+// Package core implements the Aequitas distributed admission controller —
+// Algorithm 1 of the paper, verbatim: a per-(destination-host, QoS) admit
+// probability driven by AIMD on measured RPC network latency against
+// per-QoS SLO targets, with unadmitted RPCs downgraded to the lowest
+// (scavenger) class rather than dropped.
+//
+// One Controller instance lives at each sending host. Hosts run the
+// algorithm with no coordination; fairness and convergence to the
+// SLO-compliant QoS-mix are emergent properties of the AIMD dynamics
+// (§5.1, §6.5).
+package core
+
+import (
+	"fmt"
+
+	"aequitas/internal/qos"
+	"aequitas/internal/rpc"
+	"aequitas/internal/sim"
+)
+
+// Config parameterises the controller. The defaults are the paper's
+// evaluation settings: α = 0.01, β = 0.01 per MTU (§6.1).
+type Config struct {
+	// Levels is the number of QoS classes (≥ 2). The highest Levels-1
+	// classes carry SLOs; the last is the scavenger.
+	Levels int
+	// LatencyTargets[k] is the per-MTU RNL SLO for class k. The entry
+	// for the lowest class is ignored (no SLO). Targets are normalised
+	// per MTU so that larger RPCs get proportionally larger absolute
+	// targets (§5.1, "Handling different RPC sizes").
+	LatencyTargets []sim.Duration
+	// TargetPercentiles[k] is the percentile at which class k's SLO is
+	// defined (e.g. 99.9). It sets the additive-increase window:
+	// increment_window = latency_target · 100/(100 − pctl), so a higher
+	// tail makes the algorithm more conservative (Algorithm 1 line 4).
+	TargetPercentiles []float64
+	// Alpha is the additive increment applied at most once per
+	// increment window.
+	Alpha float64
+	// Beta is the multiplicative decrement per SLO miss per MTU.
+	Beta float64
+	// Floor is the lower bound on the admit probability, preventing
+	// starvation: at zero no RPC would run on the class, so no further
+	// measurements could raise the probability again (§5.1).
+	Floor float64
+
+	// Ablation switches (all false in the paper's design).
+
+	// NoIncrementWindow applies the additive increase on every
+	// SLO-compliant completion instead of once per window.
+	NoIncrementWindow bool
+	// NoSizeScaledMD makes the multiplicative decrease a constant β
+	// regardless of RPC size.
+	NoSizeScaledMD bool
+	// DropInsteadOfDowngrade rejects unadmitted RPCs instead of
+	// demoting them to the scavenger class.
+	DropInsteadOfDowngrade bool
+}
+
+// Defaults3 returns the paper's 3-QoS configuration with the given
+// per-MTU latency targets for QoSh and QoSm, both at the 99.9th
+// percentile.
+func Defaults3(targetHigh, targetMedium sim.Duration) Config {
+	return Config{
+		Levels:            3,
+		LatencyTargets:    []sim.Duration{targetHigh, targetMedium, 0},
+		TargetPercentiles: []float64{99.9, 99.9, 0},
+		Alpha:             0.01,
+		Beta:              0.01,
+		Floor:             0.01,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Levels < 2 {
+		return fmt.Errorf("core: need at least 2 QoS levels, got %d", c.Levels)
+	}
+	if len(c.LatencyTargets) != c.Levels {
+		return fmt.Errorf("core: %d latency targets for %d levels", len(c.LatencyTargets), c.Levels)
+	}
+	if len(c.TargetPercentiles) != c.Levels {
+		return fmt.Errorf("core: %d percentiles for %d levels", len(c.TargetPercentiles), c.Levels)
+	}
+	for k := 0; k < c.Levels-1; k++ {
+		if c.LatencyTargets[k] <= 0 {
+			return fmt.Errorf("core: class %d needs a positive latency target", k)
+		}
+		if p := c.TargetPercentiles[k]; p < 50 || p >= 100 {
+			return fmt.Errorf("core: class %d percentile %v out of [50, 100)", k, p)
+		}
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		return fmt.Errorf("core: α = %v out of (0, 1]", c.Alpha)
+	}
+	if c.Beta <= 0 || c.Beta > 1 {
+		return fmt.Errorf("core: β = %v out of (0, 1]", c.Beta)
+	}
+	if c.Floor < 0 || c.Floor >= 1 {
+		return fmt.Errorf("core: floor = %v out of [0, 1)", c.Floor)
+	}
+	return nil
+}
+
+// incrementWindow computes Algorithm 1 line 4 for class k.
+func (c Config) incrementWindow(k int) sim.Duration {
+	pctl := c.TargetPercentiles[k]
+	return sim.Duration(float64(c.LatencyTargets[k]) * 100 / (100 - pctl))
+}
+
+// Stats counts controller activity.
+type Stats struct {
+	Admitted   int64
+	Downgraded int64
+	Dropped    int64
+	SLOMisses  int64
+	SLOMet     int64
+}
+
+// Controller is the per-host admission controller. It implements
+// rpc.Admitter.
+type Controller struct {
+	cfg    Config
+	lowest qos.Class
+	state  map[stateKey]*classState
+	Stats  Stats
+}
+
+type stateKey struct {
+	dst   int
+	class qos.Class
+}
+
+type classState struct {
+	pAdmit        float64
+	lastIncrease  sim.Time
+	everIncreased bool
+}
+
+// New builds a Controller; the configuration must validate.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{
+		cfg:    cfg,
+		lowest: qos.Class(cfg.Levels - 1),
+		state:  make(map[stateKey]*classState),
+	}, nil
+}
+
+// MustNew is New for static configurations.
+func MustNew(cfg Config) *Controller {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the controller's configuration.
+func (ct *Controller) Config() Config { return ct.cfg }
+
+func (ct *Controller) classState(dst int, class qos.Class) *classState {
+	k := stateKey{dst, class}
+	st, ok := ct.state[k]
+	if !ok {
+		st = &classState{pAdmit: 1} // Algorithm 1 line 3
+		ct.state[k] = st
+	}
+	return st
+}
+
+// AdmitProbability exposes the current p_admit for a (dst, class) pair,
+// for convergence instrumentation (Figures 17, 18, 28, 29).
+func (ct *Controller) AdmitProbability(dst int, class qos.Class) float64 {
+	if class >= ct.lowest {
+		return 1
+	}
+	return ct.classState(dst, class).pAdmit
+}
+
+// Admit implements rpc.Admitter — Algorithm 1 lines 5-12. RPCs requesting
+// the lowest class are always admitted (it has no SLO to protect).
+func (ct *Controller) Admit(s *sim.Simulator, dst int, requested qos.Class, sizeMTUs int64) rpc.Decision {
+	return ct.AdmitAt(s.Rand().Float64(), dst, requested, sizeMTUs)
+}
+
+// AdmitAt is Admit with the uniform random draw supplied by the caller,
+// for use outside the simulator (e.g. embedding the controller in a real
+// RPC stack).
+func (ct *Controller) AdmitAt(draw float64, dst int, requested qos.Class, _ int64) rpc.Decision {
+	if requested >= ct.lowest || requested < 0 {
+		ct.Stats.Admitted++
+		return rpc.Decision{Class: ct.lowest}
+	}
+	st := ct.classState(dst, requested)
+	if draw <= st.pAdmit {
+		ct.Stats.Admitted++
+		return rpc.Decision{Class: requested}
+	}
+	if ct.cfg.DropInsteadOfDowngrade {
+		ct.Stats.Dropped++
+		return rpc.Decision{Drop: true}
+	}
+	ct.Stats.Downgraded++
+	return rpc.Decision{Class: ct.lowest, Downgraded: true}
+}
+
+// Observe implements rpc.Admitter — Algorithm 1 lines 13-20. rnl is the
+// measured RPC network latency of a completed RPC of sizeMTUs that ran on
+// class run toward dst.
+func (ct *Controller) Observe(s *sim.Simulator, dst int, run qos.Class, rnl sim.Duration, sizeMTUs int64) {
+	ct.ObserveAt(s.Now(), dst, run, rnl, sizeMTUs)
+}
+
+// ObserveAt is Observe with an explicit timestamp, for use outside the
+// simulator.
+func (ct *Controller) ObserveAt(now sim.Time, dst int, run qos.Class, rnl sim.Duration, sizeMTUs int64) {
+	if run >= ct.lowest || run < 0 {
+		return // the scavenger class has no SLO and no admit probability
+	}
+	if sizeMTUs < 1 {
+		sizeMTUs = 1
+	}
+	st := ct.classState(dst, run)
+	target := ct.cfg.LatencyTargets[run]
+	// Algorithm 1 line 15: per-MTU normalised comparison.
+	if rnl/sim.Duration(sizeMTUs) < target {
+		ct.Stats.SLOMet++
+		window := ct.cfg.incrementWindow(int(run))
+		if ct.cfg.NoIncrementWindow || !st.everIncreased || now-st.lastIncrease > window {
+			st.pAdmit = min(st.pAdmit+ct.cfg.Alpha, 1)
+			st.lastIncrease = now
+			st.everIncreased = true
+		}
+		return
+	}
+	ct.Stats.SLOMisses++
+	dec := ct.cfg.Beta
+	if !ct.cfg.NoSizeScaledMD {
+		dec *= float64(sizeMTUs)
+	}
+	st.pAdmit = max(st.pAdmit-dec, ct.cfg.Floor)
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"aequitas/internal/qos"
+	"aequitas/internal/rpc"
+	"aequitas/internal/sim"
+)
+
+// QuotaServer is the centralized per-tenant rate-guarantee extension the
+// paper leaves as future work (§5.2): "Aequitas provides latency SLOs for
+// all admitted RPCs, [but] does not guarantee the amount of traffic
+// admitted on a per-application or per-tenant basis … One can augment
+// Aequitas to provide application/tenant traffic rate guarantees with a
+// centralized RPC quota server."
+//
+// The server grants each tenant a guaranteed byte rate per QoS class.
+// Hosts consult their tenant's local QuotaClient before the probabilistic
+// admission draw: traffic within quota bypasses the draw (it is always
+// admitted on the requested class, consuming quota), and traffic beyond
+// quota falls through to the normal Algorithm 1 path. Quotas are enforced
+// with token buckets refilled at the granted rate; the sum of grants per
+// class is capped at the class's provisioned capacity so that in-quota
+// traffic stays inside the admissible region by construction.
+type QuotaServer struct {
+	mu sync.Mutex
+	// capacity[class] is the total grantable rate per class in
+	// bytes/second.
+	capacity map[qos.Class]float64
+	granted  map[qos.Class]float64
+	tenants  map[string]*tenantGrant
+}
+
+type tenantGrant struct {
+	rates map[qos.Class]float64
+}
+
+// NewQuotaServer creates a server with the given per-class grantable
+// capacities (bytes/second).
+func NewQuotaServer(capacity map[qos.Class]float64) *QuotaServer {
+	cp := make(map[qos.Class]float64, len(capacity))
+	for k, v := range capacity {
+		cp[k] = v
+	}
+	return &QuotaServer{
+		capacity: cp,
+		granted:  make(map[qos.Class]float64),
+		tenants:  make(map[string]*tenantGrant),
+	}
+}
+
+// Grant reserves rate bytes/second on class for tenant, on top of any
+// existing grant. It fails when the class's remaining capacity is
+// insufficient — admission control for quotas themselves.
+func (q *QuotaServer) Grant(tenant string, class qos.Class, rate float64) error {
+	if rate < 0 {
+		return fmt.Errorf("core: negative quota rate")
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	capacity, ok := q.capacity[class]
+	if !ok {
+		return fmt.Errorf("core: class %v has no grantable capacity", class)
+	}
+	if q.granted[class]+rate > capacity+1e-9 {
+		return fmt.Errorf("core: class %v capacity exhausted: %g of %g granted, %g requested",
+			class, q.granted[class], capacity, rate)
+	}
+	t, ok := q.tenants[tenant]
+	if !ok {
+		t = &tenantGrant{rates: make(map[qos.Class]float64)}
+		q.tenants[tenant] = t
+	}
+	t.rates[class] += rate
+	q.granted[class] += rate
+	return nil
+}
+
+// Revoke releases up to rate bytes/second of tenant's grant on class.
+func (q *QuotaServer) Revoke(tenant string, class qos.Class, rate float64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t, ok := q.tenants[tenant]
+	if !ok {
+		return
+	}
+	if rate > t.rates[class] {
+		rate = t.rates[class]
+	}
+	t.rates[class] -= rate
+	q.granted[class] -= rate
+}
+
+// GrantedRate reports tenant's current grant on class in bytes/second.
+func (q *QuotaServer) GrantedRate(tenant string, class qos.Class) float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if t, ok := q.tenants[tenant]; ok {
+		return t.rates[class]
+	}
+	return 0
+}
+
+// Remaining reports the ungranted capacity on class.
+func (q *QuotaServer) Remaining(class qos.Class) float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.capacity[class] - q.granted[class]
+}
+
+// Client returns a host-local quota enforcer for tenant. Clients cache
+// the granted rate at creation; in a real deployment they would refresh
+// periodically — here the grant is read through on each refill, so
+// Grant/Revoke take effect immediately.
+func (q *QuotaServer) Client(tenant string) *QuotaClient {
+	return &QuotaClient{server: q, tenant: tenant, buckets: make(map[qos.Class]*quotaBucket)}
+}
+
+// QuotaClient enforces one tenant's quota at one sending host with
+// per-class token buckets.
+type QuotaClient struct {
+	server  *QuotaServer
+	tenant  string
+	buckets map[qos.Class]*quotaBucket
+	// BurstSeconds bounds token accumulation to rate×BurstSeconds
+	// (default 0.01 s).
+	BurstSeconds float64
+}
+
+type quotaBucket struct {
+	tokens float64
+	last   sim.Time
+}
+
+// InQuota reports whether bytes on class fit the tenant's remaining
+// tokens at time now, consuming them if so.
+func (c *QuotaClient) InQuota(now sim.Time, class qos.Class, bytes int64) bool {
+	rate := c.server.GrantedRate(c.tenant, class)
+	if rate <= 0 {
+		return false
+	}
+	b, ok := c.buckets[class]
+	if !ok {
+		b = &quotaBucket{last: now}
+		c.buckets[class] = b
+		// A fresh bucket starts with one burst of tokens.
+		b.tokens = rate * c.burstSeconds()
+	}
+	// Refill.
+	b.tokens += rate * (now - b.last).Seconds()
+	b.last = now
+	if max := rate * c.burstSeconds(); b.tokens > max {
+		b.tokens = max
+	}
+	if b.tokens < float64(bytes) {
+		return false
+	}
+	b.tokens -= float64(bytes)
+	return true
+}
+
+func (c *QuotaClient) burstSeconds() float64 {
+	if c.BurstSeconds > 0 {
+		return c.BurstSeconds
+	}
+	return 0.01
+}
+
+// QuotaAdmitter layers tenant quotas over a Controller: in-quota RPCs are
+// admitted on their requested class unconditionally; out-of-quota RPCs go
+// through the normal probabilistic path. It implements rpc.Admitter.
+type QuotaAdmitter struct {
+	Controller *Controller
+	Client     *QuotaClient
+	// Stats
+	InQuotaAdmits int64
+}
+
+// Admit implements rpc.Admitter.
+func (qa *QuotaAdmitter) Admit(s *sim.Simulator, dst int, requested qos.Class, sizeMTUs int64) rpc.Decision {
+	bytes := sizeMTUs * 1436
+	if requested < qa.Controller.lowest && qa.Client.InQuota(s.Now(), requested, bytes) {
+		qa.InQuotaAdmits++
+		qa.Controller.Stats.Admitted++
+		return rpc.Decision{Class: requested}
+	}
+	return qa.Controller.Admit(s, dst, requested, sizeMTUs)
+}
+
+// Observe implements rpc.Admitter. In-quota traffic still contributes
+// latency measurements: if the quota was over-provisioned relative to the
+// SLO, the controller must learn it.
+func (qa *QuotaAdmitter) Observe(s *sim.Simulator, dst int, run qos.Class, rnl sim.Duration, sizeMTUs int64) {
+	qa.Controller.Observe(s, dst, run, rnl, sizeMTUs)
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"aequitas/internal/qos"
+	"aequitas/internal/sim"
+)
+
+func newServer() *QuotaServer {
+	return NewQuotaServer(map[qos.Class]float64{
+		qos.High:   10e9 / 8, // 10 Gbps in bytes/s
+		qos.Medium: 20e9 / 8,
+	})
+}
+
+func TestQuotaGrantAndCapacity(t *testing.T) {
+	q := newServer()
+	if err := q.Grant("tenant-a", qos.High, 5e8); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Grant("tenant-b", qos.High, 7e8); err != nil {
+		t.Fatal(err)
+	}
+	// Capacity is 1.25e9 B/s; 1.2e9 granted; 1e8 more must fail.
+	if err := q.Grant("tenant-c", qos.High, 1e8); err == nil {
+		t.Error("over-grant accepted")
+	}
+	if got := q.GrantedRate("tenant-a", qos.High); got != 5e8 {
+		t.Errorf("GrantedRate = %v", got)
+	}
+	if got := q.Remaining(qos.High); got != 10e9/8-1.2e9 {
+		t.Errorf("Remaining = %v", got)
+	}
+	// Unknown class rejected outright.
+	if err := q.Grant("tenant-a", qos.Low, 1); err == nil {
+		t.Error("grant on unprovisioned class accepted")
+	}
+	if err := q.Grant("tenant-a", qos.High, -1); err == nil {
+		t.Error("negative grant accepted")
+	}
+}
+
+func TestQuotaRevoke(t *testing.T) {
+	q := newServer()
+	if err := q.Grant("a", qos.High, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	q.Revoke("a", qos.High, 4e8)
+	if got := q.GrantedRate("a", qos.High); got != 6e8 {
+		t.Errorf("after revoke: %v", got)
+	}
+	// Revoking more than granted clamps to zero.
+	q.Revoke("a", qos.High, 1e12)
+	if got := q.GrantedRate("a", qos.High); got != 0 {
+		t.Errorf("after over-revoke: %v", got)
+	}
+	// Revoking an unknown tenant is a no-op.
+	q.Revoke("nobody", qos.High, 1)
+}
+
+func TestQuotaClientTokens(t *testing.T) {
+	q := newServer()
+	if err := q.Grant("a", qos.High, 1e6); err != nil { // 1 MB/s
+		t.Fatal(err)
+	}
+	c := q.Client("a")
+	now := sim.Time(0)
+	// Fresh bucket holds one burst: 1e6 × 0.01s = 10 KB.
+	if !c.InQuota(now, qos.High, 10_000) {
+		t.Fatal("initial burst rejected")
+	}
+	if c.InQuota(now, qos.High, 1_000) {
+		t.Fatal("empty bucket admitted")
+	}
+	// After 5 ms, 5 KB of tokens accrue.
+	now += 5 * sim.Millisecond
+	if !c.InQuota(now, qos.High, 4_000) {
+		t.Error("refilled tokens rejected")
+	}
+	if c.InQuota(now, qos.High, 4_000) {
+		t.Error("tokens double spent")
+	}
+}
+
+func TestQuotaClientNoGrant(t *testing.T) {
+	q := newServer()
+	c := q.Client("nobody")
+	if c.InQuota(0, qos.High, 1) {
+		t.Error("tenant without grant admitted")
+	}
+}
+
+func TestQuotaClientBurstCap(t *testing.T) {
+	q := newServer()
+	if err := q.Grant("a", qos.High, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	c := q.Client("a")
+	c.BurstSeconds = 0.001 // 1 KB burst
+	if c.InQuota(sim.Time(10*sim.Second), qos.High, 5_000) {
+		t.Error("burst cap not enforced after long idle")
+	}
+	if !c.InQuota(sim.Time(10*sim.Second), qos.High, 900) {
+		t.Error("within-burst request rejected")
+	}
+}
+
+func TestQuotaAdmitterBypassesDraw(t *testing.T) {
+	q := newServer()
+	if err := q.Grant("a", qos.High, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	ctl := MustNew(Defaults3(2*sim.Microsecond, 4*sim.Microsecond))
+	s := sim.New(1)
+	// Crush the admit probability.
+	for i := 0; i < 1000; i++ {
+		ctl.Observe(s, 1, qos.High, sim.Duration(1*sim.Millisecond), 10)
+	}
+	qa := &QuotaAdmitter{Controller: ctl, Client: q.Client("a")}
+	// In-quota RPCs are admitted despite p_admit at the floor.
+	d := qa.Admit(s, 1, qos.High, 1)
+	if d.Downgraded || d.Class != qos.High {
+		t.Fatalf("in-quota RPC not admitted: %+v", d)
+	}
+	if qa.InQuotaAdmits != 1 {
+		t.Errorf("InQuotaAdmits = %d", qa.InQuotaAdmits)
+	}
+}
+
+func TestQuotaAdmitterFallsThroughWhenExhausted(t *testing.T) {
+	q := newServer()
+	if err := q.Grant("a", qos.High, 100); err != nil { // 100 B/s: negligible
+		t.Fatal(err)
+	}
+	cfg := Defaults3(2*sim.Microsecond, 4*sim.Microsecond)
+	cfg.Floor = 0
+	ctl := MustNew(cfg)
+	s := sim.New(1)
+	for i := 0; i < 1000; i++ {
+		ctl.Observe(s, 1, qos.High, sim.Duration(1*sim.Millisecond), 10)
+	}
+	qa := &QuotaAdmitter{Controller: ctl, Client: q.Client("a")}
+	downgrades := 0
+	for i := 0; i < 50; i++ {
+		if d := qa.Admit(s, 1, qos.High, 64); d.Downgraded {
+			downgrades++
+		}
+	}
+	if downgrades == 0 {
+		t.Error("out-of-quota traffic bypassed the probabilistic path")
+	}
+}
+
+func TestQuotaAdmitterScavengerPassThrough(t *testing.T) {
+	q := newServer()
+	ctl := MustNew(Defaults3(2*sim.Microsecond, 4*sim.Microsecond))
+	s := sim.New(1)
+	qa := &QuotaAdmitter{Controller: ctl, Client: q.Client("a")}
+	d := qa.Admit(s, 1, qos.Low, 1)
+	if d.Downgraded || d.Class != qos.Low {
+		t.Errorf("scavenger RPC mishandled: %+v", d)
+	}
+}
+
+func TestQuotaAdmitterObservePropagates(t *testing.T) {
+	q := newServer()
+	ctl := MustNew(Defaults3(2*sim.Microsecond, 4*sim.Microsecond))
+	s := sim.New(1)
+	qa := &QuotaAdmitter{Controller: ctl, Client: q.Client("a")}
+	qa.Observe(s, 1, qos.High, sim.Duration(1*sim.Millisecond), 10)
+	if ctl.Stats.SLOMisses != 1 {
+		t.Error("Observe not propagated to the controller")
+	}
+}

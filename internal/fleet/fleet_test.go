@@ -1,0 +1,204 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+
+	"aequitas/internal/qos"
+)
+
+func newCluster(t *testing.T, seed int64) *Cluster {
+	t.Helper()
+	c, err := NewCluster(ClusterConfig{Apps: 100, Seed: seed, UpgradeBias: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{Apps: 0}); err == nil {
+		t.Error("0-app cluster accepted")
+	}
+}
+
+func TestSharesSumToOne(t *testing.T) {
+	c := newCluster(t, 1)
+	var tot float64
+	for _, a := range c.Apps {
+		tot += a.Share
+		var mix float64
+		for _, m := range a.PriorityMix {
+			mix += m
+		}
+		if math.Abs(mix-1) > 1e-9 {
+			t.Fatalf("app priority mix sums to %v", mix)
+		}
+	}
+	if math.Abs(tot-1) > 1e-9 {
+		t.Errorf("app shares sum to %v", tot)
+	}
+	ps := c.PriorityShares()
+	if math.Abs(ps[0]+ps[1]+ps[2]-1) > 1e-9 {
+		t.Errorf("priority shares sum to %v", ps[0]+ps[1]+ps[2])
+	}
+	qs := c.QoSShares()
+	if math.Abs(qs[0]+qs[1]+qs[2]-1) > 1e-9 {
+		t.Errorf("QoS shares sum to %v", qs[0]+qs[1]+qs[2])
+	}
+}
+
+func TestAlignmentRowsNormalized(t *testing.T) {
+	c := newCluster(t, 2)
+	for _, a := range []Alignment{c.CoarseAlignment(), c.Phase1Alignment()} {
+		for p := 0; p < 3; p++ {
+			var s float64
+			for cl := 0; cl < 3; cl++ {
+				s += a[p][cl]
+			}
+			if math.Abs(s-1) > 1e-9 {
+				t.Errorf("alignment row %d sums to %v", p, s)
+			}
+		}
+	}
+}
+
+// The Figure 4 phenomenon: coarse marking misaligns a substantial share
+// of traffic; Phase 1 drives misalignment to zero.
+func TestCoarseMarkingMisaligns(t *testing.T) {
+	c := newCluster(t, 3)
+	coarse := c.CoarseAlignment()
+	// PC traffic not on QoSh (the paper observed 17.3%).
+	pcWrong := coarse.Misalignment(qos.PC)
+	if pcWrong <= 0.05 {
+		t.Errorf("PC misalignment %v; coarse marking should misplace some PC traffic", pcWrong)
+	}
+	// BE traffic above QoSl (the paper observed 54.5%).
+	beWrong := coarse.Misalignment(qos.BE)
+	if beWrong <= 0.1 {
+		t.Errorf("BE misalignment %v; upgrade bias should push BE traffic up", beWrong)
+	}
+	aligned := c.Phase1Alignment()
+	for p := 0; p < 3; p++ {
+		if m := aligned.Misalignment(qos.Priority(p)); m != 0 {
+			t.Errorf("Phase 1 misalignment for priority %d = %v, want 0", p, m)
+		}
+	}
+}
+
+func TestTotalMisalignment(t *testing.T) {
+	c := newCluster(t, 4)
+	shares := c.PriorityShares()
+	tm := c.CoarseAlignment().TotalMisalignment(shares)
+	if tm <= 0 || tm >= 1 {
+		t.Errorf("total misalignment = %v", tm)
+	}
+	if got := c.Phase1Alignment().TotalMisalignment(shares); got != 0 {
+		t.Errorf("Phase 1 total misalignment = %v", got)
+	}
+	var zero Alignment
+	if got := zero.TotalMisalignment([3]float64{}); got != 0 {
+		t.Errorf("degenerate shares: %v", got)
+	}
+}
+
+// Figure 5: the QoSh share drifts upward over time under upgrade
+// pressure.
+func TestRaceToTheTopDrift(t *testing.T) {
+	c := newCluster(t, 5)
+	traj := c.RaceToTheTop(50, 0.3, 0.5)
+	if len(traj) != 51 {
+		t.Fatalf("trajectory length %d", len(traj))
+	}
+	first, last := traj[0], traj[len(traj)-1]
+	if last[0] <= first[0] {
+		t.Errorf("QoSh share did not grow: %v -> %v", first[0], last[0])
+	}
+	if last[2] >= first[2] {
+		t.Errorf("QoSl share did not shrink: %v -> %v", first[2], last[2])
+	}
+	for _, q := range traj {
+		if s := q[0] + q[1] + q[2]; math.Abs(s-1) > 1e-9 {
+			t.Fatalf("shares sum to %v mid-trajectory", s)
+		}
+	}
+}
+
+// Figure 3: latency responds superlinearly to the load surge and peaks
+// with it.
+func TestOverloadEpisodeShape(t *testing.T) {
+	load, lat := OverloadEpisode(100, 8)
+	if len(load) != 100 || len(lat) != 100 {
+		t.Fatal("series length")
+	}
+	peakLoadIdx, peakLatIdx := argmax(load), argmax(lat)
+	if d := peakLoadIdx - peakLatIdx; d < -5 || d > 5 {
+		t.Errorf("latency peak at %d, load peak at %d", peakLatIdx, peakLoadIdx)
+	}
+	if load[peakLoadIdx] < 7.5 {
+		t.Errorf("peak load %v, want ~8x", load[peakLoadIdx])
+	}
+	if lat[peakLatIdx] <= 2*lat[0] {
+		t.Errorf("latency response not superlinear: %v -> %v", lat[0], lat[peakLatIdx])
+	}
+	// Degenerate input does not panic.
+	l2, _ := OverloadEpisode(1, 2)
+	if len(l2) < 2 {
+		t.Error("short episode not padded")
+	}
+}
+
+// Figure 24: realignment improves PC tail latency in clusters with
+// misalignment, and leaves already-aligned clusters unchanged.
+func TestRNLImprovement(t *testing.T) {
+	// Class latencies: lower classes are much slower.
+	lat := [3]float64{1, 3, 10}
+	c := newCluster(t, 6)
+	impr := c.RNLImprovement(lat)
+	if impr >= 0 {
+		t.Errorf("Phase 1 did not improve PC latency: %v", impr)
+	}
+	// A perfectly aligned cluster sees no change.
+	aligned, err := NewCluster(ClusterConfig{Apps: 20, Seed: 7, UpgradeBias: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range aligned.Apps {
+		// Force pure single-priority apps marked correctly.
+		p := qos.Priority(i % 3)
+		aligned.Apps[i].PriorityMix = [3]float64{}
+		aligned.Apps[i].PriorityMix[p] = 1
+		aligned.Apps[i].MarkedClass = qos.MapPriorityToQoS(p)
+	}
+	if got := aligned.RNLImprovement(lat); math.Abs(got) > 1e-9 {
+		t.Errorf("aligned cluster improvement = %v, want 0", got)
+	}
+}
+
+// Fleet-wide reproduction of Figure 24's headline: across many clusters,
+// misalignment drops to ~0 and the typical cluster improves its PC tail.
+func TestFleetWideDeployment(t *testing.T) {
+	improvements := 0
+	for seed := int64(0); seed < 50; seed++ {
+		c, err := NewCluster(ClusterConfig{Apps: 60, Seed: seed, UpgradeBias: 0.4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.RNLImprovement([3]float64{1, 3, 10}) < -0.01 {
+			improvements++
+		}
+	}
+	if improvements < 40 {
+		t.Errorf("only %d/50 clusters improved", improvements)
+	}
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

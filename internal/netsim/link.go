@@ -1,0 +1,106 @@
+package netsim
+
+import (
+	"aequitas/internal/sim"
+	"aequitas/internal/wfq"
+)
+
+// Handler consumes packets delivered by a link.
+type Handler interface {
+	HandlePacket(s *sim.Simulator, p *Packet)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(s *sim.Simulator, p *Packet)
+
+// HandlePacket implements Handler.
+func (f HandlerFunc) HandlePacket(s *sim.Simulator, p *Packet) { f(s, p) }
+
+// LinkStats counts traffic through a link.
+type LinkStats struct {
+	TxPackets   int64
+	TxBytes     int64
+	DropPackets int64
+	DropBytes   int64
+	// BusyTime accumulates serialisation time, for utilisation reports.
+	BusyTime sim.Duration
+}
+
+// Link is a unidirectional link with an egress scheduler at its sending
+// side, a fixed line rate, and a propagation delay. Transmission is
+// store-and-forward: a packet occupies the transmitter for Size/Rate, then
+// arrives at the far end Prop later. Propagation is pipelined — the next
+// packet starts serialising as soon as the previous one leaves the
+// transmitter.
+type Link struct {
+	Name  string
+	Rate  sim.Rate
+	Prop  sim.Duration
+	Sched wfq.Scheduler
+	Stats LinkStats
+
+	dst  Handler
+	busy bool
+
+	// OnDrop, when set, is invoked for every packet the scheduler drops,
+	// letting transports implement loss detection hooks and tests count
+	// what was lost.
+	OnDrop func(s *sim.Simulator, p *Packet)
+}
+
+// NewLink creates a link delivering packets to dst.
+func NewLink(name string, rate sim.Rate, prop sim.Duration, sched wfq.Scheduler, dst Handler) *Link {
+	return &Link{Name: name, Rate: rate, Prop: prop, Sched: sched, dst: dst}
+}
+
+// Send enqueues p for transmission, applying the scheduler's drop policy.
+func (l *Link) Send(s *sim.Simulator, p *Packet) {
+	dropped := l.Sched.Enqueue(p)
+	for _, d := range dropped {
+		dp := d.(*Packet)
+		l.Stats.DropPackets++
+		l.Stats.DropBytes += int64(dp.Size)
+		if l.OnDrop != nil {
+			l.OnDrop(s, dp)
+		}
+	}
+	l.kick(s)
+}
+
+// kick starts the transmitter if it is idle and work is queued.
+func (l *Link) kick(s *sim.Simulator) {
+	if l.busy {
+		return
+	}
+	it := l.Sched.Dequeue()
+	if it == nil {
+		return
+	}
+	p := it.(*Packet)
+	l.busy = true
+	tx := l.Rate.TxTime(p.Size)
+	l.Stats.BusyTime += tx
+	l.Stats.TxPackets++
+	l.Stats.TxBytes += int64(p.Size)
+	s.AfterFunc(tx, func(s *sim.Simulator) {
+		l.busy = false
+		// Arrival after propagation; serialisation of the next packet
+		// overlaps with this packet's flight time.
+		s.AfterFunc(l.Prop, func(s *sim.Simulator) {
+			l.dst.HandlePacket(s, p)
+		})
+		l.kick(s)
+	})
+}
+
+// QueuedBytes reports bytes currently waiting in the egress scheduler.
+func (l *Link) QueuedBytes() int { return l.Sched.QueuedBytes() }
+
+// Utilization reports the fraction of the interval [0, now] the
+// transmitter spent serialising packets.
+func (l *Link) Utilization(now sim.Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(l.Stats.BusyTime) / float64(now)
+}

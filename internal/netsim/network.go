@@ -1,0 +1,197 @@
+package netsim
+
+import (
+	"fmt"
+
+	"aequitas/internal/sim"
+	"aequitas/internal/wfq"
+)
+
+// SchedulerFactory builds one egress scheduler instance. Each host uplink
+// and each switch egress port receives its own instance.
+type SchedulerFactory func() wfq.Scheduler
+
+// Config describes a star topology.
+type Config struct {
+	// Hosts is the number of end hosts attached to the switch.
+	Hosts int
+	// LinkRate applies to every host<->switch link (the paper evaluates
+	// at 100 Gbps throughout).
+	LinkRate sim.Rate
+	// PropDelay is the one-way propagation delay of each link.
+	PropDelay sim.Duration
+	// SwitchSched builds the scheduler for each switch egress port
+	// (downlink toward a host). Defaults to 3-class WFQ 8:4:1 with 2 MB
+	// per class.
+	SwitchSched SchedulerFactory
+	// HostSched builds the scheduler for each host uplink NIC. Defaults
+	// to the same discipline as SwitchSched.
+	HostSched SchedulerFactory
+	// Topology selects the fabric shape (default: single-switch star).
+	Topology Topology
+}
+
+func (c *Config) applyDefaults() {
+	if c.LinkRate == 0 {
+		c.LinkRate = 100 * sim.Gbps
+	}
+	if c.PropDelay == 0 {
+		c.PropDelay = 500 * sim.Nanosecond
+	}
+	if c.SwitchSched == nil {
+		c.SwitchSched = func() wfq.Scheduler {
+			return wfq.NewWFQ([]float64{8, 4, 1}, 2<<20)
+		}
+	}
+	if c.HostSched == nil {
+		c.HostSched = c.SwitchSched
+	}
+}
+
+// Network is the simulated fabric: a single-switch star or a two-tier
+// leaf-spine, per Config.Topology.
+type Network struct {
+	cfg    Config
+	hosts  []*Host
+	nextID uint64
+
+	// downlinks[i] is the last-hop link delivering to host i, whichever
+	// switch owns it.
+	downlinks []*Link
+
+	// Star topology.
+	sw *Switch
+
+	// Leaf-spine topology.
+	leaves []*leafSwitch
+	spines []*spineSwitch
+	leafOf func(host int) int
+}
+
+// Host is an end host: an uplink into the switch and a receive handler.
+type Host struct {
+	ID     int
+	Uplink *Link
+	net    *Network
+	recv   Handler
+}
+
+// Switch is an output-queued switch: packets arriving from any host are
+// immediately placed on the egress port (downlink) toward their
+// destination.
+type Switch struct {
+	downlinks []*Link
+}
+
+// HandlePacket implements Handler: route by destination host.
+func (sw *Switch) HandlePacket(s *sim.Simulator, p *Packet) {
+	if p.Dst < 0 || p.Dst >= len(sw.downlinks) {
+		panic(fmt.Sprintf("netsim: packet to unknown host %d", p.Dst))
+	}
+	sw.downlinks[p.Dst].Send(s, p)
+}
+
+// New builds the topology. Receivers are attached afterwards with
+// Host.SetReceiver.
+func New(cfg Config) (*Network, error) {
+	cfg.applyDefaults()
+	if cfg.Hosts < 2 {
+		return nil, fmt.Errorf("netsim: need at least 2 hosts, got %d", cfg.Hosts)
+	}
+	n := &Network{cfg: cfg}
+	if cfg.Topology.Leaves > 0 {
+		if err := n.buildLeafSpine(cfg); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	n.sw = &Switch{}
+	for i := 0; i < cfg.Hosts; i++ {
+		h := &Host{ID: i, net: n}
+		// Downlink: switch -> host i.
+		down := NewLink(fmt.Sprintf("down-%d", i), cfg.LinkRate, cfg.PropDelay, cfg.SwitchSched(), h)
+		n.sw.downlinks = append(n.sw.downlinks, down)
+		n.downlinks = append(n.downlinks, down)
+		// Uplink: host i -> switch.
+		h.Uplink = NewLink(fmt.Sprintf("up-%d", i), cfg.LinkRate, cfg.PropDelay, cfg.HostSched(), n.sw)
+		n.hosts = append(n.hosts, h)
+	}
+	return n, nil
+}
+
+// Hosts reports the number of hosts.
+func (n *Network) Hosts() int { return len(n.hosts) }
+
+// Host returns host i.
+func (n *Network) Host(i int) *Host { return n.hosts[i] }
+
+// Downlink returns the last-hop egress port toward host i, for occupancy
+// instrumentation and drop accounting.
+func (n *Network) Downlink(i int) *Link { return n.downlinks[i] }
+
+// NextPacketID allocates a unique packet id.
+func (n *Network) NextPacketID() uint64 {
+	n.nextID++
+	return n.nextID
+}
+
+// MinRTT returns the no-queuing round-trip time for a data packet of size
+// dataBytes answered by an ACK, for the longest path in the topology
+// (cross-leaf in a leaf-spine fabric).
+func (n *Network) MinRTT(dataBytes int) sim.Duration {
+	r := n.cfg.LinkRate
+	hops := sim.Duration(2)
+	if len(n.leaves) > 0 {
+		hops = 4
+	}
+	return hops*(r.TxTime(dataBytes)+r.TxTime(AckBytes)) + 2*hops*n.cfg.PropDelay
+}
+
+// HandlePacket implements Handler: deliver to the attached receiver.
+func (h *Host) HandlePacket(s *sim.Simulator, p *Packet) {
+	if h.recv == nil {
+		return
+	}
+	h.recv.HandlePacket(s, p)
+}
+
+// SetReceiver attaches the host's packet consumer (the transport demux).
+func (h *Host) SetReceiver(r Handler) { h.recv = r }
+
+// Send transmits p from this host via its uplink. p.Src is set to the
+// host's id.
+func (h *Host) Send(s *sim.Simulator, p *Packet) {
+	p.Src = h.ID
+	if p.ID == 0 {
+		p.ID = h.net.NextPacketID()
+	}
+	h.Uplink.Send(s, p)
+}
+
+// TotalDropped sums packet drops across all links in the network,
+// including core links in a leaf-spine fabric.
+func (n *Network) TotalDropped() (packets, bytes int64) {
+	for _, h := range n.hosts {
+		packets += h.Uplink.Stats.DropPackets
+		bytes += h.Uplink.Stats.DropBytes
+	}
+	for _, d := range n.downlinks {
+		packets += d.Stats.DropPackets
+		bytes += d.Stats.DropBytes
+	}
+	for _, c := range n.CoreLinks() {
+		packets += c.Stats.DropPackets
+		bytes += c.Stats.DropBytes
+	}
+	return packets, bytes
+}
+
+// TotalDelivered sums bytes transmitted on last-hop downlinks (traffic
+// that reached hosts).
+func (n *Network) TotalDelivered() (packets, bytes int64) {
+	for _, d := range n.downlinks {
+		packets += d.Stats.TxPackets
+		bytes += d.Stats.TxBytes
+	}
+	return packets, bytes
+}

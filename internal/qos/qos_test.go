@@ -1,0 +1,143 @@
+package qos
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPriorityQoSBijection(t *testing.T) {
+	for _, p := range []Priority{PC, NC, BE} {
+		if got := MapQoSToPriority(MapPriorityToQoS(p)); got != p {
+			t.Errorf("round trip %v -> %v", p, got)
+		}
+	}
+	if MapPriorityToQoS(PC) != High || MapPriorityToQoS(NC) != Medium || MapPriorityToQoS(BE) != Low {
+		t.Error("Phase-1 mapping is not PC→QoSh, NC→QoSm, BE→QoSl")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := map[string]string{
+		High.String():        "QoSh",
+		Medium.String():      "QoSm",
+		Low.String():         "QoSl",
+		Class(5).String():    "QoS5",
+		PC.String():          "PC",
+		NC.String():          "NC",
+		BE.String():          "BE",
+		Priority(9).String(): "Priority(9)",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestWeightsShares(t *testing.T) {
+	w := StandardWeights2()
+	if got := w.Share(High); got != 0.8 {
+		t.Errorf("Share(High) = %v, want 0.8", got)
+	}
+	if got := w.Share(Class(0)) + w.Share(Class(1)); math.Abs(got-1) > 1e-12 {
+		t.Errorf("2-level shares sum to %v", got)
+	}
+	w3 := StandardWeights3()
+	if w3.Levels() != 3 || w3.Lowest() != Low {
+		t.Error("StandardWeights3 shape wrong")
+	}
+	if got := w3.Share(High); math.Abs(got-8.0/13) > 1e-12 {
+		t.Errorf("Share(High) = %v", got)
+	}
+	if got := w3.Share(Class(99)); got != 0 {
+		t.Errorf("out-of-range share = %v", got)
+	}
+}
+
+func TestWeightsValidate(t *testing.T) {
+	if err := StandardWeights3().Validate(); err != nil {
+		t.Errorf("standard weights invalid: %v", err)
+	}
+	bad := []Weights{{}, {0, 1}, {-1}, {1, 4}} // empty, zero, negative, increasing
+	for _, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("Validate(%v) = nil, want error", w)
+		}
+	}
+}
+
+func TestMixValidate(t *testing.T) {
+	good := Mix{0.6, 0.3, 0.1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid mix rejected: %v", err)
+	}
+	bad := []Mix{{}, {0.5, 0.6}, {1.5, -0.5}, {0.2, 0.2}}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("Validate(%v) = nil, want error", m)
+		}
+	}
+}
+
+func TestMixCounter(t *testing.T) {
+	mc := NewMixCounter(3)
+	if got := mc.Mix(); got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Errorf("empty counter mix = %v", got)
+	}
+	mc.Add(High, 600)
+	mc.Add(Medium, 300)
+	mc.Add(Low, 100)
+	mc.Add(Class(42), 1e6) // ignored out-of-range
+	m := mc.Mix()
+	if m.Share(High) != 0.6 || m.Share(Medium) != 0.3 || m.Share(Low) != 0.1 {
+		t.Errorf("mix = %v", m)
+	}
+	if mc.Total() != 1000 {
+		t.Errorf("Total = %d", mc.Total())
+	}
+	if mc.Bytes(Medium) != 300 {
+		t.Errorf("Bytes(Medium) = %d", mc.Bytes(Medium))
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("counter mix invalid: %v", err)
+	}
+}
+
+// Property: for any positive non-increasing weights, shares sum to 1 and
+// each share is in (0,1].
+func TestWeightSharesProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		w := make(Weights, len(raw))
+		prev := 256.0
+		for i, v := range raw {
+			x := float64(v%64) + 1
+			if x > prev {
+				x = prev
+			}
+			w[i] = x
+			prev = x
+		}
+		if err := w.Validate(); err != nil {
+			return false
+		}
+		var sum float64
+		for i := range w {
+			sh := w.Share(Class(i))
+			if sh <= 0 || sh > 1 {
+				return false
+			}
+			sum += sh
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

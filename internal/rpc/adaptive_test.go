@@ -1,0 +1,121 @@
+package rpc
+
+import (
+	"testing"
+
+	"aequitas/internal/qos"
+	"aequitas/internal/sim"
+)
+
+// budgetAdmitter admits PC RPCs up to a fixed budget fraction of the
+// app's total issue rate — the steady state a converged Aequitas
+// controller enforces: the admitted QoSh volume is set by the SLO, not by
+// how much the application offers.
+type budgetAdmitter struct {
+	budget     float64
+	total, adm int
+}
+
+func (h *budgetAdmitter) Admit(s *sim.Simulator, _ int, requested qos.Class, _ int64) Decision {
+	h.total++
+	if requested != qos.High {
+		return Decision{Class: requested}
+	}
+	if float64(h.adm) < h.budget*float64(h.total) {
+		h.adm++
+		return Decision{Class: requested}
+	}
+	return Decision{Class: qos.Low, Downgraded: true}
+}
+
+func (h *budgetAdmitter) Observe(*sim.Simulator, int, qos.Class, sim.Duration, int64) {}
+
+func TestAdaptiveAppReactsToDowngrades(t *testing.T) {
+	_, stacks := setup(t, 2, []Admitter{&budgetAdmitter{budget: 0.4}, PassThrough{}})
+	s := sim.New(1)
+	app := &AdaptiveApp{Stack: stacks[0]}
+
+	// Everything offered as PC against a 40% budget: 60% downgrades
+	// drive the EWMA over the threshold.
+	for i := 0; i < 200; i++ {
+		app.Issue(s, &RPC{Dst: 1, Bytes: 1000}, s.Rand().Float64() < 0.3)
+	}
+	if !app.Adapting() {
+		t.Fatalf("app not adapting at 60%% downgrade rate (EWMA %v)", app.downgradeEWMA)
+	}
+	if app.FillerSelfDemoted == 0 {
+		t.Error("no filler self-demoted while adapting")
+	}
+	s.Run()
+}
+
+func TestAdaptiveAppProtectsCriticalRPCs(t *testing.T) {
+	// The admitted QoSh budget is 40% of the app's issue rate; 30% of
+	// its work is truly critical. Without adaptation the budget is
+	// spread over all nominally-PC work, so ~60% of critical RPCs are
+	// downgraded; with adaptation the filler self-demotes and the budget
+	// covers the critical RPCs entirely.
+	run := func(adaptive bool) (criticalDowngradeRate float64) {
+		_, stacks := setup(t, 2, []Admitter{&budgetAdmitter{budget: 0.4}, PassThrough{}})
+		s := sim.New(1)
+		app := &AdaptiveApp{Stack: stacks[0]}
+		if !adaptive {
+			app.Threshold = 2.0 // unreachable: adaptation disabled
+		}
+		for i := 0; i < 4000; i++ {
+			app.Issue(s, &RPC{Dst: 1, Bytes: 1000}, s.Rand().Float64() < 0.3)
+		}
+		s.RunUntil(1 * sim.Second)
+		return float64(app.CriticalDowngraded) / float64(app.CriticalIssued)
+	}
+	fixed := run(false)
+	adaptive := run(true)
+	if fixed < 0.3 {
+		t.Fatalf("setup: non-adaptive critical downgrade rate only %.2f", fixed)
+	}
+	if adaptive > fixed/2 {
+		t.Errorf("adaptation did not protect critical RPCs: %.2f vs %.2f", adaptive, fixed)
+	}
+}
+
+func TestAdaptiveAppIdleWithoutPressure(t *testing.T) {
+	_, stacks := setup(t, 2, nil) // PassThrough: no downgrades
+	s := sim.New(1)
+	app := &AdaptiveApp{Stack: stacks[0]}
+	for i := 0; i < 100; i++ {
+		app.Issue(s, &RPC{Dst: 1, Bytes: 1000}, i%2 == 0)
+	}
+	if app.Adapting() {
+		t.Error("app adapting with zero downgrades")
+	}
+	if app.FillerSelfDemoted != 0 {
+		t.Errorf("self-demoted %d without pressure", app.FillerSelfDemoted)
+	}
+	s.Run()
+}
+
+func TestAdaptiveAppRecovers(t *testing.T) {
+	adm := &budgetAdmitter{budget: 0.4}
+	_, stacks := setup(t, 2, []Admitter{adm, PassThrough{}})
+	s := sim.New(1)
+	app := &AdaptiveApp{Stack: stacks[0], Gain: 0.2}
+	for i := 0; i < 100; i++ {
+		app.Issue(s, &RPC{Dst: 1, Bytes: 1000}, true)
+	}
+	if !app.Adapting() {
+		t.Fatal("setup failed")
+	}
+	// Pressure ends: the admitter stops downgrading (simulate by issuing
+	// on a fresh stack state — all admissions now succeed ).
+	// budget admitter is left behind, so all admissions now succeed).
+
+	_, cleanStacks := setup(t, 2, nil)
+	app.Stack = cleanStacks[0]
+	for i := 0; i < 100; i++ {
+		app.Issue(s, &RPC{Dst: 1, Bytes: 1000}, true)
+	}
+	if app.Adapting() {
+		t.Errorf("app stuck adapting after pressure ended (EWMA %v)", app.downgradeEWMA)
+	}
+	s.Run()
+}

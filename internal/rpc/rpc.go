@@ -1,0 +1,192 @@
+// Package rpc implements the RPC stack that sits between applications and
+// the transport: RPC issue with priority annotation, the Phase-1 mapping
+// of priorities to QoS classes, the admission-control hook where Aequitas
+// plugs in, and RPC network-latency (RNL) measurement as defined in
+// Appendix A — t0 when the first byte is handed to the transport, t1 when
+// the last byte is acknowledged.
+package rpc
+
+import (
+	"aequitas/internal/netsim"
+	"aequitas/internal/qos"
+	"aequitas/internal/sim"
+	"aequitas/internal/transport"
+)
+
+// RPC is one remote procedure call as seen by the network: the payload
+// direction only (the paper measures the payload side, which dominates
+// bytes 200:1 to 400:1).
+type RPC struct {
+	ID       uint64
+	Dst      int
+	Priority qos.Priority
+	Bytes    int64
+
+	// QoSRequested is the Phase-1 mapping of the priority; QoSRun is the
+	// class the RPC was actually issued on after admission control.
+	QoSRequested qos.Class
+	QoSRun       qos.Class
+	// Downgraded reports whether admission control demoted the RPC to
+	// the lowest class; it is the explicit notification of Algorithm 1
+	// lines 10-11.
+	Downgraded bool
+
+	IssueTime    sim.Time
+	CompleteTime sim.Time
+	// RNL is the measured RPC network latency (t1 − t0).
+	RNL sim.Duration
+	// SizeMTUs is the RPC size in MTUs, the unit of Algorithm 1's
+	// normalised SLO and size-proportional decrease.
+	SizeMTUs int64
+
+	// Deadline optionally propagates to deadline-aware baselines.
+	Deadline sim.Time
+}
+
+// Decision is an admission-control verdict for one RPC.
+type Decision struct {
+	// Class is the QoS class to run the RPC on.
+	Class qos.Class
+	// Downgraded reports that Class is a demotion from the request.
+	Downgraded bool
+	// Drop rejects the RPC outright instead of downgrading. Aequitas
+	// never does this (downgrade-not-drop is a core design choice, §5);
+	// it exists for the drop-based ablation.
+	Drop bool
+}
+
+// Admitter decides, at RPC issue, which QoS class an RPC runs on and
+// learns from completed RPC latency measurements. The Aequitas controller
+// implements this; PassThrough is the no-admission-control baseline.
+type Admitter interface {
+	// Admit returns the verdict for an RPC of sizeMTUs toward dst.
+	Admit(s *sim.Simulator, dst int, requested qos.Class, sizeMTUs int64) Decision
+	// Observe feeds back one completed RPC's measured RNL on the class
+	// it actually ran on.
+	Observe(s *sim.Simulator, dst int, run qos.Class, rnl sim.Duration, sizeMTUs int64)
+}
+
+// PassThrough admits every RPC on its requested class: the "w/o Aequitas"
+// configuration.
+type PassThrough struct{}
+
+// Admit implements Admitter.
+func (PassThrough) Admit(_ *sim.Simulator, _ int, requested qos.Class, _ int64) Decision {
+	return Decision{Class: requested}
+}
+
+// Observe implements Admitter.
+func (PassThrough) Observe(*sim.Simulator, int, qos.Class, sim.Duration, int64) {}
+
+// Stats counts per-stack RPC activity.
+type Stats struct {
+	Issued     int64
+	Completed  int64
+	Downgraded int64
+	Dropped    int64
+}
+
+// Sender is the transport-layer service the RPC stack requires: reliable
+// message delivery with a completion callback. transport.Endpoint is the
+// standard implementation; baseline systems (Homa, D3, PDQ, QJump)
+// substitute their own.
+type Sender interface {
+	Send(s *sim.Simulator, m *transport.Message)
+}
+
+// Stack is one host's RPC layer.
+type Stack struct {
+	ep       Sender
+	admitter Admitter
+	// OnComplete, when set, observes every completed RPC (for experiment
+	// metrics).
+	OnComplete func(s *sim.Simulator, r *RPC)
+	Stats      Stats
+
+	nextID uint64
+	// outstanding counts incomplete RPCs per (destination host, class),
+	// the quantity behind Figure 13's per-switch-port outstanding RPCs.
+	outstanding map[outKey]int
+}
+
+type outKey struct {
+	dst   int
+	class qos.Class
+}
+
+// NewStack attaches an RPC stack to a transport sender. admitter may be
+// nil, meaning PassThrough.
+func NewStack(ep Sender, admitter Admitter) *Stack {
+	if admitter == nil {
+		admitter = PassThrough{}
+	}
+	return &Stack{ep: ep, admitter: admitter, outstanding: make(map[outKey]int)}
+}
+
+// Endpoint returns the underlying transport sender.
+func (st *Stack) Endpoint() Sender { return st.ep }
+
+// Admitter returns the stack's admission controller.
+func (st *Stack) Admitter() Admitter { return st.admitter }
+
+// Outstanding reports the number of incomplete RPCs toward dst across all
+// classes.
+func (st *Stack) Outstanding(dst int) int {
+	total := 0
+	for k, n := range st.outstanding {
+		if k.dst == dst {
+			total += n
+		}
+	}
+	return total
+}
+
+// OutstandingClass reports the number of incomplete RPCs toward dst that
+// are running on class c.
+func (st *Stack) OutstandingClass(dst int, c qos.Class) int {
+	return st.outstanding[outKey{dst, c}]
+}
+
+// Issue sends one RPC: maps its priority to a QoS class (Phase 1), asks
+// the admission controller for the class to run on (Phase 2), hands the
+// message to the transport, and measures RNL on completion.
+func (st *Stack) Issue(s *sim.Simulator, r *RPC) {
+	st.nextID++
+	if r.ID == 0 {
+		r.ID = st.nextID
+	}
+	r.QoSRequested = qos.MapPriorityToQoS(r.Priority)
+	r.SizeMTUs = netsim.MTUsFor(r.Bytes)
+	r.IssueTime = s.Now()
+
+	d := st.admitter.Admit(s, r.Dst, r.QoSRequested, r.SizeMTUs)
+	st.Stats.Issued++
+	if d.Drop {
+		st.Stats.Dropped++
+		return
+	}
+	r.QoSRun = d.Class
+	r.Downgraded = d.Downgraded
+	if d.Downgraded {
+		st.Stats.Downgraded++
+	}
+	st.outstanding[outKey{r.Dst, r.QoSRun}]++
+
+	st.ep.Send(s, &transport.Message{
+		ID:       r.ID,
+		Dst:      r.Dst,
+		Class:    r.QoSRun,
+		Bytes:    r.Bytes,
+		Deadline: r.Deadline,
+		OnComplete: func(s *sim.Simulator, m *transport.Message) {
+			r.CompleteTime = s.Now()
+			r.RNL = r.CompleteTime - m.SubmitTime
+			st.outstanding[outKey{r.Dst, r.QoSRun}]--
+			st.Stats.Completed++
+			st.admitter.Observe(s, r.Dst, r.QoSRun, r.RNL, r.SizeMTUs)
+			if st.OnComplete != nil {
+				st.OnComplete(s, r)
+			}
+		},
+	})
+}

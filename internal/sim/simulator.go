@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Event is a unit of work scheduled at a point in simulated time.
+type Event interface {
+	// Run executes the event. It may schedule further events on s.
+	Run(s *Simulator)
+}
+
+// EventFunc adapts a function to the Event interface.
+type EventFunc func(s *Simulator)
+
+// Run implements Event.
+func (f EventFunc) Run(s *Simulator) { f(s) }
+
+// scheduled pairs an event with its firing time. seq breaks ties so that
+// events scheduled earlier at the same timestamp run first (FIFO within a
+// timestamp), which keeps runs deterministic.
+type scheduled struct {
+	at     Time
+	seq    uint64
+	ev     Event
+	cancel bool
+	index  int
+}
+
+// Handle refers to a scheduled event and can cancel it before it fires.
+type Handle struct{ s *scheduled }
+
+// Cancel prevents the event from running. Cancelling an already-fired or
+// already-cancelled event is a no-op. Cancel reports whether the event was
+// still pending.
+func (h Handle) Cancel() bool {
+	if h.s == nil || h.s.cancel || h.s.index < 0 {
+		return false
+	}
+	h.s.cancel = true
+	return true
+}
+
+// Pending reports whether the event has neither fired nor been cancelled.
+func (h Handle) Pending() bool { return h.s != nil && !h.s.cancel && h.s.index >= 0 }
+
+type eventHeap []*scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	s := x.(*scheduled)
+	s.index = len(*h)
+	*h = append(*h, s)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	s.index = -1
+	*h = old[:n-1]
+	return s
+}
+
+// Simulator is a single-threaded discrete-event simulation. The zero value
+// is not usable; construct one with New.
+type Simulator struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+	// Processed counts events that have run, for diagnostics and test
+	// assertions about simulation effort.
+	Processed uint64
+}
+
+// New returns a Simulator whose random source is seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// At schedules ev to run at absolute time t. Scheduling in the past (t <
+// Now) panics: it would silently reorder causality.
+func (s *Simulator) At(t Time, ev Event) Handle {
+	if t < s.now {
+		panic("sim: event scheduled in the past")
+	}
+	sc := &scheduled{at: t, seq: s.seq, ev: ev}
+	s.seq++
+	heap.Push(&s.events, sc)
+	return Handle{sc}
+}
+
+// After schedules ev to run d after the current time.
+func (s *Simulator) After(d Duration, ev Event) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, ev)
+}
+
+// AtFunc and AfterFunc are convenience wrappers for function events.
+func (s *Simulator) AtFunc(t Time, f func(*Simulator)) Handle { return s.At(t, EventFunc(f)) }
+func (s *Simulator) AfterFunc(d Duration, f func(*Simulator)) Handle {
+	return s.After(d, EventFunc(f))
+}
+
+// Pending reports the number of events in the queue, including cancelled
+// events that have not yet been discarded.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// Step runs the single earliest pending event. It reports false when the
+// queue is empty.
+func (s *Simulator) Step() bool {
+	for len(s.events) > 0 {
+		sc := heap.Pop(&s.events).(*scheduled)
+		if sc.cancel {
+			continue
+		}
+		s.now = sc.at
+		s.Processed++
+		sc.ev.Run(s)
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue drains.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil processes events with timestamps ≤ end, then advances the clock
+// to end. Events scheduled after end remain queued.
+func (s *Simulator) RunUntil(end Time) {
+	for len(s.events) > 0 {
+		// Peek without popping.
+		next := s.events[0]
+		if next.cancel {
+			heap.Pop(&s.events)
+			continue
+		}
+		if next.at > end {
+			break
+		}
+		s.Step()
+	}
+	if s.now < end {
+		s.now = end
+	}
+}

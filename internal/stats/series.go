@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Series is a time series of (t, value) points, used for convergence plots
+// such as admit probability and throughput over time (Figs 17, 18, 28, 29).
+type Series struct {
+	Name string
+	T    []float64
+	V    []float64
+}
+
+// Append adds one point. Points must be appended in non-decreasing time
+// order.
+func (s *Series) Append(t, v float64) {
+	if n := len(s.T); n > 0 && t < s.T[n-1] {
+		panic("stats: series points must be time-ordered")
+	}
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len reports the number of points.
+func (s *Series) Len() int { return len(s.T) }
+
+// At returns the last value recorded at or before t, or def if none.
+func (s *Series) At(t, def float64) float64 {
+	i := sort.SearchFloat64s(s.T, t)
+	// i is the first index with T[i] >= t; we want last index with T <= t.
+	if i < len(s.T) && s.T[i] == t {
+		// Multiple points can share a timestamp; take the last one.
+		for i+1 < len(s.T) && s.T[i+1] == t {
+			i++
+		}
+		return s.V[i]
+	}
+	if i == 0 {
+		return def
+	}
+	return s.V[i-1]
+}
+
+// After returns the sub-series with t ≥ start, sharing backing arrays.
+func (s *Series) After(start float64) Series {
+	i := sort.SearchFloat64s(s.T, start)
+	return Series{Name: s.Name, T: s.T[i:], V: s.V[i:]}
+}
+
+// MeanValue returns the time-weighted mean of the series over its span,
+// treating each value as holding until the next point. Returns the plain
+// mean when the series has fewer than two points.
+func (s *Series) MeanValue() float64 {
+	n := len(s.T)
+	switch n {
+	case 0:
+		return 0
+	case 1:
+		return s.V[0]
+	}
+	var area, span float64
+	for i := 0; i+1 < n; i++ {
+		dt := s.T[i+1] - s.T[i]
+		area += s.V[i] * dt
+		span += dt
+	}
+	if span == 0 {
+		return s.V[0]
+	}
+	return area / span
+}
+
+// SettlingTime returns the earliest time after which every value stays
+// within ±tol of the series' final value, or the last timestamp if the
+// series never settles. It is used to measure convergence time (§6.6).
+func (s *Series) SettlingTime(tol float64) float64 {
+	n := len(s.V)
+	if n == 0 {
+		return 0
+	}
+	final := s.V[n-1]
+	settle := s.T[n-1]
+	for i := n - 1; i >= 0; i-- {
+		if d := s.V[i] - final; d > tol || d < -tol {
+			break
+		}
+		settle = s.T[i]
+	}
+	return settle
+}
+
+// Downsample returns a copy of the series thinned to at most maxPoints,
+// keeping the first and last points.
+func (s *Series) Downsample(maxPoints int) Series {
+	n := len(s.T)
+	if maxPoints <= 0 || n <= maxPoints {
+		out := Series{Name: s.Name, T: append([]float64(nil), s.T...), V: append([]float64(nil), s.V...)}
+		return out
+	}
+	out := Series{Name: s.Name}
+	for i := 0; i < maxPoints; i++ {
+		idx := i * (n - 1) / (maxPoints - 1)
+		out.T = append(out.T, s.T[idx])
+		out.V = append(out.V, s.V[idx])
+	}
+	return out
+}
+
+// Table renders aligned columns for experiment output. It is the single
+// formatting helper used by cmd/figures so that every experiment prints the
+// same way the paper's tables read.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; values are formatted with %v (floats with %.4g).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Write renders the table to w.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Write(&b)
+	return b.String()
+}

@@ -1,0 +1,212 @@
+// Package stats provides the measurement primitives used across the
+// simulator and the experiment harness: exact percentile samples, CDFs,
+// fixed-bucket histograms, and time series.
+//
+// Simulation experiments collect up to a few million scalar samples, so the
+// default Sample keeps every observation and computes exact order
+// statistics; a bounded reservoir variant is available for very long runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Sample accumulates float64 observations and computes exact quantiles.
+// The zero value is ready to use.
+type Sample struct {
+	xs     []float64
+	sorted bool
+	sum    float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+	s.sum += x
+}
+
+// AddAll records every observation in xs.
+func (s *Sample) AddAll(xs []float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+// N reports the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Sum reports the sum of all observations.
+func (s *Sample) Sum() float64 { return s.sum }
+
+// Mean reports the arithmetic mean, or NaN if empty.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	return s.sum / float64(len(s.xs))
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using the nearest-rank
+// method, or NaN if the sample is empty. Quantile(0.999) is the paper's
+// "99.9th-p".
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	if q <= 0 {
+		return s.xs[0]
+	}
+	if q >= 1 {
+		return s.xs[len(s.xs)-1]
+	}
+	// Nearest-rank: ceil(q*N) with 1-based ranks.
+	rank := int(math.Ceil(q * float64(len(s.xs))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s.xs[rank-1]
+}
+
+// Percentile returns the p-th percentile, p in [0,100].
+func (s *Sample) Percentile(p float64) float64 { return s.Quantile(p / 100) }
+
+// Min and Max return the extreme observations, or NaN if empty.
+func (s *Sample) Min() float64 { return s.Quantile(0) }
+func (s *Sample) Max() float64 { return s.Quantile(1) }
+
+// StdDev returns the population standard deviation, or NaN if empty.
+func (s *Sample) StdDev() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	m := s.Mean()
+	var ss float64
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Values returns a copy of the observations in insertion-independent
+// (sorted) order.
+func (s *Sample) Values() []float64 {
+	s.sort()
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
+// CountAbove reports how many observations exceed x.
+func (s *Sample) CountAbove(x float64) int {
+	s.sort()
+	return len(s.xs) - sort.SearchFloat64s(s.xs, math.Nextafter(x, math.Inf(1)))
+}
+
+// FractionWithin reports the fraction of observations ≤ x (an empirical
+// CDF evaluation), or NaN if empty.
+func (s *Sample) FractionWithin(x float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	return 1 - float64(s.CountAbove(x))/float64(len(s.xs))
+}
+
+// CDF returns (value, cumulative-fraction) points suitable for plotting,
+// thinned to at most maxPoints.
+func (s *Sample) CDF(maxPoints int) []Point {
+	s.sort()
+	n := len(s.xs)
+	if n == 0 {
+		return nil
+	}
+	if maxPoints <= 0 || maxPoints > n {
+		maxPoints = n
+	}
+	pts := make([]Point, 0, maxPoints)
+	for i := 0; i < maxPoints; i++ {
+		idx := (i + 1) * n / maxPoints
+		if idx > n {
+			idx = n
+		}
+		pts = append(pts, Point{X: s.xs[idx-1], Y: float64(idx) / float64(n)})
+	}
+	return pts
+}
+
+// Point is a generic (x, y) pair used for plot-like outputs.
+type Point struct{ X, Y float64 }
+
+// Reservoir is a fixed-size uniform random sample of a stream
+// (Vitter's Algorithm R), for experiments too long to keep every value.
+type Reservoir struct {
+	cap  int
+	seen int64
+	xs   []float64
+	rng  *rand.Rand
+}
+
+// NewReservoir returns a reservoir holding at most capacity observations,
+// sampled uniformly from the stream using the given seed.
+func NewReservoir(capacity int, seed int64) *Reservoir {
+	if capacity <= 0 {
+		panic("stats: reservoir capacity must be positive")
+	}
+	return &Reservoir{cap: capacity, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add offers one observation to the reservoir.
+func (r *Reservoir) Add(x float64) {
+	r.seen++
+	if len(r.xs) < r.cap {
+		r.xs = append(r.xs, x)
+		return
+	}
+	if j := r.rng.Int63n(r.seen); j < int64(r.cap) {
+		r.xs[j] = x
+	}
+}
+
+// Seen reports how many observations were offered.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Sample returns the retained observations as a Sample.
+func (r *Reservoir) Sample() *Sample {
+	s := &Sample{}
+	s.AddAll(r.xs)
+	return s
+}
+
+// Summary is a compact set of descriptive statistics.
+type Summary struct {
+	N                   int
+	Mean, Min, Max      float64
+	P50, P90, P99, P999 float64
+}
+
+// Summarize computes a Summary from s.
+func Summarize(s *Sample) Summary {
+	return Summary{
+		N: s.N(), Mean: s.Mean(), Min: s.Min(), Max: s.Max(),
+		P50: s.Quantile(0.50), P90: s.Quantile(0.90),
+		P99: s.Quantile(0.99), P999: s.Quantile(0.999),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g p50=%.3g p90=%.3g p99=%.3g p99.9=%.3g max=%.3g",
+		s.N, s.Mean, s.P50, s.P90, s.P99, s.P999, s.Max)
+}

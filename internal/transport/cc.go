@@ -1,0 +1,135 @@
+// Package transport implements the host transport stack under the RPC
+// layer: reliable per-(peer, QoS) connections with segmentation,
+// cumulative acknowledgements, retransmission timeouts, and pluggable
+// congestion control.
+//
+// The default congestion control is Swift (Kumar et al., SIGCOMM 2020),
+// the algorithm the paper's simulator uses (§6.1): delay-based AIMD with a
+// fixed target delay, multiplicative decrease bounded to once per RTT, and
+// sub-packet windows realised by pacing. A fixed-window controller is
+// provided for theory-validation runs where congestion control must be
+// disabled (Figure 10).
+package transport
+
+import (
+	"aequitas/internal/sim"
+)
+
+// CC is a per-connection congestion controller. Window is expressed in
+// packets (MTUs); values below 1 mean the connection is paced to less than
+// one packet per RTT.
+type CC interface {
+	// OnAck processes an acknowledgement for ackedPkts packets with the
+	// given RTT sample.
+	OnAck(now sim.Time, rtt sim.Duration, ackedPkts int)
+	// OnRetransmit reacts to a retransmission timeout.
+	OnRetransmit(now sim.Time)
+	// Window returns the current congestion window in packets.
+	Window() float64
+}
+
+// Swift implements the Swift congestion control algorithm, simplified to
+// a fixed target delay (the paper's fabric is a single switch, so no
+// per-hop topology scaling term is needed).
+type Swift struct {
+	// Target is the end-to-end fabric delay target.
+	Target sim.Duration
+	// AI is the additive increase in packets per RTT.
+	AI float64
+	// Beta scales the multiplicative decrease with the delay excess.
+	Beta float64
+	// MaxMDF bounds a single multiplicative decrease (e.g. 0.5 halves the
+	// window at most).
+	MaxMDF float64
+	// MinCwnd and MaxCwnd bound the window in packets.
+	MinCwnd, MaxCwnd float64
+
+	cwnd         float64
+	lastDecrease sim.Time
+	lastRTT      sim.Duration
+}
+
+// SwiftDefaults returns a Swift controller with the published default
+// shape: AI of 1 packet per RTT, β = 0.8, max decrease 50 %, window in
+// [0.01, 256] packets.
+func SwiftDefaults(target sim.Duration) *Swift {
+	return &Swift{
+		Target:  target,
+		AI:      1.0,
+		Beta:    0.8,
+		MaxMDF:  0.5,
+		MinCwnd: 0.01,
+		MaxCwnd: 256,
+		cwnd:    16,
+	}
+}
+
+// Window implements CC.
+func (sw *Swift) Window() float64 { return sw.cwnd }
+
+// OnAck implements CC: additive increase while delay is under target,
+// multiplicative decrease proportional to the excess otherwise, at most
+// once per RTT.
+func (sw *Swift) OnAck(now sim.Time, rtt sim.Duration, ackedPkts int) {
+	if ackedPkts <= 0 {
+		return
+	}
+	sw.lastRTT = rtt
+	if rtt < sw.Target {
+		n := float64(ackedPkts)
+		if sw.cwnd >= 1 {
+			sw.cwnd += sw.AI * n / sw.cwnd
+		} else {
+			sw.cwnd += sw.AI * n
+		}
+	} else if sw.canDecrease(now, rtt) {
+		excess := float64(rtt-sw.Target) / float64(rtt)
+		factor := 1 - sw.Beta*excess
+		if floor := 1 - sw.MaxMDF; factor < floor {
+			factor = floor
+		}
+		sw.cwnd *= factor
+		sw.lastDecrease = now
+	}
+	sw.clamp()
+}
+
+// OnRetransmit implements CC: a timeout is a strong congestion signal, so
+// apply the maximum decrease (still once per RTT).
+func (sw *Swift) OnRetransmit(now sim.Time) {
+	if sw.canDecrease(now, sw.lastRTT) {
+		sw.cwnd *= 1 - sw.MaxMDF
+		sw.lastDecrease = now
+	}
+	sw.clamp()
+}
+
+func (sw *Swift) canDecrease(now sim.Time, rtt sim.Duration) bool {
+	if rtt <= 0 {
+		rtt = sw.Target
+	}
+	return now-sw.lastDecrease >= rtt
+}
+
+func (sw *Swift) clamp() {
+	if sw.cwnd < sw.MinCwnd {
+		sw.cwnd = sw.MinCwnd
+	}
+	if sw.cwnd > sw.MaxCwnd {
+		sw.cwnd = sw.MaxCwnd
+	}
+}
+
+// Fixed is a constant-window controller: congestion control disabled. It
+// is used to replay the theoretical model (Figure 10), where the paper
+// disables CC and enlarges buffers.
+type Fixed struct{ W float64 }
+
+// OnAck implements CC (no-op).
+func (f Fixed) OnAck(sim.Time, sim.Duration, int) {}
+
+// OnRetransmit implements CC (no-op).
+func (f Fixed) OnRetransmit(sim.Time) {}
+
+// Window implements CC.
+func (f Fixed) Window() float64 { return f.W }

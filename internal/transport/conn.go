@@ -1,0 +1,404 @@
+package transport
+
+import (
+	"fmt"
+
+	"aequitas/internal/netsim"
+	"aequitas/internal/qos"
+	"aequitas/internal/sim"
+)
+
+// Message is a transport-level message: the payload of one RPC direction.
+type Message struct {
+	ID    uint64
+	Dst   int
+	Class qos.Class
+	Bytes int64
+	// Deadline propagates to packets for deadline-aware baselines; zero
+	// means none.
+	Deadline sim.Time
+	// OnComplete fires when the last payload byte has been acknowledged.
+	OnComplete func(s *sim.Simulator, m *Message)
+
+	// SubmitTime is when the message was handed to the transport: the t0
+	// of the RPC network latency definition (Appendix A).
+	SubmitTime sim.Time
+
+	start, end int64 // byte range within the connection stream
+}
+
+// Config parameterises an Endpoint.
+type Config struct {
+	// NewCC builds one congestion controller per connection. Required.
+	NewCC func() CC
+	// RTOMin floors the retransmission timeout (default 100 µs).
+	RTOMin sim.Duration
+	// InitialRTT seeds the smoothed RTT estimate before the first sample
+	// (default 10 µs).
+	InitialRTT sim.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.RTOMin == 0 {
+		c.RTOMin = 100 * sim.Microsecond
+	}
+	if c.InitialRTT == 0 {
+		c.InitialRTT = 10 * sim.Microsecond
+	}
+}
+
+// Stats counts endpoint-wide transport activity.
+type Stats struct {
+	MsgsSent      int64
+	MsgsCompleted int64
+	BytesAcked    int64
+	Retransmits   int64
+	RTOFires      int64
+}
+
+// Endpoint is one host's transport stack: it demultiplexes incoming
+// packets and maintains one connection per (peer, QoS class), mirroring
+// the paper's prototype where an RPC channel maps to per-QoS sockets
+// (§6.11).
+type Endpoint struct {
+	host  *netsim.Host
+	net   *netsim.Network
+	cfg   Config
+	conns map[connKey]*conn
+	recvs map[connKey]*rcvState
+	Stats Stats
+}
+
+type connKey struct {
+	peer  int
+	class qos.Class
+}
+
+// NewEndpoint attaches a transport to host, registering it as the host's
+// packet receiver.
+func NewEndpoint(net *netsim.Network, host *netsim.Host, cfg Config) *Endpoint {
+	cfg.applyDefaults()
+	if cfg.NewCC == nil {
+		panic("transport: Config.NewCC is required")
+	}
+	e := &Endpoint{
+		host:  host,
+		net:   net,
+		cfg:   cfg,
+		conns: make(map[connKey]*conn),
+		recvs: make(map[connKey]*rcvState),
+	}
+	host.SetReceiver(e)
+	return e
+}
+
+// Host returns the attached host.
+func (e *Endpoint) Host() *netsim.Host { return e.host }
+
+// Send queues m for transmission. The message's SubmitTime is stamped
+// here: it is the t0 of RNL.
+func (e *Endpoint) Send(s *sim.Simulator, m *Message) {
+	if m.Bytes <= 0 {
+		panic(fmt.Sprintf("transport: message %d has %d bytes", m.ID, m.Bytes))
+	}
+	if m.Dst == e.host.ID {
+		panic("transport: message to self")
+	}
+	m.SubmitTime = s.Now()
+	c := e.conn(m.Dst, m.Class)
+	m.start = c.writeEnd
+	m.end = m.start + m.Bytes
+	c.writeEnd = m.end
+	c.msgs = append(c.msgs, m)
+	e.Stats.MsgsSent++
+	c.trySend(s)
+}
+
+// QueuedBytes reports unacknowledged bytes buffered toward peer on class,
+// including bytes not yet transmitted (the host-side queuing that RNL
+// captures).
+func (e *Endpoint) QueuedBytes(peer int, class qos.Class) int64 {
+	c, ok := e.conns[connKey{peer, class}]
+	if !ok {
+		return 0
+	}
+	return c.writeEnd - c.cumAck
+}
+
+func (e *Endpoint) conn(peer int, class qos.Class) *conn {
+	k := connKey{peer, class}
+	c, ok := e.conns[k]
+	if !ok {
+		c = &conn{
+			ep:    e,
+			peer:  peer,
+			class: class,
+			cc:    e.cfg.NewCC(),
+			srtt:  e.cfg.InitialRTT,
+		}
+		e.conns[k] = c
+	}
+	return c
+}
+
+// HandlePacket implements netsim.Handler.
+func (e *Endpoint) HandlePacket(s *sim.Simulator, p *Packet) {
+	if p.Ack {
+		if c, ok := e.conns[connKey{p.Src, p.Class}]; ok {
+			c.onAck(s, p)
+		}
+		return
+	}
+	e.onData(s, p)
+}
+
+// Packet aliases the netsim packet type for the package's public surface.
+type Packet = netsim.Packet
+
+// conn is the sender side of one (peer, class) byte stream.
+type conn struct {
+	ep    *Endpoint
+	peer  int
+	class qos.Class
+	cc    CC
+
+	msgs     []*Message // incomplete messages, FIFO by stream offset
+	writeEnd int64      // total bytes queued to the stream
+	cumAck   int64      // cumulative acknowledged bytes
+	nextSend int64      // next byte offset to (re)transmit
+
+	srtt    sim.Duration
+	rttvar  sim.Duration
+	backoff int // RTO exponential backoff shift
+
+	rtoTimer    sim.Handle
+	paceTimer   sim.Handle
+	nextAllowed sim.Time // pacing gate for sub-packet windows
+}
+
+// windowBytes converts the CC window to bytes.
+func (c *conn) windowBytes() int64 {
+	w := c.cc.Window()
+	if w < 0 {
+		w = 0
+	}
+	return int64(w * float64(netsim.MaxPayload))
+}
+
+func (c *conn) inflight() int64 { return c.nextSend - c.cumAck }
+
+// trySend transmits as much of the stream as the window and pacing gate
+// permit.
+func (c *conn) trySend(s *sim.Simulator) {
+	for c.nextSend < c.writeEnd {
+		inflight := c.inflight()
+		wnd := c.windowBytes()
+		if inflight > 0 && inflight >= wnd {
+			return // window-limited; acks will restart us
+		}
+		if inflight == 0 && wnd < int64(netsim.MaxPayload) {
+			// Sub-packet window: one packet at a time, paced.
+			if s.Now() < c.nextAllowed {
+				c.schedulePace(s)
+				return
+			}
+		}
+		c.emit(s)
+	}
+}
+
+// emit sends one packet starting at nextSend.
+func (c *conn) emit(s *sim.Simulator) {
+	payload := int64(netsim.MaxPayload)
+	// Do not run past the end of the stream.
+	if rem := c.writeEnd - c.nextSend; rem < payload {
+		payload = rem
+	}
+	// Do not cross a message boundary, so that per-packet urgency and
+	// deadline metadata are well defined.
+	m := c.messageAt(c.nextSend)
+	if m != nil {
+		if rem := m.end - c.nextSend; rem < payload {
+			payload = rem
+		}
+	}
+	p := &Packet{
+		Dst:     c.peer,
+		Class:   c.class,
+		Size:    int(payload) + netsim.HeaderBytes,
+		Seq:     c.nextSend,
+		Payload: int(payload),
+		SentAt:  s.Now(),
+	}
+	if m != nil {
+		p.MsgID = m.ID
+		p.Urg = m.end - c.nextSend // remaining bytes: SRPT urgency
+		p.Deadline = m.Deadline
+	}
+	c.nextSend += payload
+	// Pacing gate for the next packet when the window is sub-packet.
+	if w := c.cc.Window(); w < 1 && w > 0 {
+		gap := sim.Duration(float64(c.srtt) / w)
+		c.nextAllowed = s.Now() + gap
+	}
+	c.ep.host.Send(s, p)
+	c.armRTO(s)
+}
+
+// messageAt returns the incomplete message covering stream offset off.
+func (c *conn) messageAt(off int64) *Message {
+	for _, m := range c.msgs {
+		if off < m.end {
+			if off >= m.start {
+				return m
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+func (c *conn) schedulePace(s *sim.Simulator) {
+	if c.paceTimer.Pending() {
+		return
+	}
+	delay := c.nextAllowed - s.Now()
+	if delay < 0 {
+		delay = 0
+	}
+	c.paceTimer = s.AfterFunc(delay, func(s *sim.Simulator) { c.trySend(s) })
+}
+
+// onAck processes a cumulative acknowledgement.
+func (c *conn) onAck(s *sim.Simulator, p *Packet) {
+	rtt := s.Now() - p.SentAt
+	c.updateRTT(rtt)
+	if p.AckSeq <= c.cumAck {
+		// Duplicate or stale; the RTO handles actual loss.
+		c.cc.OnAck(s.Now(), rtt, 0)
+		return
+	}
+	delta := p.AckSeq - c.cumAck
+	c.cumAck = p.AckSeq
+	if c.nextSend < c.cumAck {
+		// Retransmission rewound nextSend below data the receiver
+		// already has.
+		c.nextSend = c.cumAck
+	}
+	c.ep.Stats.BytesAcked += delta
+	c.backoff = 0
+	ackedPkts := int((delta + netsim.MaxPayload - 1) / netsim.MaxPayload)
+	c.cc.OnAck(s.Now(), rtt, ackedPkts)
+
+	// Complete messages fully covered by the cumulative ack.
+	for len(c.msgs) > 0 && c.msgs[0].end <= c.cumAck {
+		m := c.msgs[0]
+		c.msgs[0] = nil
+		c.msgs = c.msgs[1:]
+		c.ep.Stats.MsgsCompleted++
+		if m.OnComplete != nil {
+			m.OnComplete(s, m)
+		}
+	}
+
+	c.rtoTimer.Cancel()
+	if c.inflight() > 0 {
+		c.armRTO(s)
+	}
+	c.trySend(s)
+}
+
+func (c *conn) updateRTT(rtt sim.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	if c.rttvar == 0 {
+		c.rttvar = rtt / 2
+		c.srtt = rtt
+		return
+	}
+	diff := c.srtt - rtt
+	if diff < 0 {
+		diff = -diff
+	}
+	c.rttvar = (3*c.rttvar + diff) / 4
+	c.srtt = (7*c.srtt + rtt) / 8
+}
+
+func (c *conn) rto() sim.Duration {
+	d := c.srtt + 4*c.rttvar
+	if d < c.ep.cfg.RTOMin {
+		d = c.ep.cfg.RTOMin
+	}
+	shift := c.backoff
+	if shift > 10 {
+		shift = 10
+	}
+	return d << shift
+}
+
+func (c *conn) armRTO(s *sim.Simulator) {
+	if c.rtoTimer.Pending() {
+		return
+	}
+	c.rtoTimer = s.AfterFunc(c.rto(), func(s *sim.Simulator) { c.onRTO(s) })
+}
+
+// onRTO implements go-back-N recovery: rewind to the cumulative ack and
+// retransmit.
+func (c *conn) onRTO(s *sim.Simulator) {
+	if c.inflight() <= 0 {
+		return
+	}
+	c.ep.Stats.RTOFires++
+	c.ep.Stats.Retransmits++
+	c.backoff++
+	c.cc.OnRetransmit(s.Now())
+	c.nextSend = c.cumAck
+	c.armRTO(s)
+	c.trySend(s)
+}
+
+// rcvState is the receiver side of one (peer, class) stream.
+type rcvState struct {
+	cumRecv int64
+	ooo     map[int64]int // seq -> payload bytes received out of order
+}
+
+// onData handles an incoming data packet: advance the cumulative counter,
+// buffer out-of-order segments, and acknowledge.
+func (e *Endpoint) onData(s *sim.Simulator, p *Packet) {
+	k := connKey{p.Src, p.Class}
+	r, ok := e.recvs[k]
+	if !ok {
+		r = &rcvState{ooo: make(map[int64]int)}
+		e.recvs[k] = r
+	}
+	switch {
+	case p.Seq == r.cumRecv:
+		r.cumRecv += int64(p.Payload)
+		// Drain any contiguous out-of-order segments.
+		for {
+			n, ok := r.ooo[r.cumRecv]
+			if !ok {
+				break
+			}
+			delete(r.ooo, r.cumRecv)
+			r.cumRecv += int64(n)
+		}
+	case p.Seq > r.cumRecv:
+		r.ooo[p.Seq] = p.Payload
+	default:
+		// Duplicate of already-received data; re-ack.
+	}
+	ack := &Packet{
+		Dst:    p.Src,
+		Class:  p.Class,
+		Size:   netsim.AckBytes,
+		Ack:    true,
+		AckSeq: r.cumRecv,
+		SentAt: p.SentAt, // echo for RTT measurement
+		MsgID:  p.MsgID,
+	}
+	e.host.Send(s, ack)
+}

@@ -1,0 +1,449 @@
+// Package wfq implements the packet scheduling disciplines used at switch
+// egress ports: weighted fair queuing (self-clocked virtual-time WFQ),
+// deficit weighted round robin (DWRR), strict priority queuing (SPQ),
+// FIFO, and the urgency-ordered priority queue used by pFabric- and
+// Homa-style baselines.
+//
+// The paper treats WFQ as the general scheduling mechanism with
+// Virtual-Time/PGPS and DWRR as implementations (§2.3, footnote 1); this
+// package provides both so that experiments can check that results do not
+// depend on the WFQ realisation.
+package wfq
+
+import "container/heap"
+
+// Item is anything schedulable: a packet with a size, a QoS class, and an
+// urgency metric used only by priority-based disciplines (lower urgency is
+// served first, e.g. remaining flow size for pFabric's SRPT).
+type Item interface {
+	SizeBytes() int
+	QoS() int
+	Urgency() int64
+}
+
+// Scheduler is one egress port's queuing discipline. Enqueue returns the
+// items dropped to make room, which may include the offered item itself
+// (drop-tail) or previously queued items (pFabric drops the least urgent).
+// Dequeue returns the next item to transmit, or nil when empty.
+type Scheduler interface {
+	Enqueue(it Item) (dropped []Item)
+	Dequeue() Item
+	QueuedBytes() int
+	QueuedItems() int
+	// BytesFor reports queued bytes for one QoS class, for occupancy
+	// instrumentation.
+	BytesFor(class int) int
+}
+
+// fifoQueue is a simple ring-buffer-free FIFO of items with byte
+// accounting.
+type fifoQueue struct {
+	items []Item
+	bytes int
+}
+
+func (q *fifoQueue) push(it Item) {
+	q.items = append(q.items, it)
+	q.bytes += it.SizeBytes()
+}
+
+func (q *fifoQueue) pop() Item {
+	if len(q.items) == 0 {
+		return nil
+	}
+	it := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	q.bytes -= it.SizeBytes()
+	return it
+}
+
+func (q *fifoQueue) len() int { return len(q.items) }
+
+// WFQ is a self-clocked fair queueing (SCFQ) scheduler: each arriving
+// packet receives a virtual finish tag F = max(F_prev(class), V) + L/φ and
+// the packet with the smallest finish tag is served next, where V is the
+// finish tag of the packet most recently dequeued. SCFQ approximates PGPS
+// within one packet per queue, which is the fidelity the Figure 10
+// validation relies on.
+type WFQ struct {
+	weights  []float64
+	capBytes int // per-class byte capacity (0 = unlimited)
+
+	virt   float64
+	lastF  []float64
+	queues []taggedQueue
+	qBytes int
+	qItems int
+}
+
+type taggedItem struct {
+	it     Item
+	finish float64
+}
+
+type taggedQueue struct {
+	items []taggedItem
+	bytes int
+}
+
+// NewWFQ returns a WFQ over len(weights) classes. perClassBytes bounds
+// each class queue (0 means unlimited, used for theory-validation runs).
+func NewWFQ(weights []float64, perClassBytes int) *WFQ {
+	w := &WFQ{
+		weights:  append([]float64(nil), weights...),
+		capBytes: perClassBytes,
+		lastF:    make([]float64, len(weights)),
+		queues:   make([]taggedQueue, len(weights)),
+	}
+	return w
+}
+
+// Enqueue implements Scheduler.
+func (w *WFQ) Enqueue(it Item) []Item {
+	c := it.QoS()
+	if c < 0 || c >= len(w.queues) {
+		c = len(w.queues) - 1
+	}
+	q := &w.queues[c]
+	if w.capBytes > 0 && q.bytes+it.SizeBytes() > w.capBytes {
+		return []Item{it}
+	}
+	start := w.lastF[c]
+	if w.virt > start {
+		start = w.virt
+	}
+	finish := start + float64(it.SizeBytes())/w.weights[c]
+	w.lastF[c] = finish
+	q.items = append(q.items, taggedItem{it, finish})
+	q.bytes += it.SizeBytes()
+	w.qBytes += it.SizeBytes()
+	w.qItems++
+	return nil
+}
+
+// Dequeue implements Scheduler: serve the head-of-line packet with the
+// smallest virtual finish tag.
+func (w *WFQ) Dequeue() Item {
+	best := -1
+	var bestF float64
+	for c := range w.queues {
+		q := &w.queues[c]
+		if len(q.items) == 0 {
+			continue
+		}
+		if best < 0 || q.items[0].finish < bestF {
+			best = c
+			bestF = q.items[0].finish
+		}
+	}
+	if best < 0 {
+		// All queues empty: reset virtual time so long idle periods do
+		// not inflate future tags.
+		w.virt = 0
+		for i := range w.lastF {
+			w.lastF[i] = 0
+		}
+		return nil
+	}
+	q := &w.queues[best]
+	ti := q.items[0]
+	q.items[0] = taggedItem{}
+	q.items = q.items[1:]
+	q.bytes -= ti.it.SizeBytes()
+	w.qBytes -= ti.it.SizeBytes()
+	w.qItems--
+	w.virt = ti.finish
+	return ti.it
+}
+
+func (w *WFQ) QueuedBytes() int { return w.qBytes }
+func (w *WFQ) QueuedItems() int { return w.qItems }
+func (w *WFQ) BytesFor(c int) int {
+	if c < 0 || c >= len(w.queues) {
+		return 0
+	}
+	return w.queues[c].bytes
+}
+
+// DWRR is deficit weighted round robin (Shreedhar & Varghese): each class
+// has a quantum proportional to its weight; a round visits backlogged
+// classes, adding the quantum to a deficit counter and transmitting
+// packets while the deficit covers them.
+type DWRR struct {
+	weights  []float64
+	quantum  int // bytes added per round for weight 1.0
+	capBytes int
+
+	deficit []int
+	queues  []fifoQueue
+	next    int
+	qBytes  int
+	qItems  int
+}
+
+// NewDWRR returns a DWRR scheduler; quantumBytes is the per-round byte
+// quantum granted to a class of weight 1 (typically one MTU).
+func NewDWRR(weights []float64, quantumBytes, perClassBytes int) *DWRR {
+	return &DWRR{
+		weights:  append([]float64(nil), weights...),
+		quantum:  quantumBytes,
+		capBytes: perClassBytes,
+		deficit:  make([]int, len(weights)),
+		queues:   make([]fifoQueue, len(weights)),
+	}
+}
+
+// Enqueue implements Scheduler.
+func (d *DWRR) Enqueue(it Item) []Item {
+	c := it.QoS()
+	if c < 0 || c >= len(d.queues) {
+		c = len(d.queues) - 1
+	}
+	q := &d.queues[c]
+	if d.capBytes > 0 && q.bytes+it.SizeBytes() > d.capBytes {
+		return []Item{it}
+	}
+	q.push(it)
+	d.qBytes += it.SizeBytes()
+	d.qItems++
+	return nil
+}
+
+// Dequeue implements Scheduler.
+func (d *DWRR) Dequeue() Item {
+	if d.qItems == 0 {
+		for i := range d.deficit {
+			d.deficit[i] = 0
+		}
+		return nil
+	}
+	n := len(d.queues)
+	// At most two full rounds are needed: one to accumulate deficits, one
+	// to serve; loop defensively with a bound.
+	for scanned := 0; scanned < 4*n+4; {
+		c := d.next
+		q := &d.queues[c]
+		if q.len() == 0 {
+			d.deficit[c] = 0
+			d.next = (d.next + 1) % n
+			scanned++
+			continue
+		}
+		head := q.items[0]
+		if d.deficit[c] >= head.SizeBytes() {
+			d.deficit[c] -= head.SizeBytes()
+			it := q.pop()
+			d.qBytes -= it.SizeBytes()
+			d.qItems--
+			return it
+		}
+		d.deficit[c] += int(float64(d.quantum) * d.weights[c])
+		d.next = (d.next + 1) % n
+		scanned++
+	}
+	// Quantum too small relative to packet size for any progress; grant
+	// the head of the first backlogged queue to preserve liveness.
+	for c := range d.queues {
+		if d.queues[c].len() > 0 {
+			it := d.queues[c].pop()
+			d.qBytes -= it.SizeBytes()
+			d.qItems--
+			return it
+		}
+	}
+	return nil
+}
+
+func (d *DWRR) QueuedBytes() int { return d.qBytes }
+func (d *DWRR) QueuedItems() int { return d.qItems }
+func (d *DWRR) BytesFor(c int) int {
+	if c < 0 || c >= len(d.queues) {
+		return 0
+	}
+	return d.queues[c].bytes
+}
+
+// SPQ is strict priority queuing: class 0 is always served before class 1,
+// and so on. The paper evaluates SPQ as the discipline that fails the race
+// to the top (§6.7).
+type SPQ struct {
+	capBytes int
+	queues   []fifoQueue
+	qBytes   int
+	qItems   int
+}
+
+// NewSPQ returns a strict-priority scheduler over levels classes.
+func NewSPQ(levels, perClassBytes int) *SPQ {
+	return &SPQ{capBytes: perClassBytes, queues: make([]fifoQueue, levels)}
+}
+
+// Enqueue implements Scheduler.
+func (s *SPQ) Enqueue(it Item) []Item {
+	c := it.QoS()
+	if c < 0 || c >= len(s.queues) {
+		c = len(s.queues) - 1
+	}
+	q := &s.queues[c]
+	if s.capBytes > 0 && q.bytes+it.SizeBytes() > s.capBytes {
+		return []Item{it}
+	}
+	q.push(it)
+	s.qBytes += it.SizeBytes()
+	s.qItems++
+	return nil
+}
+
+// Dequeue implements Scheduler.
+func (s *SPQ) Dequeue() Item {
+	for c := range s.queues {
+		if s.queues[c].len() > 0 {
+			it := s.queues[c].pop()
+			s.qBytes -= it.SizeBytes()
+			s.qItems--
+			return it
+		}
+	}
+	return nil
+}
+
+func (s *SPQ) QueuedBytes() int { return s.qBytes }
+func (s *SPQ) QueuedItems() int { return s.qItems }
+func (s *SPQ) BytesFor(c int) int {
+	if c < 0 || c >= len(s.queues) {
+		return 0
+	}
+	return s.queues[c].bytes
+}
+
+// FIFO is a single first-in-first-out queue ignoring QoS classes, the
+// degenerate single-QoS discipline.
+type FIFO struct {
+	capBytes int
+	q        fifoQueue
+}
+
+// NewFIFO returns a FIFO with the given byte capacity (0 = unlimited).
+func NewFIFO(capBytes int) *FIFO { return &FIFO{capBytes: capBytes} }
+
+// Enqueue implements Scheduler.
+func (f *FIFO) Enqueue(it Item) []Item {
+	if f.capBytes > 0 && f.q.bytes+it.SizeBytes() > f.capBytes {
+		return []Item{it}
+	}
+	f.q.push(it)
+	return nil
+}
+
+// Dequeue implements Scheduler.
+func (f *FIFO) Dequeue() Item    { return f.q.pop() }
+func (f *FIFO) QueuedBytes() int { return f.q.bytes }
+func (f *FIFO) QueuedItems() int { return f.q.len() }
+func (f *FIFO) BytesFor(int) int { return f.q.bytes }
+
+// PriorityQueue serves the most urgent item first (smallest Urgency), with
+// FIFO order among equal urgencies, and when full makes room by discarding
+// the least urgent queued item if the arrival is more urgent (pFabric's
+// enqueue/drop policy).
+type PriorityQueue struct {
+	capBytes int
+	h        urgencyHeap
+	bytes    int
+}
+
+// NewPriorityQueue returns a priority queue with the given byte capacity
+// (0 = unlimited).
+func NewPriorityQueue(capBytes int) *PriorityQueue {
+	return &PriorityQueue{capBytes: capBytes}
+}
+
+type pqEntry struct {
+	it  Item
+	seq uint64
+}
+
+type urgencyHeap struct {
+	entries []pqEntry
+	seq     uint64
+}
+
+func (h urgencyHeap) Len() int { return len(h.entries) }
+func (h urgencyHeap) Less(i, j int) bool {
+	a, b := h.entries[i], h.entries[j]
+	if a.it.Urgency() != b.it.Urgency() {
+		return a.it.Urgency() < b.it.Urgency()
+	}
+	return a.seq < b.seq
+}
+func (h urgencyHeap) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *urgencyHeap) Push(x any)   { h.entries = append(h.entries, x.(pqEntry)) }
+func (h *urgencyHeap) Pop() any {
+	old := h.entries
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = pqEntry{}
+	h.entries = old[:n-1]
+	return e
+}
+
+// Enqueue implements Scheduler.
+func (p *PriorityQueue) Enqueue(it Item) []Item {
+	var dropped []Item
+	for p.capBytes > 0 && p.bytes+it.SizeBytes() > p.capBytes {
+		worst := p.leastUrgentIndex()
+		if worst < 0 {
+			return append(dropped, it)
+		}
+		w := p.h.entries[worst].it
+		if w.Urgency() <= it.Urgency() {
+			// Arrival is no more urgent than everything queued: drop it.
+			return append(dropped, it)
+		}
+		heap.Remove(&p.h, worst)
+		p.bytes -= w.SizeBytes()
+		dropped = append(dropped, w)
+	}
+	p.h.seq++
+	heap.Push(&p.h, pqEntry{it, p.h.seq})
+	p.bytes += it.SizeBytes()
+	return dropped
+}
+
+func (p *PriorityQueue) leastUrgentIndex() int {
+	worst := -1
+	for i, e := range p.h.entries {
+		if worst < 0 {
+			worst = i
+			continue
+		}
+		w := p.h.entries[worst]
+		if e.it.Urgency() > w.it.Urgency() ||
+			(e.it.Urgency() == w.it.Urgency() && e.seq > w.seq) {
+			worst = i
+		}
+	}
+	return worst
+}
+
+// Dequeue implements Scheduler.
+func (p *PriorityQueue) Dequeue() Item {
+	if p.h.Len() == 0 {
+		return nil
+	}
+	e := heap.Pop(&p.h).(pqEntry)
+	p.bytes -= e.it.SizeBytes()
+	return e.it
+}
+
+func (p *PriorityQueue) QueuedBytes() int { return p.bytes }
+func (p *PriorityQueue) QueuedItems() int { return p.h.Len() }
+func (p *PriorityQueue) BytesFor(c int) int {
+	total := 0
+	for _, e := range p.h.entries {
+		if e.it.QoS() == c {
+			total += e.it.SizeBytes()
+		}
+	}
+	return total
+}

@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"fmt"
+
+	"aequitas/internal/qos"
+	"aequitas/internal/rpc"
+	"aequitas/internal/sim"
+)
+
+// Process selects the arrival process for a class stream.
+type Process int
+
+const (
+	// Poisson arrivals with exponential inter-arrival times.
+	Poisson Process = iota
+	// Periodic arrivals with deterministic spacing, used for the
+	// "issue RPCs at line rate" experiments (§6.2, §6.5).
+	Periodic
+)
+
+// ClassSpec is one priority class's stream within a Spec.
+type ClassSpec struct {
+	Priority qos.Priority
+	// Share is this class's fraction of the generator's offered bytes
+	// (the input QoS-mix entry).
+	Share float64
+	// Sizes draws RPC payload sizes.
+	Sizes SizeDist
+	// Deadline, when non-zero, stamps each RPC with an absolute deadline
+	// of now+Deadline (used by D3/PDQ baselines).
+	Deadline sim.Duration
+}
+
+// Spec describes one host's offered traffic.
+type Spec struct {
+	// Rate is the link rate the loads are normalised against.
+	Rate sim.Rate
+	// Load is the average offered load µ as a fraction of Rate.
+	Load float64
+	// Rho, when > Load, enables the Figure 7 burst modulation: traffic
+	// arrives at instantaneous load Rho for a fraction Load/Rho of every
+	// Period, then pauses.
+	Rho float64
+	// Period is the burst modulation period (default 100 µs).
+	Period sim.Duration
+	// Process selects Poisson (default) or Periodic arrivals.
+	Process Process
+	// Classes split the offered bytes; shares must sum to ~1.
+	Classes []ClassSpec
+	// Dsts are destination hosts, chosen uniformly per RPC.
+	Dsts []int
+}
+
+// Validate reports specification errors.
+func (sp Spec) Validate() error {
+	if sp.Rate <= 0 {
+		return fmt.Errorf("workload: rate must be positive")
+	}
+	if sp.Load <= 0 {
+		return fmt.Errorf("workload: load must be positive")
+	}
+	if sp.Rho != 0 && sp.Rho < sp.Load {
+		return fmt.Errorf("workload: burst load ρ=%v below average load µ=%v", sp.Rho, sp.Load)
+	}
+	if len(sp.Classes) == 0 {
+		return fmt.Errorf("workload: no classes")
+	}
+	var tot float64
+	for i, c := range sp.Classes {
+		if c.Share < 0 {
+			return fmt.Errorf("workload: class %d negative share", i)
+		}
+		if c.Sizes == nil {
+			return fmt.Errorf("workload: class %d has no size distribution", i)
+		}
+		tot += c.Share
+	}
+	if tot < 0.999 || tot > 1.001 {
+		return fmt.Errorf("workload: class shares sum to %v", tot)
+	}
+	if len(sp.Dsts) == 0 {
+		return fmt.Errorf("workload: no destinations")
+	}
+	return nil
+}
+
+// Generator drives one host's RPC stack with the traffic described by a
+// Spec. Create with NewGenerator, then Start.
+type Generator struct {
+	spec  Spec
+	stack *rpc.Stack
+
+	running bool
+	stopped bool
+	// Offered counts bytes offered per class (input mix accounting).
+	Offered *qos.MixCounter
+}
+
+// NewGenerator validates the spec and builds a generator.
+func NewGenerator(stack *rpc.Stack, spec Spec) (*Generator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Period == 0 {
+		spec.Period = 100 * sim.Microsecond
+	}
+	levels := 0
+	for _, c := range spec.Classes {
+		if l := int(qos.MapPriorityToQoS(c.Priority)) + 1; l > levels {
+			levels = l
+		}
+	}
+	return &Generator{
+		spec:    spec,
+		stack:   stack,
+		Offered: qos.NewMixCounter(levels),
+	}, nil
+}
+
+// Start begins issuing RPCs; one independent arrival stream per class.
+func (g *Generator) Start(s *sim.Simulator) {
+	if g.running {
+		return
+	}
+	g.running = true
+	for i := range g.spec.Classes {
+		g.scheduleNext(s, i)
+	}
+}
+
+// Stop halts the generator after any already-scheduled arrivals.
+func (g *Generator) Stop() { g.stopped = true }
+
+// byteRate returns the class's average offered bytes/second.
+func (g *Generator) byteRate(classIdx int) float64 {
+	c := g.spec.Classes[classIdx]
+	return c.Share * g.spec.Load * float64(g.spec.Rate) / 8
+}
+
+// interArrival returns the mean spacing between this class's RPCs during
+// active (burst) phases.
+func (g *Generator) interArrival(classIdx int) sim.Duration {
+	c := g.spec.Classes[classIdx]
+	rate := g.byteRate(classIdx) // bytes/sec average
+	if g.spec.Rho > g.spec.Load {
+		// During the burst the instantaneous rate is scaled by ρ/µ.
+		rate *= g.spec.Rho / g.spec.Load
+	}
+	mean := c.Sizes.Mean()
+	if rate <= 0 || mean <= 0 {
+		return sim.MaxTime
+	}
+	return sim.FromSeconds(mean / rate)
+}
+
+// burstWindow reports whether t falls in the burst phase and, if not, the
+// start of the next burst.
+func (g *Generator) burstWindow(t sim.Time) (active bool, nextBurst sim.Time) {
+	if g.spec.Rho <= g.spec.Load {
+		return true, 0
+	}
+	period := g.spec.Period
+	offset := t % period
+	burstLen := sim.Duration(float64(period) * g.spec.Load / g.spec.Rho)
+	if offset < burstLen {
+		return true, 0
+	}
+	return false, t - offset + period
+}
+
+func (g *Generator) scheduleNext(s *sim.Simulator, classIdx int) {
+	if g.stopped {
+		return
+	}
+	mean := g.interArrival(classIdx)
+	if mean == sim.MaxTime {
+		return
+	}
+	var gap sim.Duration
+	if g.spec.Process == Poisson {
+		gap = sim.Duration(s.Rand().ExpFloat64() * float64(mean))
+	} else {
+		gap = mean
+	}
+	next := s.Now() + gap
+	// Clip to burst phases: if the arrival lands outside, restart the
+	// draw at the next burst (memorylessness makes this exact for
+	// Poisson; for Periodic it preserves the per-burst count).
+	if active, nextBurst := g.burstWindow(next); !active {
+		s.AtFunc(nextBurst, func(s *sim.Simulator) { g.scheduleNext(s, classIdx) })
+		return
+	}
+	s.AtFunc(next, func(s *sim.Simulator) {
+		if g.stopped {
+			return
+		}
+		g.issue(s, classIdx)
+		g.scheduleNext(s, classIdx)
+	})
+}
+
+func (g *Generator) issue(s *sim.Simulator, classIdx int) {
+	c := g.spec.Classes[classIdx]
+	dst := g.spec.Dsts[s.Rand().Intn(len(g.spec.Dsts))]
+	size := c.Sizes.Sample(s.Rand())
+	if size <= 0 {
+		size = 1
+	}
+	r := &rpc.RPC{Dst: dst, Priority: c.Priority, Bytes: size}
+	if c.Deadline > 0 {
+		r.Deadline = s.Now() + c.Deadline
+	}
+	g.Offered.Add(qos.MapPriorityToQoS(c.Priority), size)
+	g.stack.Issue(s, r)
+}

@@ -1,0 +1,185 @@
+// Package workload generates RPC traffic for experiments: size
+// distributions (fixed, mixed, and production-shaped per Figure 1),
+// Poisson and periodic arrival processes, and the Figure 7 burst/idle
+// modulation parameterised by average load µ and burst load ρ.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// SizeDist samples RPC payload sizes in bytes.
+type SizeDist interface {
+	Sample(r *rand.Rand) int64
+	// Mean returns the expected size, used to convert byte rates into
+	// RPC arrival rates.
+	Mean() float64
+}
+
+// Fixed always returns Bytes.
+type Fixed struct{ Bytes int64 }
+
+// Sample implements SizeDist.
+func (f Fixed) Sample(*rand.Rand) int64 { return f.Bytes }
+
+// Mean implements SizeDist.
+func (f Fixed) Mean() float64 { return float64(f.Bytes) }
+
+// Choice samples from a weighted set of sizes (e.g. the half-32 KB,
+// half-64 KB workload of §6.8).
+type Choice struct {
+	Sizes   []int64
+	Weights []float64
+}
+
+// Sample implements SizeDist.
+func (c Choice) Sample(r *rand.Rand) int64 {
+	var tot float64
+	for _, w := range c.Weights {
+		tot += w
+	}
+	u := r.Float64() * tot
+	for i, w := range c.Weights {
+		if u < w {
+			return c.Sizes[i]
+		}
+		u -= w
+	}
+	return c.Sizes[len(c.Sizes)-1]
+}
+
+// Mean implements SizeDist.
+func (c Choice) Mean() float64 {
+	var tot, acc float64
+	for i, w := range c.Weights {
+		tot += w
+		acc += w * float64(c.Sizes[i])
+	}
+	if tot == 0 {
+		return 0
+	}
+	return acc / tot
+}
+
+// Piecewise is an empirical CDF over log-spaced size points with linear
+// interpolation in log-size space, the representation used for the
+// production-shaped distributions of Figure 1.
+type Piecewise struct {
+	// Sizes must be strictly increasing; CDF must be non-decreasing,
+	// starting above 0 and ending at 1.
+	Sizes []int64
+	CDF   []float64
+
+	meanOnce float64
+}
+
+// NewPiecewise validates and returns a piecewise distribution.
+func NewPiecewise(sizes []int64, cdf []float64) (*Piecewise, error) {
+	if len(sizes) != len(cdf) || len(sizes) < 2 {
+		return nil, fmt.Errorf("workload: need matching sizes/cdf of length ≥ 2")
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			return nil, fmt.Errorf("workload: sizes not increasing at %d", i)
+		}
+		if cdf[i] < cdf[i-1] {
+			return nil, fmt.Errorf("workload: cdf decreasing at %d", i)
+		}
+	}
+	if cdf[0] < 0 || math.Abs(cdf[len(cdf)-1]-1) > 1e-9 {
+		return nil, fmt.Errorf("workload: cdf must end at 1")
+	}
+	return &Piecewise{Sizes: sizes, CDF: cdf}, nil
+}
+
+// MustPiecewise is NewPiecewise for static tables.
+func MustPiecewise(sizes []int64, cdf []float64) *Piecewise {
+	p, err := NewPiecewise(sizes, cdf)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Sample implements SizeDist using inverse-CDF with log-linear
+// interpolation.
+func (p *Piecewise) Sample(r *rand.Rand) int64 {
+	u := r.Float64()
+	i := sort.SearchFloat64s(p.CDF, u)
+	if i == 0 {
+		return p.Sizes[0]
+	}
+	if i >= len(p.CDF) {
+		return p.Sizes[len(p.Sizes)-1]
+	}
+	c0, c1 := p.CDF[i-1], p.CDF[i]
+	if c1 == c0 {
+		return p.Sizes[i]
+	}
+	frac := (u - c0) / (c1 - c0)
+	l0, l1 := math.Log(float64(p.Sizes[i-1])), math.Log(float64(p.Sizes[i]))
+	return int64(math.Exp(l0 + frac*(l1-l0)))
+}
+
+// Mean implements SizeDist (cached numeric estimate of the log-linear
+// interpolated distribution).
+func (p *Piecewise) Mean() float64 {
+	if p.meanOnce != 0 {
+		return p.meanOnce
+	}
+	// Expected value of the log-linear segments: integrate exp of a
+	// uniform in log space per segment. E[X | segment] for X = e^L, L
+	// uniform on [l0, l1]: (e^l1 − e^l0)/(l1 − l0).
+	var mean float64
+	mean += p.CDF[0] * float64(p.Sizes[0])
+	for i := 1; i < len(p.Sizes); i++ {
+		w := p.CDF[i] - p.CDF[i-1]
+		if w == 0 {
+			continue
+		}
+		l0, l1 := math.Log(float64(p.Sizes[i-1])), math.Log(float64(p.Sizes[i]))
+		var seg float64
+		if l1 == l0 {
+			seg = float64(p.Sizes[i])
+		} else {
+			seg = (float64(p.Sizes[i]) - float64(p.Sizes[i-1])) / (l1 - l0)
+		}
+		mean += w * seg
+	}
+	p.meanOnce = mean
+	return mean
+}
+
+// The production-shaped distributions below follow the qualitative shape
+// of Figure 1 (sizes normalised there; absolute scales chosen to match the
+// storage-workload story of §2.1): PC RPCs are mostly small random reads
+// and metadata with a tail of large performance-critical transfers; NC
+// RPCs are mid-size sequential reads; BE RPCs are large background
+// transfers.
+
+// ProductionPC returns the performance-critical size distribution.
+func ProductionPC() *Piecewise {
+	return MustPiecewise(
+		[]int64{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 2 << 20},
+		[]float64{0.10, 0.35, 0.65, 0.85, 0.94, 0.985, 1},
+	)
+}
+
+// ProductionNC returns the non-critical size distribution.
+func ProductionNC() *Piecewise {
+	return MustPiecewise(
+		[]int64{1 << 10, 8 << 10, 32 << 10, 128 << 10, 512 << 10, 4 << 20},
+		[]float64{0.05, 0.25, 0.55, 0.85, 0.97, 1},
+	)
+}
+
+// ProductionBE returns the best-effort size distribution.
+func ProductionBE() *Piecewise {
+	return MustPiecewise(
+		[]int64{4 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20},
+		[]float64{0.05, 0.20, 0.45, 0.75, 0.95, 1},
+	)
+}

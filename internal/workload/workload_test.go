@@ -1,0 +1,327 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aequitas/internal/netsim"
+	"aequitas/internal/qos"
+	"aequitas/internal/rpc"
+	"aequitas/internal/sim"
+	"aequitas/internal/transport"
+	"aequitas/internal/wfq"
+)
+
+func TestFixedDist(t *testing.T) {
+	f := Fixed{Bytes: 32 * 1024}
+	r := rand.New(rand.NewSource(1))
+	if f.Sample(r) != 32*1024 || f.Mean() != 32*1024 {
+		t.Error("Fixed distribution broken")
+	}
+}
+
+func TestChoiceDist(t *testing.T) {
+	c := Choice{Sizes: []int64{32 << 10, 64 << 10}, Weights: []float64{1, 1}}
+	r := rand.New(rand.NewSource(1))
+	counts := map[int64]int{}
+	for i := 0; i < 10000; i++ {
+		counts[c.Sample(r)]++
+	}
+	if len(counts) != 2 {
+		t.Fatalf("sampled %d distinct sizes", len(counts))
+	}
+	frac := float64(counts[32<<10]) / 10000
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Errorf("32K fraction = %v", frac)
+	}
+	if want := float64(48 << 10); c.Mean() != want {
+		t.Errorf("Mean = %v, want %v", c.Mean(), want)
+	}
+}
+
+func TestPiecewiseValidation(t *testing.T) {
+	cases := []struct {
+		sizes []int64
+		cdf   []float64
+	}{
+		{[]int64{100}, []float64{1}},
+		{[]int64{100, 50}, []float64{0.5, 1}},
+		{[]int64{100, 200}, []float64{0.9, 0.5}},
+		{[]int64{100, 200}, []float64{0.5, 0.9}},
+	}
+	for i, c := range cases {
+		if _, err := NewPiecewise(c.sizes, c.cdf); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPiecewiseSampleInRange(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, p := range []*Piecewise{ProductionPC(), ProductionNC(), ProductionBE()} {
+		lo, hi := p.Sizes[0], p.Sizes[len(p.Sizes)-1]
+		for i := 0; i < 5000; i++ {
+			s := p.Sample(r)
+			if s < lo || s > hi {
+				t.Fatalf("sample %d outside [%d, %d]", s, lo, hi)
+			}
+		}
+	}
+}
+
+func TestPiecewiseMeanMatchesEmpirical(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, p := range []*Piecewise{ProductionPC(), ProductionNC(), ProductionBE()} {
+		var sum float64
+		const n = 200000
+		for i := 0; i < n; i++ {
+			sum += float64(p.Sample(r))
+		}
+		emp := sum / n
+		if m := p.Mean(); math.Abs(emp-m)/m > 0.05 {
+			t.Errorf("mean mismatch: analytic %v empirical %v", m, emp)
+		}
+	}
+}
+
+func TestProductionShapesOrdered(t *testing.T) {
+	// The qualitative Figure 1 property: PC sizes are generally smaller
+	// than NC, which are smaller than BE, but PC has a large-RPC tail.
+	pc, nc, be := ProductionPC(), ProductionNC(), ProductionBE()
+	if !(pc.Mean() < nc.Mean() && nc.Mean() < be.Mean()) {
+		t.Errorf("means not ordered: pc=%v nc=%v be=%v", pc.Mean(), nc.Mean(), be.Mean())
+	}
+	if pc.Sizes[len(pc.Sizes)-1] < 1<<20 {
+		t.Error("PC distribution lacks the large-RPC tail the paper highlights")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{
+		Rate: 100 * sim.Gbps, Load: 0.8, Rho: 1.4,
+		Classes: []ClassSpec{{Priority: qos.PC, Share: 1, Sizes: Fixed{1000}}},
+		Dsts:    []int{1},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+	bad := []Spec{
+		{Load: 0.8, Classes: good.Classes, Dsts: good.Dsts},
+		{Rate: good.Rate, Classes: good.Classes, Dsts: good.Dsts},
+		{Rate: good.Rate, Load: 0.8, Rho: 0.4, Classes: good.Classes, Dsts: good.Dsts},
+		{Rate: good.Rate, Load: 0.8, Dsts: good.Dsts},
+		{Rate: good.Rate, Load: 0.8, Classes: []ClassSpec{{Share: 0.5, Sizes: Fixed{1}}}, Dsts: good.Dsts},
+		{Rate: good.Rate, Load: 0.8, Classes: good.Classes},
+		{Rate: good.Rate, Load: 0.8, Classes: []ClassSpec{{Share: 1, Sizes: nil}}, Dsts: good.Dsts},
+	}
+	for i, sp := range bad {
+		if err := sp.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func buildStacks(t *testing.T, hosts int) []*rpc.Stack {
+	t.Helper()
+	net, err := netsim.New(netsim.Config{
+		Hosts: hosts,
+		SwitchSched: func() wfq.Scheduler {
+			return wfq.NewWFQ([]float64{8, 4, 1}, 2<<20)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stacks := make([]*rpc.Stack, hosts)
+	for i := 0; i < hosts; i++ {
+		ep := transport.NewEndpoint(net, net.Host(i), transport.Config{
+			NewCC: func() transport.CC { return transport.SwiftDefaults(10 * sim.Microsecond) },
+		})
+		stacks[i] = rpc.NewStack(ep, nil)
+	}
+	return stacks
+}
+
+func TestGeneratorOfferedLoad(t *testing.T) {
+	stacks := buildStacks(t, 2)
+	s := sim.New(5)
+	gen, err := NewGenerator(stacks[0], Spec{
+		Rate: 100 * sim.Gbps, Load: 0.5,
+		Classes: []ClassSpec{{Priority: qos.PC, Share: 1, Sizes: Fixed{32 << 10}}},
+		Dsts:    []int{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Start(s)
+	const horizon = 20 * sim.Millisecond
+	s.RunUntil(horizon)
+	gen.Stop()
+	offered := float64(gen.Offered.Total()) * 8 / horizon.Seconds()
+	if math.Abs(offered-0.5e11)/0.5e11 > 0.1 {
+		t.Errorf("offered %.3g bps, want ~50 Gbps", offered)
+	}
+}
+
+func TestGeneratorMixShares(t *testing.T) {
+	stacks := buildStacks(t, 2)
+	s := sim.New(6)
+	gen, err := NewGenerator(stacks[0], Spec{
+		Rate: 100 * sim.Gbps, Load: 0.6,
+		Classes: []ClassSpec{
+			{Priority: qos.PC, Share: 0.6, Sizes: Fixed{16 << 10}},
+			{Priority: qos.NC, Share: 0.3, Sizes: Fixed{64 << 10}},
+			{Priority: qos.BE, Share: 0.1, Sizes: Fixed{128 << 10}},
+		},
+		Dsts: []int{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Start(s)
+	s.RunUntil(50 * sim.Millisecond)
+	gen.Stop()
+	mix := gen.Offered.Mix()
+	want := []float64{0.6, 0.3, 0.1}
+	for i := range want {
+		if math.Abs(mix[i]-want[i]) > 0.05 {
+			t.Errorf("offered mix[%d] = %v, want %v", i, mix[i], want[i])
+		}
+	}
+}
+
+func TestGeneratorBurstModulation(t *testing.T) {
+	stacks := buildStacks(t, 2)
+	s := sim.New(7)
+	period := 100 * sim.Microsecond
+	gen, err := NewGenerator(stacks[0], Spec{
+		Rate: 100 * sim.Gbps, Load: 0.4, Rho: 1.6, Period: period,
+		Classes: []ClassSpec{{Priority: qos.PC, Share: 1, Sizes: Fixed{8 << 10}}},
+		Dsts:    []int{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record arrival phases. Burst fraction = µ/ρ = 0.25 of each period.
+	inBurst, outBurst := 0, 0
+	stacks[0].OnComplete = func(*sim.Simulator, *rpc.RPC) {}
+	origIssue := gen.issue
+	_ = origIssue
+	// Instead of hooking issue, inspect offered counter growth per phase
+	// by sampling.
+	var lastTotal int64
+	probe := func(s *sim.Simulator) {}
+	probe = func(s *sim.Simulator) {
+		cur := gen.Offered.Total()
+		delta := cur - lastTotal
+		lastTotal = cur
+		off := s.Now() % period
+		if off < sim.Duration(float64(period)*0.25) {
+			inBurst += int(delta)
+		} else {
+			outBurst += int(delta)
+		}
+		if s.Now() < 50*sim.Millisecond {
+			s.AfterFunc(period/20, probe)
+		}
+	}
+	gen.Start(s)
+	s.AfterFunc(0, probe)
+	s.RunUntil(50 * sim.Millisecond)
+	gen.Stop()
+	total := inBurst + outBurst
+	if total == 0 {
+		t.Fatal("no traffic generated")
+	}
+	frac := float64(inBurst) / float64(total)
+	// Arrivals during the ~25% burst window should dominate; sampling
+	// granularity blurs the boundary, so accept ≥ 0.8.
+	if frac < 0.8 {
+		t.Errorf("burst-phase fraction = %v, want concentrated arrivals", frac)
+	}
+	// Average load must still be ~0.4.
+	offered := float64(gen.Offered.Total()) * 8 / (50 * sim.Millisecond).Seconds()
+	if math.Abs(offered-0.4e11)/0.4e11 > 0.15 {
+		t.Errorf("offered %.3g bps, want ~40 Gbps", offered)
+	}
+}
+
+func TestGeneratorPeriodicProcess(t *testing.T) {
+	stacks := buildStacks(t, 2)
+	s := sim.New(8)
+	gen, err := NewGenerator(stacks[0], Spec{
+		Rate: 100 * sim.Gbps, Load: 1.0, Process: Periodic,
+		Classes: []ClassSpec{{Priority: qos.PC, Share: 1, Sizes: Fixed{32 << 10}}},
+		Dsts:    []int{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Start(s)
+	s.RunUntil(10 * sim.Millisecond)
+	gen.Stop()
+	// At line rate, 32 KB RPCs arrive every 2.62 µs: ~3815 RPCs in 10 ms.
+	want := (10 * sim.Millisecond).Seconds() / (float64(32<<10) * 8 / 1e11)
+	got := float64(gen.Offered.Total()) / float64(32<<10)
+	if math.Abs(got-want)/want > 0.02 {
+		t.Errorf("periodic arrivals = %v, want ~%v", got, want)
+	}
+}
+
+func TestGeneratorDeadlineStamping(t *testing.T) {
+	stacks := buildStacks(t, 2)
+	s := sim.New(9)
+	var got []sim.Time
+	stacks[0].OnComplete = func(_ *sim.Simulator, r *rpc.RPC) { got = append(got, r.Deadline) }
+	gen, err := NewGenerator(stacks[0], Spec{
+		Rate: 100 * sim.Gbps, Load: 0.1,
+		Classes: []ClassSpec{{Priority: qos.PC, Share: 1, Sizes: Fixed{1000}, Deadline: 250 * sim.Microsecond}},
+		Dsts:    []int{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Start(s)
+	s.RunUntil(1 * sim.Millisecond)
+	gen.Stop()
+	s.Run()
+	if len(got) == 0 {
+		t.Fatal("no completions")
+	}
+	for _, d := range got {
+		if d <= 0 {
+			t.Fatal("deadline not stamped")
+		}
+	}
+}
+
+// Property: piecewise sampling respects the CDF — fraction of samples
+// below each knot approximates its CDF value.
+func TestPiecewiseCDFProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		p := ProductionPC()
+		r := rand.New(rand.NewSource(seed))
+		const n = 20000
+		counts := make([]int, len(p.Sizes))
+		for i := 0; i < n; i++ {
+			s := p.Sample(r)
+			for j, sz := range p.Sizes {
+				if s <= sz {
+					counts[j]++
+				}
+			}
+		}
+		for j := range p.Sizes {
+			frac := float64(counts[j]) / n
+			if math.Abs(frac-p.CDF[j]) > 0.02 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,158 @@
+package aequitas
+
+import (
+	"fmt"
+	"sort"
+
+	"aequitas/internal/stats"
+)
+
+// Point is an (x, y) pair in plot-style outputs (CDFs).
+type Point struct{ X, Y float64 }
+
+// Series is a time series; T is in simulated seconds.
+type Series struct {
+	Name string
+	T    []float64
+	V    []float64
+}
+
+// Final returns the last value, or def when empty.
+func (s Series) Final(def float64) float64 {
+	if len(s.V) == 0 {
+		return def
+	}
+	return s.V[len(s.V)-1]
+}
+
+// MeanAfter returns the mean of values with T ≥ start.
+func (s Series) MeanAfter(start float64) float64 {
+	var sum float64
+	n := 0
+	for i, t := range s.T {
+		if t >= start {
+			sum += s.V[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// SettlingTime returns the earliest time after which all values stay
+// within ±tol of the final value (convergence time, §6.6).
+func (s Series) SettlingTime(tol float64) float64 {
+	ser := stats.Series{T: s.T, V: s.V}
+	return ser.SettlingTime(tol)
+}
+
+// LatencySummary reports RNL statistics in microseconds.
+type LatencySummary struct {
+	N                                          int
+	MeanUS, P50US, P90US, P99US, P999US, MaxUS float64
+}
+
+func (l LatencySummary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1fus p50=%.1fus p99=%.1fus p99.9=%.1fus max=%.1fus",
+		l.N, l.MeanUS, l.P50US, l.P99US, l.P999US, l.MaxUS)
+}
+
+func summarizeUS(s *stats.Sample) LatencySummary {
+	if s.N() == 0 {
+		return LatencySummary{}
+	}
+	return LatencySummary{
+		N:      s.N(),
+		MeanUS: s.Mean(),
+		P50US:  s.Quantile(0.50),
+		P90US:  s.Quantile(0.90),
+		P99US:  s.Quantile(0.99),
+		P999US: s.Quantile(0.999),
+		MaxUS:  s.Max(),
+	}
+}
+
+// ProbeResult is the recorded series for one (src, dst, class) channel.
+type ProbeResult struct {
+	Src, Dst int
+	Class    Class
+	// AdmitProbability is p_admit over time (1.0 for non-Aequitas runs).
+	AdmitProbability Series
+	// ThroughputGbps is the channel's goodput on the probed class.
+	ThroughputGbps Series
+}
+
+// Results reports one simulation run.
+type Results struct {
+	System System
+
+	// RNLRun summarises RPC network latency by the class the RPC
+	// actually ran on (downgraded RPCs count toward the scavenger
+	// class), the per-QoS view of Figures 11, 12, 19, 21.
+	RNLRun map[Class]LatencySummary
+	// RNLPriority summarises RNL by the application's original priority
+	// regardless of downgrades.
+	RNLPriority map[Priority]LatencySummary
+
+	// SLOMetBytesFraction is the byte-weighted fraction of each
+	// priority's traffic (issued in the measurement window) that
+	// completed within its original class's normalised SLO — Figure 22's
+	// "traffic meeting SLOs". RPCs that never completed count as
+	// misses.
+	SLOMetBytesFraction map[Priority]float64
+	// SLOMetCountFraction is the same, weighted per RPC.
+	SLOMetCountFraction map[Priority]float64
+	// SLOMetRunBytesFraction is the byte-weighted fraction of traffic
+	// that ran on each SLO-carrying class and met that class's target —
+	// the compliance of *admitted* traffic, the paper's correctness
+	// criterion (§6.2).
+	SLOMetRunBytesFraction map[Class]float64
+
+	// InputMix is the byte share each class was requested at;
+	// AdmittedMix is the byte share actually issued per class after
+	// admission control (Figure 15's "Admitted").
+	InputMix, AdmittedMix []float64
+
+	Issued, Completed, Downgraded, Dropped int64
+	// Terminated counts RPCs abandoned by deadline-based baselines.
+	Terminated int64
+
+	// GoodputFraction is completed payload bytes over offered payload
+	// bytes in the measurement window (Figure 22's network utilisation).
+	GoodputFraction float64
+	// AvgDownlinkUtilization is the mean busy fraction of switch egress
+	// ports during the measurement window.
+	AvgDownlinkUtilization float64
+
+	Probes []ProbeResult
+
+	// OutstandingHighMed / OutstandingLow are CDFs of per-switch-port
+	// outstanding RPC counts for the SLO classes and the scavenger class
+	// (Figure 13); empty unless TrackOutstanding was set.
+	OutstandingHighMed, OutstandingLow []Point
+
+	// rnl retains the raw per-class samples for quantile queries.
+	rnlRun map[Class]*stats.Sample
+}
+
+// RNLQuantileUS returns the q-quantile (0..1) of RNL in microseconds for
+// RPCs that ran on class c, or 0 when no samples exist.
+func (r *Results) RNLQuantileUS(c Class, q float64) float64 {
+	s, ok := r.rnlRun[c]
+	if !ok || s.N() == 0 {
+		return 0
+	}
+	return s.Quantile(q)
+}
+
+// Classes returns the run classes with samples, sorted.
+func (r *Results) Classes() []Class {
+	var cs []Class
+	for c := range r.RNLRun {
+		cs = append(cs, c)
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	return cs
+}

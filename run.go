@@ -1,0 +1,538 @@
+package aequitas
+
+import (
+	"fmt"
+	"time"
+
+	"aequitas/internal/baselines"
+	"aequitas/internal/core"
+	"aequitas/internal/netsim"
+	"aequitas/internal/qos"
+	"aequitas/internal/rpc"
+	"aequitas/internal/sim"
+	"aequitas/internal/stats"
+	"aequitas/internal/transport"
+	"aequitas/internal/workload"
+)
+
+// Run executes one simulation and returns its measurements.
+func Run(cfg SimConfig) (*Results, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	s := sim.New(cfg.Seed + 1)
+	lineRate := sim.Rate(cfg.LinkRate)
+	net, err := netsim.New(netsim.Config{
+		Hosts:       cfg.Hosts,
+		LinkRate:    lineRate,
+		PropDelay:   sim.FromStd(cfg.PropDelay),
+		SwitchSched: cfg.schedFactory(),
+		Topology: netsim.Topology{
+			Leaves:        cfg.Leaves,
+			Spines:        cfg.Spines,
+			SpineLinkRate: sim.Rate(cfg.SpineLinkRate),
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	col := newCollector(&cfg)
+
+	// Per-host transport senders and admission controllers.
+	senders := make([]rpc.Sender, cfg.Hosts)
+	controllers := make([]*core.Controller, cfg.Hosts)
+	var fabric *baselines.DeadlineFabric
+	if cfg.System == SystemD3 || cfg.System == SystemPDQ {
+		policy := baselines.PolicyD3
+		if cfg.System == SystemPDQ {
+			policy = baselines.PolicyPDQ
+		}
+		fabric = baselines.NewDeadlineFabric(cfg.Hosts, baselines.DeadlineConfig{
+			Policy:   policy,
+			LineRate: lineRate,
+		})
+	}
+	newEndpoint := func(h *netsim.Host, tc transport.Config) *transport.Endpoint {
+		tc.RTOMin = sim.FromStd(cfg.RTOMin)
+		return transport.NewEndpoint(net, h, tc)
+	}
+	for i := 0; i < cfg.Hosts; i++ {
+		h := net.Host(i)
+		switch cfg.System {
+		case SystemHoma:
+			senders[i] = baselines.NewHoma(h, baselines.HomaConfig{LineRate: lineRate})
+		case SystemD3, SystemPDQ:
+			senders[i] = baselines.NewDeadlineSender(fabric, h)
+		case SystemQJump:
+			ep := newEndpoint(h, transport.Config{
+				NewCC: func() transport.CC { return transport.Fixed{W: 128} },
+			})
+			senders[i] = baselines.NewQJump(ep, baselines.QJumpConfig{
+				LevelRates: baselines.QJumpRates(cfg.levels(), lineRate, cfg.Hosts),
+			})
+		case SystemPFabric:
+			// pFabric hosts transmit aggressively and rely on the
+			// fabric's SRPT queues plus retransmission.
+			ep := newEndpoint(h, transport.Config{
+				NewCC: func() transport.CC { return transport.Fixed{W: 128} },
+			})
+			senders[i] = ep
+		default:
+			tc := transport.Config{}
+			if cfg.DisableCC {
+				w := cfg.FixedWindow
+				tc.NewCC = func() transport.CC { return transport.Fixed{W: w} }
+			} else {
+				target := sim.FromStd(cfg.CCTarget)
+				tc.NewCC = func() transport.CC { return transport.SwiftDefaults(target) }
+			}
+			senders[i] = newEndpoint(h, tc)
+		}
+
+		var adm rpc.Admitter = rpc.PassThrough{}
+		if cfg.System == SystemAequitas {
+			ctl, err := core.New(cfg.coreConfig())
+			if err != nil {
+				return nil, err
+			}
+			controllers[i] = ctl
+			adm = ctl
+		}
+		stack := rpc.NewStack(senders[i], &countingAdmitter{inner: adm, col: col})
+		src := i
+		stack.OnComplete = func(s *sim.Simulator, r *rpc.RPC) {
+			col.addProbeBytes(src, r.Dst, r.QoSRun, r.Bytes)
+			col.onComplete(s, r)
+			col.trace(s, src, r)
+		}
+		col.stacks = append(col.stacks, stack)
+	}
+
+	// Workload generators.
+	for _, ht := range cfg.Traffic {
+		hosts := ht.Hosts
+		if hosts == nil {
+			hosts = allHosts(cfg.Hosts)
+		}
+		for _, hid := range hosts {
+			if hid < 0 || hid >= cfg.Hosts {
+				return nil, fmt.Errorf("aequitas: traffic host %d out of range", hid)
+			}
+			dsts := ht.Dsts
+			if dsts == nil {
+				dsts = otherHosts(cfg.Hosts, hid)
+			}
+			spec, err := toSpec(&cfg, ht, dsts)
+			if err != nil {
+				return nil, err
+			}
+			gen, err := workload.NewGenerator(col.stacks[hid], spec)
+			if err != nil {
+				return nil, err
+			}
+			col.gens = append(col.gens, gen)
+			gen.Start(s)
+		}
+	}
+
+	// Warmup boundary: begin measurement.
+	warm := sim.FromStd(cfg.Warmup)
+	end := sim.FromStd(cfg.Duration)
+	s.AtFunc(warm, func(s *sim.Simulator) { col.beginMeasurement(s, net) })
+
+	// Probe and outstanding sampling.
+	if len(cfg.Probes) > 0 || cfg.TrackOutstanding {
+		interval := sim.FromStd(cfg.SampleEvery)
+		var tick func(*sim.Simulator)
+		tick = func(s *sim.Simulator) {
+			col.sample(s, controllers)
+			if s.Now() < end {
+				s.AfterFunc(interval, tick)
+			}
+		}
+		s.AtFunc(warm, tick)
+	}
+
+	// Run: offered load until end, then drain.
+	s.RunUntil(end)
+	for _, g := range col.gens {
+		g.Stop()
+	}
+	col.endMeasurement(s, net)
+	drain := end / 5
+	if drain > sim.FromStd(50*time.Millisecond) {
+		drain = sim.FromStd(50 * time.Millisecond)
+	}
+	s.RunUntil(end + drain)
+
+	res := col.results(&cfg, net)
+	if fabric != nil {
+		res.Terminated = fabric.Terminated
+	}
+	return res, nil
+}
+
+func allHosts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func otherHosts(n, except int) []int {
+	out := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != except {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// toSpec converts the public HostTraffic into a workload.Spec.
+func toSpec(cfg *SimConfig, ht HostTraffic, dsts []int) (workload.Spec, error) {
+	if ht.AvgLoad <= 0 {
+		return workload.Spec{}, fmt.Errorf("aequitas: traffic needs AvgLoad > 0")
+	}
+	spec := workload.Spec{
+		Rate:   sim.Rate(cfg.LinkRate),
+		Load:   ht.AvgLoad,
+		Rho:    ht.BurstLoad,
+		Period: sim.FromStd(cfg.BurstPeriod),
+		Dsts:   dsts,
+	}
+	if ht.Arrival == ArrivalPeriodic {
+		spec.Process = workload.Periodic
+	}
+	for _, tc := range ht.Classes {
+		sz := tc.Size
+		if sz == nil {
+			if tc.FixedBytes <= 0 {
+				return workload.Spec{}, fmt.Errorf("aequitas: class needs Size or FixedBytes")
+			}
+			sz = workload.Fixed{Bytes: tc.FixedBytes}
+		}
+		spec.Classes = append(spec.Classes, workload.ClassSpec{
+			Priority: tc.Priority,
+			Share:    tc.Share,
+			Sizes:    sz,
+			Deadline: sim.FromStd(tc.Deadline),
+		})
+	}
+	return spec, nil
+}
+
+// countingAdmitter wraps the real admitter to record input and admitted
+// byte mixes at issue time, within the measurement window.
+type countingAdmitter struct {
+	inner rpc.Admitter
+	col   *collector
+}
+
+func (ca *countingAdmitter) Admit(s *sim.Simulator, dst int, requested qos.Class, sizeMTUs int64) rpc.Decision {
+	d := ca.inner.Admit(s, dst, requested, sizeMTUs)
+	ca.col.onAdmit(s, requested, d, sizeMTUs)
+	return d
+}
+
+func (ca *countingAdmitter) Observe(s *sim.Simulator, dst int, run qos.Class, rnl sim.Duration, sizeMTUs int64) {
+	ca.inner.Observe(s, dst, run, rnl, sizeMTUs)
+}
+
+// collector accumulates all measurements for one run.
+type collector struct {
+	cfg    *SimConfig
+	warm   sim.Time
+	end    sim.Time
+	stacks []*rpc.Stack
+	gens   []*workload.Generator
+
+	measuring bool
+
+	inputMix    *qos.MixCounter
+	admittedMix *qos.MixCounter
+
+	rnlRun  map[qos.Class]*stats.Sample
+	rnlPrio map[qos.Priority]*stats.Sample
+
+	issued, completed, downgraded, dropped int64
+	// SLO accounting by priority: issued vs met, in bytes and counts.
+	issuedBytes, metBytes map[qos.Priority]int64
+	issuedCount, metCount map[qos.Priority]int64
+	// SLO accounting by the class the RPC actually ran on.
+	runBytes, runMetBytes map[qos.Class]int64
+	completedPayloadBytes int64
+	offeredBytesAtWarm    int64
+	busyAtWarm, busyAtEnd sim.Duration
+	measStart, measEnd    sim.Time
+
+	probes      []*probeState
+	outHigh     stats.Sample
+	outLow      stats.Sample
+	traceHeader bool
+}
+
+type probeState struct {
+	p          Probe
+	admitSer   stats.Series
+	thruSer    stats.Series
+	bytes      int64 // completed bytes on (src,dst,class) since last sample
+	lastSample sim.Time
+}
+
+func newCollector(cfg *SimConfig) *collector {
+	c := &collector{
+		cfg:         cfg,
+		warm:        sim.FromStd(cfg.Warmup),
+		end:         sim.FromStd(cfg.Duration),
+		inputMix:    qos.NewMixCounter(cfg.levels()),
+		admittedMix: qos.NewMixCounter(cfg.levels()),
+		rnlRun:      make(map[qos.Class]*stats.Sample),
+		rnlPrio:     make(map[qos.Priority]*stats.Sample),
+		issuedBytes: make(map[qos.Priority]int64),
+		metBytes:    make(map[qos.Priority]int64),
+		issuedCount: make(map[qos.Priority]int64),
+		metCount:    make(map[qos.Priority]int64),
+		runBytes:    make(map[qos.Class]int64),
+		runMetBytes: make(map[qos.Class]int64),
+	}
+	for _, p := range cfg.Probes {
+		c.probes = append(c.probes, &probeState{p: p})
+	}
+	return c
+}
+
+func (c *collector) beginMeasurement(s *sim.Simulator, net *netsim.Network) {
+	c.measuring = true
+	c.measStart = s.Now()
+	for _, g := range c.gens {
+		c.offeredBytesAtWarm += g.Offered.Total()
+	}
+	for i := 0; i < net.Hosts(); i++ {
+		c.busyAtWarm += net.Downlink(i).Stats.BusyTime
+	}
+}
+
+func (c *collector) endMeasurement(s *sim.Simulator, net *netsim.Network) {
+	c.measEnd = s.Now()
+	for i := 0; i < net.Hosts(); i++ {
+		c.busyAtEnd += net.Downlink(i).Stats.BusyTime
+	}
+}
+
+func (c *collector) onAdmit(s *sim.Simulator, requested qos.Class, d rpc.Decision, sizeMTUs int64) {
+	if !c.measuring || s.Now() > c.end {
+		return
+	}
+	bytes := sizeMTUs * int64(netsim.MaxPayload)
+	// With fewer QoS levels than priority classes (e.g. 2-level runs),
+	// lower priorities all request the scavenger class; clamp so their
+	// bytes are counted rather than silently dropped.
+	mixClass := requested
+	if int(mixClass) >= c.cfg.levels() {
+		mixClass = qos.Class(c.cfg.levels() - 1)
+	}
+	c.inputMix.Add(mixClass, bytes)
+	if !d.Drop {
+		c.admittedMix.Add(d.Class, bytes)
+	}
+	c.issued++
+	if d.Downgraded {
+		c.downgraded++
+	}
+	if d.Drop {
+		c.dropped++
+	}
+	// SLO-met denominators are charged at issue so that RPCs that never
+	// complete — dropped, terminated by a deadline baseline, or still
+	// stuck at the end of the run — count as misses.
+	pr := qos.MapQoSToPriority(requested)
+	c.issuedBytes[pr] += bytes
+	c.issuedCount[pr]++
+}
+
+// inWindow reports whether an RPC issued at t counts toward statistics.
+func (c *collector) inWindow(t sim.Time) bool { return t >= c.warm && t <= c.end }
+
+func (c *collector) onComplete(s *sim.Simulator, r *rpc.RPC) {
+	if !c.inWindow(r.IssueTime) {
+		return
+	}
+	us := r.RNL.Micros()
+	sampleFor(c.rnlRun, r.QoSRun).Add(us)
+	sampleFor(c.rnlPrio, r.Priority).Add(us)
+	c.completed++
+	c.completedPayloadBytes += r.Bytes
+
+	if c.meetsSLO(r) {
+		// Numerator in the same MTU-quantised bytes as the issue-time
+		// denominator.
+		c.metBytes[r.Priority] += r.SizeMTUs * int64(netsim.MaxPayload)
+		c.metCount[r.Priority]++
+	}
+	if int(r.QoSRun) < len(c.cfg.SLOs) {
+		c.runBytes[r.QoSRun] += r.Bytes
+		target := c.cfg.SLOs[r.QoSRun].perMTU()
+		if r.RNL/sim.Duration(r.SizeMTUs) < target {
+			c.runMetBytes[r.QoSRun] += r.Bytes
+		}
+	}
+}
+
+// meetsSLO checks the RPC against its *original* class's normalised
+// target (Figure 22's criterion).
+func (c *collector) meetsSLO(r *rpc.RPC) bool {
+	k := int(r.QoSRequested)
+	if k >= len(c.cfg.SLOs) {
+		return true // the scavenger class has no SLO to miss
+	}
+	target := c.cfg.SLOs[k].perMTU()
+	return r.RNL/sim.Duration(r.SizeMTUs) < target
+}
+
+func sampleFor[K comparable](m map[K]*stats.Sample, k K) *stats.Sample {
+	sm, ok := m[k]
+	if !ok {
+		sm = &stats.Sample{}
+		m[k] = sm
+	}
+	return sm
+}
+
+// sample records probe and outstanding data points.
+func (c *collector) sample(s *sim.Simulator, controllers []*core.Controller) {
+	now := s.Now().Seconds()
+	for _, ps := range c.probes {
+		p := 1.0
+		if ctl := controllers[ps.p.Src]; ctl != nil {
+			p = ctl.AdmitProbability(ps.p.Dst, ps.p.Class)
+		}
+		ps.admitSer.Append(now, p)
+		dt := (s.Now() - ps.lastSample).Seconds()
+		if ps.lastSample == 0 {
+			dt = 0
+		}
+		if dt > 0 {
+			gbps := float64(ps.bytes) * 8 / dt / 1e9
+			ps.thruSer.Append(now, gbps)
+		}
+		ps.bytes = 0
+		ps.lastSample = s.Now()
+	}
+	if c.cfg.TrackOutstanding {
+		levels := c.cfg.levels()
+		for dst := 0; dst < len(c.stacks); dst++ {
+			var hi, lo int
+			for _, st := range c.stacks {
+				for cl := 0; cl < levels-1; cl++ {
+					hi += st.OutstandingClass(dst, qos.Class(cl))
+				}
+				lo += st.OutstandingClass(dst, qos.Class(levels-1))
+			}
+			c.outHigh.Add(float64(hi))
+			c.outLow.Add(float64(lo))
+		}
+	}
+}
+
+// trace writes one per-RPC CSV record to the configured TraceWriter.
+func (c *collector) trace(s *sim.Simulator, src int, r *rpc.RPC) {
+	w := c.cfg.TraceWriter
+	if w == nil || !c.inWindow(r.IssueTime) {
+		return
+	}
+	if !c.traceHeader {
+		c.traceHeader = true
+		fmt.Fprintln(w, "complete_s,src,dst,priority,requested,ran,downgraded,bytes,rnl_us")
+	}
+	fmt.Fprintf(w, "%.9f,%d,%d,%s,%s,%s,%t,%d,%.3f\n",
+		r.CompleteTime.Seconds(), src, r.Dst, r.Priority, r.QoSRequested,
+		r.QoSRun, r.Downgraded, r.Bytes, r.RNL.Micros())
+}
+
+// addProbeBytes credits completed bytes to matching probes; wired through
+// per-stack OnComplete in results assembly.
+func (c *collector) addProbeBytes(src, dst int, class qos.Class, bytes int64) {
+	for _, ps := range c.probes {
+		if ps.p.Src == src && ps.p.Dst == dst && ps.p.Class == class {
+			ps.bytes += bytes
+		}
+	}
+}
+
+func (c *collector) results(cfg *SimConfig, net *netsim.Network) *Results {
+	res := &Results{
+		System:              cfg.System,
+		RNLRun:              make(map[Class]LatencySummary),
+		RNLPriority:         make(map[Priority]LatencySummary),
+		SLOMetBytesFraction: make(map[Priority]float64),
+		SLOMetCountFraction: make(map[Priority]float64),
+		Issued:              c.issued,
+		Completed:           c.completed,
+		Downgraded:          c.downgraded,
+		Dropped:             c.dropped,
+		rnlRun:              c.rnlRun,
+	}
+	for cl, sm := range c.rnlRun {
+		res.RNLRun[cl] = summarizeUS(sm)
+	}
+	for pr, sm := range c.rnlPrio {
+		res.RNLPriority[pr] = summarizeUS(sm)
+	}
+	for pr, ib := range c.issuedBytes {
+		if ib > 0 {
+			res.SLOMetBytesFraction[pr] = float64(c.metBytes[pr]) / float64(ib)
+		}
+	}
+	for pr, ic := range c.issuedCount {
+		if ic > 0 {
+			res.SLOMetCountFraction[pr] = float64(c.metCount[pr]) / float64(ic)
+		}
+	}
+	res.SLOMetRunBytesFraction = make(map[Class]float64)
+	for cl, rb := range c.runBytes {
+		if rb > 0 {
+			res.SLOMetRunBytesFraction[cl] = float64(c.runMetBytes[cl]) / float64(rb)
+		}
+	}
+	res.InputMix = c.inputMix.Mix()
+	res.AdmittedMix = c.admittedMix.Mix()
+
+	var offered int64
+	for _, g := range c.gens {
+		offered += g.Offered.Total()
+	}
+	offered -= c.offeredBytesAtWarm
+	if offered > 0 {
+		res.GoodputFraction = float64(c.completedPayloadBytes) / float64(offered)
+		if res.GoodputFraction > 1 {
+			res.GoodputFraction = 1
+		}
+	}
+	if span := c.measEnd - c.measStart; span > 0 && net.Hosts() > 0 {
+		res.AvgDownlinkUtilization = float64(c.busyAtEnd-c.busyAtWarm) / float64(span) / float64(net.Hosts())
+	}
+
+	for _, ps := range c.probes {
+		res.Probes = append(res.Probes, ProbeResult{
+			Src: ps.p.Src, Dst: ps.p.Dst, Class: ps.p.Class,
+			AdmitProbability: Series{Name: "p_admit", T: ps.admitSer.T, V: ps.admitSer.V},
+			ThroughputGbps:   Series{Name: "goodput", T: ps.thruSer.T, V: ps.thruSer.V},
+		})
+	}
+	if cfg.TrackOutstanding {
+		res.OutstandingHighMed = toPoints(c.outHigh.CDF(200))
+		res.OutstandingLow = toPoints(c.outLow.CDF(200))
+	}
+	return res
+}
+
+func toPoints(ps []stats.Point) []Point {
+	out := make([]Point, len(ps))
+	for i, p := range ps {
+		out[i] = Point{p.X, p.Y}
+	}
+	return out
+}

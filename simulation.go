@@ -1,0 +1,329 @@
+package aequitas
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"aequitas/internal/core"
+	"aequitas/internal/netsim"
+	"aequitas/internal/qos"
+	"aequitas/internal/sim"
+	"aequitas/internal/wfq"
+	"aequitas/internal/workload"
+)
+
+// SizeDist samples RPC payload sizes; see FixedSize, SizeChoice, and the
+// Production* distributions.
+type SizeDist = workload.SizeDist
+
+// FixedSize returns a distribution that always yields n bytes.
+func FixedSize(n int64) SizeDist { return workload.Fixed{Bytes: n} }
+
+// SizeChoice returns a weighted mixture of fixed sizes.
+func SizeChoice(sizes []int64, weights []float64) SizeDist {
+	return workload.Choice{Sizes: sizes, Weights: weights}
+}
+
+// ProductionPCSizes, ProductionNCSizes and ProductionBESizes return
+// production-shaped RPC size distributions following Figure 1.
+func ProductionPCSizes() SizeDist { return workload.ProductionPC() }
+func ProductionNCSizes() SizeDist { return workload.ProductionNC() }
+func ProductionBESizes() SizeDist { return workload.ProductionBE() }
+
+// System selects which end-to-end system the simulation runs.
+type System int
+
+const (
+	// SystemBaseline is WFQ QoS with no admission control ("w/o
+	// Aequitas").
+	SystemBaseline System = iota
+	// SystemAequitas is WFQ QoS plus the distributed admission
+	// controller.
+	SystemAequitas
+	// SystemSPQ replaces WFQ with strict priority queuing (§6.7).
+	SystemSPQ
+	// SystemDWRR realises the QoS weights with deficit weighted round
+	// robin instead of virtual-time WFQ.
+	SystemDWRR
+	// SystemPFabric is the pFabric baseline: SRPT via remaining-size
+	// packet priorities and drop-least-urgent switch queues.
+	SystemPFabric
+	// SystemQJump is the QJump baseline: per-level host rate limits with
+	// strict priority in the fabric.
+	SystemQJump
+	// SystemD3 is the D3 baseline: deadline-driven rate allocation with
+	// early termination of hopeless RPCs.
+	SystemD3
+	// SystemPDQ is the PDQ baseline: preemptive earliest-deadline-first
+	// scheduling with early termination.
+	SystemPDQ
+	// SystemHoma is the Homa baseline: receiver-driven grants with SRPT
+	// priorities.
+	SystemHoma
+)
+
+func (s System) String() string {
+	switch s {
+	case SystemBaseline:
+		return "baseline"
+	case SystemAequitas:
+		return "aequitas"
+	case SystemSPQ:
+		return "spq"
+	case SystemDWRR:
+		return "dwrr"
+	case SystemPFabric:
+		return "pfabric"
+	case SystemQJump:
+		return "qjump"
+	case SystemD3:
+		return "d3"
+	case SystemPDQ:
+		return "pdq"
+	case SystemHoma:
+		return "homa"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// Arrival selects the arrival process.
+type Arrival int
+
+const (
+	// ArrivalPoisson uses exponential inter-arrival times (default).
+	ArrivalPoisson Arrival = iota
+	// ArrivalPeriodic uses deterministic spacing ("issue at line rate").
+	ArrivalPeriodic
+)
+
+// TrafficClass describes one priority class's stream within a host's
+// offered traffic.
+type TrafficClass struct {
+	Priority Priority
+	// Share is the class's fraction of the host's offered bytes (the
+	// input QoS-mix entry).
+	Share float64
+	// Size draws payload sizes; FixedBytes is a convenience alternative.
+	Size       SizeDist
+	FixedBytes int64
+	// Deadline, when set, stamps RPCs with issue-time+Deadline for the
+	// deadline-aware baselines.
+	Deadline time.Duration
+}
+
+// HostTraffic assigns an offered-traffic specification to a set of
+// sending hosts.
+type HostTraffic struct {
+	// Hosts lists sender host ids; nil means every host.
+	Hosts []int
+	// Dsts lists destination ids chosen uniformly per RPC; nil means
+	// all-to-all (every other host).
+	Dsts []int
+	// AvgLoad is µ, the mean offered load as a fraction of the link
+	// rate. BurstLoad is ρ; when > AvgLoad the Figure 7 burst/idle
+	// modulation is applied.
+	AvgLoad, BurstLoad float64
+	// Arrival selects Poisson (default) or Periodic arrivals.
+	Arrival Arrival
+	Classes []TrafficClass
+}
+
+// AdmissionParams tunes the Aequitas controller in a simulation.
+type AdmissionParams struct {
+	// Alpha, Beta, Floor default to 0.01 / 0.01 / 0.01 (§6.1).
+	Alpha, Beta, Floor float64
+	// Ablation switches; see the core package.
+	NoIncrementWindow      bool
+	NoSizeScaledMD         bool
+	DropInsteadOfDowngrade bool
+}
+
+// Probe requests a time series of the admit probability and achieved
+// goodput for one (src, dst, class) channel — the instrumentation behind
+// Figures 17, 18, 28 and 29.
+type Probe struct {
+	Src, Dst int
+	Class    Class
+}
+
+// SimConfig configures one simulation run.
+type SimConfig struct {
+	// System selects the end-to-end system (default SystemBaseline).
+	System System
+	// Hosts is the number of end hosts (≥ 2).
+	Hosts int
+	// Leaves and Spines, when non-zero, build a two-tier leaf-spine
+	// fabric instead of the default single switch; hosts spread evenly
+	// across leaves and overload can then occur in the core
+	// (oversubscribe with SpineLinkRate below the host LinkRate or with
+	// few spines).
+	Leaves, Spines int
+	// SpineLinkRate in bits/second (default: LinkRate).
+	SpineLinkRate int64
+	// LinkRate in bits/second (default 100 Gbps).
+	LinkRate int64
+	// PropDelay per link (default 500 ns).
+	PropDelay time.Duration
+	// Seed makes runs reproducible.
+	Seed int64
+	// Duration is the simulated time to run; Warmup (default 20% of
+	// Duration) is excluded from all statistics.
+	Duration, Warmup time.Duration
+	// QoSWeights are the WFQ weights, highest class first (default
+	// 8:4:1).
+	QoSWeights []float64
+	// PerClassBufferBytes bounds each switch-port class queue (default
+	// 2 MiB; negative = unlimited, used for theory validation).
+	PerClassBufferBytes int
+	// SLOs per class, highest first, for every class except the lowest.
+	// Required when System is SystemAequitas; optional otherwise (used
+	// only for reporting SLO-met fractions).
+	SLOs []SLO
+	// Admission tunes the controller (SystemAequitas only).
+	Admission AdmissionParams
+	// Traffic is the offered workload (required).
+	Traffic []HostTraffic
+	// CCTarget is the Swift delay target (default 10 µs). DisableCC
+	// replaces Swift with a fixed window of FixedWindow packets
+	// (default 64).
+	CCTarget    time.Duration
+	DisableCC   bool
+	FixedWindow float64
+	// RTOMin floors the retransmission timeout (default 100 µs).
+	RTOMin time.Duration
+	// BurstPeriod is the Figure 7 modulation period (default 100 µs).
+	BurstPeriod time.Duration
+	// Probes request admit-probability/goodput series.
+	Probes []Probe
+	// SampleEvery sets the probe/outstanding sampling interval (default
+	// 100 µs).
+	SampleEvery time.Duration
+	// TrackOutstanding samples per-switch-port outstanding RPC counts
+	// (Figure 13).
+	TrackOutstanding bool
+	// TraceWriter, when set, receives one CSV record per completed RPC
+	// in the measurement window (header: complete_s, src, dst, priority,
+	// requested, ran, downgraded, bytes, rnl_us) for external analysis.
+	TraceWriter io.Writer
+}
+
+func (c *SimConfig) applyDefaults() error {
+	if c.Hosts < 2 {
+		return fmt.Errorf("aequitas: need ≥ 2 hosts")
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("aequitas: Duration required")
+	}
+	if c.Warmup == 0 {
+		c.Warmup = c.Duration / 5
+	}
+	if c.Warmup >= c.Duration {
+		return fmt.Errorf("aequitas: warmup %v ≥ duration %v", c.Warmup, c.Duration)
+	}
+	if c.LinkRate == 0 {
+		c.LinkRate = 100e9
+	}
+	if c.PropDelay == 0 {
+		c.PropDelay = 500 * time.Nanosecond
+	}
+	if len(c.QoSWeights) == 0 {
+		c.QoSWeights = []float64{8, 4, 1}
+	}
+	if err := qos.Weights(c.QoSWeights).Validate(); err != nil {
+		return err
+	}
+	if c.PerClassBufferBytes == 0 {
+		c.PerClassBufferBytes = 2 << 20
+	}
+	if c.PerClassBufferBytes < 0 {
+		c.PerClassBufferBytes = 0 // unlimited
+	}
+	if c.System == SystemAequitas && len(c.SLOs) == 0 {
+		return fmt.Errorf("aequitas: SystemAequitas requires SLOs")
+	}
+	if len(c.SLOs) >= len(c.QoSWeights) {
+		return fmt.Errorf("aequitas: %d SLOs for %d QoS levels (the lowest class has no SLO)", len(c.SLOs), len(c.QoSWeights))
+	}
+	if len(c.Traffic) == 0 {
+		return fmt.Errorf("aequitas: Traffic required")
+	}
+	if c.CCTarget == 0 {
+		c.CCTarget = 10 * time.Microsecond
+	}
+	if c.FixedWindow == 0 {
+		c.FixedWindow = 64
+	}
+	if c.RTOMin == 0 {
+		c.RTOMin = 100 * time.Microsecond
+	}
+	if c.BurstPeriod == 0 {
+		c.BurstPeriod = 100 * time.Microsecond
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 100 * time.Microsecond
+	}
+	if a := &c.Admission; true {
+		if a.Alpha == 0 {
+			a.Alpha = 0.01
+		}
+		if a.Beta == 0 {
+			a.Beta = 0.01
+		}
+		if a.Floor == 0 {
+			a.Floor = 0.01
+		}
+	}
+	return nil
+}
+
+// levels reports the number of QoS classes.
+func (c *SimConfig) levels() int { return len(c.QoSWeights) }
+
+// coreConfig builds the Algorithm 1 configuration from the public SLOs.
+func (c *SimConfig) coreConfig() core.Config {
+	n := c.levels()
+	cc := core.Config{
+		Levels:            n,
+		LatencyTargets:    make([]sim.Duration, n),
+		TargetPercentiles: make([]float64, n),
+		Alpha:             c.Admission.Alpha,
+		Beta:              c.Admission.Beta,
+		Floor:             c.Admission.Floor,
+
+		NoIncrementWindow:      c.Admission.NoIncrementWindow,
+		NoSizeScaledMD:         c.Admission.NoSizeScaledMD,
+		DropInsteadOfDowngrade: c.Admission.DropInsteadOfDowngrade,
+	}
+	for i, s := range c.SLOs {
+		cc.LatencyTargets[i] = s.perMTU()
+		cc.TargetPercentiles[i] = s.Percentile
+		if cc.TargetPercentiles[i] == 0 {
+			cc.TargetPercentiles[i] = 99.9
+		}
+	}
+	return cc
+}
+
+// schedFactory returns the switch/host scheduler builder for the system.
+func (c *SimConfig) schedFactory() netsim.SchedulerFactory {
+	weights := c.QoSWeights
+	buf := c.PerClassBufferBytes
+	switch c.System {
+	case SystemSPQ, SystemQJump:
+		return func() wfq.Scheduler { return wfq.NewSPQ(len(weights), buf) }
+	case SystemDWRR:
+		return func() wfq.Scheduler { return wfq.NewDWRR(weights, netsim.MTU, buf) }
+	case SystemPFabric, SystemHoma:
+		// A single urgency-ordered queue per port; capacity is shared
+		// across classes as in pFabric's shallow-buffer model.
+		total := buf * len(weights)
+		return func() wfq.Scheduler { return wfq.NewPriorityQueue(total) }
+	case SystemD3, SystemPDQ:
+		total := buf * len(weights)
+		return func() wfq.Scheduler { return wfq.NewFIFO(total) }
+	default:
+		return func() wfq.Scheduler { return wfq.NewWFQ(weights, buf) }
+	}
+}

@@ -1,0 +1,71 @@
+package aequitas
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceWriter(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := SimConfig{
+		Hosts:       4,
+		Seed:        3,
+		Duration:    5 * time.Millisecond,
+		Warmup:      time.Millisecond,
+		TraceWriter: &buf,
+		Traffic: []HostTraffic{{
+			AvgLoad: 0.3,
+			Classes: []TrafficClass{
+				{Priority: PC, Share: 0.6, FixedBytes: 8 << 10},
+				{Priority: BE, Share: 0.4, FixedBytes: 32 << 10},
+			},
+		}},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(&buf)
+	records, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) < 2 {
+		t.Fatalf("trace has %d rows", len(records))
+	}
+	header := strings.Join(records[0], ",")
+	if header != "complete_s,src,dst,priority,requested,ran,downgraded,bytes,rnl_us" {
+		t.Fatalf("header = %q", header)
+	}
+	// Row count matches completions counted by the collector.
+	if int64(len(records)-1) != res.Completed {
+		t.Errorf("trace rows %d != completed %d", len(records)-1, res.Completed)
+	}
+	lastT := 0.0
+	for i, rec := range records[1:] {
+		if len(rec) != 9 {
+			t.Fatalf("row %d has %d fields", i, len(rec))
+		}
+		ts, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil || ts < lastT {
+			t.Fatalf("row %d: bad/unordered timestamp %q", i, rec[0])
+		}
+		lastT = ts
+		if src, _ := strconv.Atoi(rec[1]); src < 0 || src > 3 {
+			t.Fatalf("row %d: src %q", i, rec[1])
+		}
+		rnl, err := strconv.ParseFloat(rec[8], 64)
+		if err != nil || rnl <= 0 {
+			t.Fatalf("row %d: rnl %q", i, rec[8])
+		}
+		switch rec[3] {
+		case "PC", "NC", "BE":
+		default:
+			t.Fatalf("row %d: priority %q", i, rec[3])
+		}
+	}
+}
