@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race vet check bench figures
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race-enabled suite covers the parallel sweep engine (RunMany) and
+# the concurrent-Run test; it is the gate for changes touching run.go,
+# parallel.go, or internal/sim. Race instrumentation is ~10x slower, so
+# give the root package's simulation suite room on small machines.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+vet:
+	$(GO) vet ./...
+
+check: vet build race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+figures: build
+	$(GO) run ./cmd/figures -fig all

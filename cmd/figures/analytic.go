@@ -18,9 +18,9 @@ func init() {
 }
 
 // figSizes prints the Figure 1 CDFs from the synthetic production-shaped
-// distributions.
-func figSizes(options) error {
-	rng := rand.New(rand.NewSource(1))
+// distributions. Each distribution is sampled with its own seeded RNG so
+// the per-class rows are independent of execution order.
+func figSizes(o options) error {
 	dists := []struct {
 		name string
 		d    workload.SizeDist
@@ -29,12 +29,16 @@ func figSizes(options) error {
 		{"NC", workload.ProductionNC()},
 		{"BE", workload.ProductionBE()},
 	}
-	tb := stats.NewTable("priority", "p10", "p50", "p90", "p99", "mean")
-	for _, d := range dists {
-		var s stats.Sample
-		for i := 0; i < 100000; i++ {
-			s.Add(float64(d.d.Sample(rng)))
+	samples := make([]stats.Sample, len(dists))
+	parallelFor(o.workers, len(dists), func(i int) {
+		rng := rand.New(rand.NewSource(int64(1 + i)))
+		for n := 0; n < 100000; n++ {
+			samples[i].Add(float64(dists[i].d.Sample(rng)))
 		}
+	})
+	tb := stats.NewTable("priority", "p10", "p50", "p90", "p99", "mean")
+	for i, d := range dists {
+		s := &samples[i]
 		tb.AddRow(d.name,
 			fmt.Sprintf("%.0fB", s.Quantile(0.10)),
 			fmt.Sprintf("%.0fB", s.Quantile(0.50)),

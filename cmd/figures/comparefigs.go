@@ -89,8 +89,9 @@ func figRelatedWork(o options) error {
 	}
 	tb := stats.NewTable("system", "QoSh in SLO(%)", "utilization(%)",
 		"QoSh 99.9p(us)", "QoSm 99.9p(us)", "QoSl 99.9p(us)", "terminated")
+	var cfgs []aequitas.SimConfig
 	for _, system := range systems {
-		cfg := aequitas.SimConfig{
+		cfgs = append(cfgs, aequitas.SimConfig{
 			System: system, Hosts: o.nodes, Seed: o.seed, Duration: o.dur,
 			QoSWeights: []float64{8, 4, 1},
 			// Normalised per-MTU SLO targets for the production mix; for
@@ -107,12 +108,14 @@ func figRelatedWork(o options) error {
 					{Priority: aequitas.BE, Share: 0.2, Size: aequitas.ProductionBESizes()},
 				},
 			}},
-		}
-		res, err := aequitas.Run(cfg)
-		if err != nil {
-			return err
-		}
-		tb.AddRow(system.String(),
+		})
+	}
+	results, err := runAll(o, cfgs...)
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		tb.AddRow(systems[i].String(),
 			100*res.SLOMetBytesFraction[aequitas.PC],
 			100*res.GoodputFraction,
 			res.RNLQuantileUS(aequitas.High, 0.999),
@@ -128,12 +131,17 @@ func figRelatedWork(o options) error {
 }
 
 func figBetaSensitivity(o options) error {
-	for _, beta := range []float64{0.01, 0.0015} {
-		fmt.Printf("beta = %v (Fig 18 setup, in-quota channel A):\n", beta)
-		res, err := aequitas.Run(fairnessConfig(o, 0.1, 0.8, beta))
-		if err != nil {
-			return err
-		}
+	betas := []float64{0.01, 0.0015}
+	var cfgs []aequitas.SimConfig
+	for _, beta := range betas {
+		cfgs = append(cfgs, fairnessConfig(o, 0.1, 0.8, beta))
+	}
+	results, err := runAll(o, cfgs...)
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		fmt.Printf("beta = %v (Fig 18 setup, in-quota channel A):\n", betas[i])
 		reportChannels(res, [2]string{"A (10G, in quota)", "B (80G)"})
 		fmt.Printf("QoSh 99.9p RNL %.1fus\n\n", res.RNLQuantileUS(aequitas.High, 0.999))
 	}
@@ -170,14 +178,18 @@ func figAblations(o options) error {
 		{"drop instead of downgrade", func(c *aequitas.SimConfig) { c.Admission.DropInsteadOfDowngrade = true }},
 	}
 	tb := stats.NewTable("variant", "QoSh 99.9p(us)", "admitted QoSh(%)", "goodput frac", "dropped")
+	var cfgs []aequitas.SimConfig
 	for _, v := range variants {
 		cfg := base()
 		v.mod(&cfg)
-		res, err := aequitas.Run(cfg)
-		if err != nil {
-			return err
-		}
-		tb.AddRow(v.name,
+		cfgs = append(cfgs, cfg)
+	}
+	results, err := runAll(o, cfgs...)
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		tb.AddRow(variants[i].name,
 			res.RNLQuantileUS(aequitas.High, 0.999),
 			100*res.AdmittedMix[0],
 			res.GoodputFraction,

@@ -64,17 +64,31 @@ func figProduction(o options) error {
 	// (not pathological) load, which is the regime the fleetwide numbers
 	// average over.
 	classLatency := [3]float64{1, 1.25, 1.8}
-	var beforeMis, afterMis stats.Sample
-	var impr stats.Sample
-	for seed := int64(0); seed < 50; seed++ {
-		c, err := fleet.NewCluster(fleet.ClusterConfig{Apps: 80, Seed: o.seed*1000 + seed, UpgradeBias: 0.35})
+	const clusters = 50
+	// Model each cluster on the worker pool, writing only to index-i
+	// cells, then accumulate in order so the Samples are deterministic.
+	var before, after, deltas [clusters]float64
+	errs := make([]error, clusters)
+	parallelFor(o.workers, clusters, func(i int) {
+		c, err := fleet.NewCluster(fleet.ClusterConfig{Apps: 80, Seed: o.seed*1000 + int64(i), UpgradeBias: 0.35})
 		if err != nil {
-			return err
+			errs[i] = err
+			return
 		}
 		shares := c.PriorityShares()
-		beforeMis.Add(100 * c.CoarseAlignment().TotalMisalignment(shares))
-		afterMis.Add(100 * c.Phase1Alignment().TotalMisalignment(shares))
-		impr.Add(100 * c.RNLImprovement(classLatency))
+		before[i] = 100 * c.CoarseAlignment().TotalMisalignment(shares)
+		after[i] = 100 * c.Phase1Alignment().TotalMisalignment(shares)
+		deltas[i] = 100 * c.RNLImprovement(classLatency)
+	})
+	var beforeMis, afterMis stats.Sample
+	var impr stats.Sample
+	for i := 0; i < clusters; i++ {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		beforeMis.Add(before[i])
+		afterMis.Add(after[i])
+		impr.Add(deltas[i])
 	}
 	tb := stats.NewTable("metric", "before", "after Phase 1")
 	tb.AddRow("mean total misalignment (%)", beforeMis.Mean(), afterMis.Mean())

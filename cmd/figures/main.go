@@ -21,8 +21,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
+
+	"aequitas"
 )
 
 // figure is one regenerable experiment.
@@ -34,11 +38,47 @@ type figure struct {
 
 // options carries the shared CLI knobs.
 type options struct {
-	nodes int           // cluster size for "33-node" experiments
-	big   int           // cluster size for the "144-node" experiment
-	dur   time.Duration // simulated horizon for cluster experiments
-	long  time.Duration // horizon for convergence experiments
-	seed  int64
+	nodes   int           // cluster size for "33-node" experiments
+	big     int           // cluster size for the "144-node" experiment
+	dur     time.Duration // simulated horizon for cluster experiments
+	long    time.Duration // horizon for convergence experiments
+	seed    int64
+	workers int // simulation worker-pool size (0 = GOMAXPROCS)
+}
+
+// runAll fans the independent simulations of one figure across the worker
+// pool and returns results in input order. Figure output is identical for
+// any -parallel value; only wall-clock time changes.
+func runAll(o options, cfgs ...aequitas.SimConfig) ([]*aequitas.Results, error) {
+	return aequitas.RunMany(cfgs, aequitas.ParallelOptions{Workers: o.workers})
+}
+
+// parallelFor runs f(0..n-1) on the worker pool — for figure inner loops
+// that are not packet simulations (fleet models, distribution sampling).
+// Each f(i) must be independent and write only to index-i state.
+func parallelFor(workers, n int, f func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 }
 
 var figures []figure
@@ -49,13 +89,14 @@ func register(id, desc string, run func(o options) error) {
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "figure id to regenerate (or 'all')")
-		list  = flag.Bool("list", false, "list available figures")
-		nodes = flag.Int("nodes", 12, "hosts for cluster-scale experiments (paper: 33)")
-		big   = flag.Int("big", 24, "hosts for the large-scale experiment (paper: 144)")
-		dur   = flag.Duration("dur", 30*time.Millisecond, "simulated horizon for cluster experiments")
-		long  = flag.Duration("long", 600*time.Millisecond, "horizon for convergence experiments")
-		seed  = flag.Int64("seed", 1, "simulation seed")
+		fig      = flag.String("fig", "", "figure id to regenerate (or 'all')")
+		list     = flag.Bool("list", false, "list available figures")
+		nodes    = flag.Int("nodes", 12, "hosts for cluster-scale experiments (paper: 33)")
+		big      = flag.Int("big", 24, "hosts for the large-scale experiment (paper: 144)")
+		dur      = flag.Duration("dur", 30*time.Millisecond, "simulated horizon for cluster experiments")
+		long     = flag.Duration("long", 600*time.Millisecond, "horizon for convergence experiments")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		parallel = flag.Int("parallel", 0, "simulation workers per figure (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -72,7 +113,7 @@ func main() {
 		return
 	}
 
-	o := options{nodes: *nodes, big: *big, dur: *dur, long: *long, seed: *seed}
+	o := options{nodes: *nodes, big: *big, dur: *dur, long: *long, seed: *seed, workers: *parallel}
 	ran := false
 	for _, f := range figures {
 		if *fig == "all" || f.id == *fig {

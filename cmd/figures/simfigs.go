@@ -71,8 +71,13 @@ func figSimVsTheory(o options) error {
 	theory := calculus.TwoQoS{Phi: phi, Rho: rho, Mu: mu}
 	period := time.Millisecond
 	tb := stats.NewTable("QoSh-share(%)", "sim QoSh", "theory QoSh", "sim QoSl", "theory QoSl")
+	var shares []float64
 	for x := 0.1; x < 0.95; x += 0.1 {
-		cfg := aequitas.SimConfig{
+		shares = append(shares, x)
+	}
+	var cfgs []aequitas.SimConfig
+	for _, x := range shares {
+		cfgs = append(cfgs, aequitas.SimConfig{
 			System: aequitas.SystemBaseline, Hosts: 3, Seed: o.seed,
 			Duration: 60 * time.Millisecond, Warmup: 10 * time.Millisecond,
 			QoSWeights: []float64{phi, 1}, PerClassBufferBytes: -1,
@@ -86,15 +91,17 @@ func figSimVsTheory(o options) error {
 					{Priority: aequitas.NC, Share: 1 - x, FixedBytes: 1436},
 				},
 			}},
-		}
-		res, err := aequitas.Run(cfg)
-		if err != nil {
-			return err
-		}
+		})
+	}
+	results, err := runAll(o, cfgs...)
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
 		p := float64(period.Microseconds())
-		tb.AddRow(fmt.Sprintf("%.0f", 100*x),
-			res.RNLRun[aequitas.High].MaxUS/p, theory.DelayHigh(x),
-			res.RNLRun[aequitas.Medium].MaxUS/p, theory.DelayLow(x))
+		tb.AddRow(fmt.Sprintf("%.0f", 100*shares[i]),
+			res.RNLRun[aequitas.High].MaxUS/p, theory.DelayHigh(shares[i]),
+			res.RNLRun[aequitas.Medium].MaxUS/p, theory.DelayLow(shares[i]))
 	}
 	tb.Write(os.Stdout)
 	fmt.Println("(normalized worst-case delay; the paper's Fig 10 validation)")
@@ -103,11 +110,13 @@ func figSimVsTheory(o options) error {
 
 func figSLOKnob(o options) error {
 	tb := stats.NewTable("SLO(us)", "achieved 99.9p(us)", "admitted QoSh-share(%)")
-	for _, slo := range []float64{15, 25, 40, 60} {
+	slos := []float64{15, 25, 40, 60}
+	var cfgs []aequitas.SimConfig
+	for _, slo := range slos {
 		// The additive-increase window scales with the SLO target
 		// (Algorithm 1 line 4), so looser SLOs converge more slowly and
 		// need a longer horizon to reach their equilibrium share.
-		cfg := aequitas.SimConfig{
+		cfgs = append(cfgs, aequitas.SimConfig{
 			System: aequitas.SystemAequitas, Hosts: 3, Seed: o.seed,
 			Duration: 300 * time.Millisecond, Warmup: 100 * time.Millisecond,
 			QoSWeights: []float64{4, 1},
@@ -120,12 +129,14 @@ func figSLOKnob(o options) error {
 					{Priority: aequitas.BE, Share: 0.3, FixedBytes: 32 << 10},
 				},
 			}},
-		}
-		res, err := aequitas.Run(cfg)
-		if err != nil {
-			return err
-		}
-		tb.AddRow(slo, res.RNLQuantileUS(aequitas.High, 0.999), 100*res.AdmittedMix[0])
+		})
+	}
+	results, err := runAll(o, cfgs...)
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		tb.AddRow(slos[i], res.RNLQuantileUS(aequitas.High, 0.999), 100*res.AdmittedMix[0])
 	}
 	tb.Write(os.Stdout)
 	fmt.Println("achieved tail RNL tracks the SLO; stricter SLOs admit less traffic")
@@ -135,12 +146,17 @@ func figSLOKnob(o options) error {
 func figClusterSLO(o options) error {
 	tb := stats.NewTable("system", "QoSh 99.9p(us)", "QoSm 99.9p(us)", "QoSl 99.9p(us)")
 	tb.AddRow("SLO", 25.0, 50.0, "-")
-	for _, system := range []aequitas.System{aequitas.SystemBaseline, aequitas.SystemAequitas} {
-		res, err := aequitas.Run(clusterConfig(o, system, [3]float64{0.6, 0.3, 0.1}))
-		if err != nil {
-			return err
-		}
-		tb.AddRow("w/ "+system.String(),
+	systems := []aequitas.System{aequitas.SystemBaseline, aequitas.SystemAequitas}
+	var cfgs []aequitas.SimConfig
+	for _, system := range systems {
+		cfgs = append(cfgs, clusterConfig(o, system, [3]float64{0.6, 0.3, 0.1}))
+	}
+	results, err := runAll(o, cfgs...)
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		tb.AddRow("w/ "+systems[i].String(),
 			res.RNLQuantileUS(aequitas.High, 0.999),
 			res.RNLQuantileUS(aequitas.Medium, 0.999),
 			res.RNLQuantileUS(aequitas.Low, 0.999))
@@ -150,17 +166,22 @@ func figClusterSLO(o options) error {
 }
 
 func figOutstanding(o options) error {
-	for _, system := range []aequitas.System{aequitas.SystemBaseline, aequitas.SystemAequitas} {
+	systems := []aequitas.System{aequitas.SystemBaseline, aequitas.SystemAequitas}
+	var cfgs []aequitas.SimConfig
+	for _, system := range systems {
 		cfg := clusterConfig(o, system, [3]float64{0.6, 0.3, 0.1})
 		cfg.TrackOutstanding = true
-		res, err := aequitas.Run(cfg)
-		if err != nil {
-			return err
-		}
+		cfgs = append(cfgs, cfg)
+	}
+	results, err := runAll(o, cfgs...)
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
 		hi := cdfQuantiles(res.OutstandingHighMed)
 		lo := cdfQuantiles(res.OutstandingLow)
 		fmt.Printf("%-9s outstanding RPCs/port QoSh+QoSm p50/p90/p99: %.0f/%.0f/%.0f  QoSl: %.0f/%.0f/%.0f\n",
-			system, hi[0], hi[1], hi[2], lo[0], lo[1], lo[2])
+			systems[i], hi[0], hi[1], hi[2], lo[0], lo[1], lo[2])
 	}
 	fmt.Println("Aequitas cuts SLO-class outstanding RPCs; the scavenger class absorbs them")
 	return nil
@@ -182,13 +203,18 @@ func cdfQuantiles(pts []aequitas.Point) [3]float64 {
 
 func figAdmissibleSweep(o options) error {
 	tb := stats.NewTable("QoSh-share(%)", "QoSh 99.9p(us)", "QoSm 99.9p(us)", "QoSl 99.9p(us)")
-	for _, x := range []float64{0.05, 0.15, 0.25, 0.40, 0.55, 0.70} {
+	shares := []float64{0.05, 0.15, 0.25, 0.40, 0.55, 0.70}
+	var cfgs []aequitas.SimConfig
+	for _, x := range shares {
 		qm := 0.25
-		res, err := aequitas.Run(clusterConfig(o, aequitas.SystemBaseline, [3]float64{x, qm, 1 - x - qm}))
-		if err != nil {
-			return err
-		}
-		tb.AddRow(fmt.Sprintf("%.0f", 100*x),
+		cfgs = append(cfgs, clusterConfig(o, aequitas.SystemBaseline, [3]float64{x, qm, 1 - x - qm}))
+	}
+	results, err := runAll(o, cfgs...)
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		tb.AddRow(fmt.Sprintf("%.0f", 100*shares[i]),
 			res.RNLQuantileUS(aequitas.High, 0.999),
 			res.RNLQuantileUS(aequitas.Medium, 0.999),
 			res.RNLQuantileUS(aequitas.Low, 0.999))
@@ -206,12 +232,16 @@ func figMixConvergence(o options) error {
 		{0.40, 0.40, 0.20},
 	}
 	tb := stats.NewTable("input mix", "admitted mix", "QoSh 99.9p(us)")
+	var cfgs []aequitas.SimConfig
 	for _, in := range inputs {
-		cfg := clusterConfig(o, aequitas.SystemAequitas, in)
-		res, err := aequitas.Run(cfg)
-		if err != nil {
-			return err
-		}
+		cfgs = append(cfgs, clusterConfig(o, aequitas.SystemAequitas, in))
+	}
+	results, err := runAll(o, cfgs...)
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		in := inputs[i]
 		tb.AddRow(
 			fmt.Sprintf("%.0f/%.0f/%.0f", 100*in[0], 100*in[1], 100*in[2]),
 			fmt.Sprintf("%.0f/%.0f/%.0f", 100*res.AdmittedMix[0], 100*res.AdmittedMix[1], 100*res.AdmittedMix[2]),
@@ -224,15 +254,20 @@ func figMixConvergence(o options) error {
 
 func figBurstiness(o options) error {
 	tb := stats.NewTable("burst load rho", "admitted QoSh-share(%)", "share x rho")
-	for _, rho := range []float64{1.4, 1.6, 1.8, 2.0, 2.2} {
+	rhos := []float64{1.4, 1.6, 1.8, 2.0, 2.2}
+	var cfgs []aequitas.SimConfig
+	for _, rho := range rhos {
 		cfg := clusterConfig(o, aequitas.SystemAequitas, [3]float64{0.6, 0.3, 0.1})
 		cfg.Traffic[0].BurstLoad = rho
-		res, err := aequitas.Run(cfg)
-		if err != nil {
-			return err
-		}
+		cfgs = append(cfgs, cfg)
+	}
+	results, err := runAll(o, cfgs...)
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
 		share := 100 * res.AdmittedMix[0]
-		tb.AddRow(rho, share, share*rho)
+		tb.AddRow(rhos[i], share, share*rhos[i])
 	}
 	tb.Write(os.Stdout)
 	fmt.Println("share x rho roughly constant: admitted traffic is inversely proportional to burstiness (§6.4)")
@@ -241,16 +276,21 @@ func figBurstiness(o options) error {
 
 func figSPQ(o options) error {
 	tb := stats.NewTable("QoSh-share(%)", "SPQ QoSh 99.9p", "SPQ QoSm 99.9p", "AEQ QoSh 99.9p", "AEQ QoSm 99.9p")
-	for _, x := range []float64{0.5, 0.6, 0.7, 0.8} {
+	xs := []float64{0.5, 0.6, 0.7, 0.8}
+	// Interleaved pairs: cfgs[2i] is SPQ, cfgs[2i+1] is Aequitas for xs[i].
+	var cfgs []aequitas.SimConfig
+	for _, x := range xs {
 		mix := [3]float64{x, 0.2, 0.8 - x}
-		spq, err := aequitas.Run(clusterConfig(o, aequitas.SystemSPQ, mix))
-		if err != nil {
-			return err
-		}
-		aeq, err := aequitas.Run(clusterConfig(o, aequitas.SystemAequitas, mix))
-		if err != nil {
-			return err
-		}
+		cfgs = append(cfgs,
+			clusterConfig(o, aequitas.SystemSPQ, mix),
+			clusterConfig(o, aequitas.SystemAequitas, mix))
+	}
+	results, err := runAll(o, cfgs...)
+	if err != nil {
+		return err
+	}
+	for i, x := range xs {
+		spq, aeq := results[2*i], results[2*i+1]
 		tb.AddRow(fmt.Sprintf("%.0f", 100*x),
 			spq.RNLQuantileUS(aequitas.High, 0.999), spq.RNLQuantileUS(aequitas.Medium, 0.999),
 			aeq.RNLQuantileUS(aequitas.High, 0.999), aeq.RNLQuantileUS(aequitas.Medium, 0.999))
@@ -270,14 +310,11 @@ func figMixedSizes(o options) error {
 	}
 	base := clusterConfig(o, aequitas.SystemBaseline, [3]float64{0.6, 0.3, 0.1})
 	base.Traffic = cfg.Traffic
-	resB, err := aequitas.Run(base)
+	results, err := runAll(o, base, cfg)
 	if err != nil {
 		return err
 	}
-	resA, err := aequitas.Run(cfg)
-	if err != nil {
-		return err
-	}
+	resB, resA := results[0], results[1]
 	tb := stats.NewTable("system", "QoSh 99.9p(us)", "QoSm 99.9p(us)", "QoSl 99.9p(us)", "QoSh in SLO(%)")
 	for _, r := range []struct {
 		name string
@@ -321,14 +358,15 @@ func figLargeScale(o options) error {
 	}
 	tb := stats.NewTable("system", "QoSh 99.9p(us)", "QoSm 99.9p(us)", "QoSl 99.9p(us)", "admitted mix")
 	var tails [2][2]float64
-	for i, system := range []aequitas.System{aequitas.SystemBaseline, aequitas.SystemAequitas} {
-		res, err := aequitas.Run(mkCfg(system))
-		if err != nil {
-			return err
-		}
+	systems := []aequitas.System{aequitas.SystemBaseline, aequitas.SystemAequitas}
+	results, err := runAll(o, mkCfg(systems[0]), mkCfg(systems[1]))
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
 		tails[i][0] = res.RNLQuantileUS(aequitas.High, 0.999)
 		tails[i][1] = res.RNLQuantileUS(aequitas.Medium, 0.999)
-		tb.AddRow(system.String(),
+		tb.AddRow(systems[i].String(),
 			tails[i][0], tails[i][1],
 			res.RNLQuantileUS(aequitas.Low, 0.999),
 			fmt.Sprintf("%.0f/%.0f/%.0f", 100*res.AdmittedMix[0], 100*res.AdmittedMix[1], 100*res.AdmittedMix[2]))
@@ -372,14 +410,13 @@ func figTestbed(o options) error {
 		{Target: time.Duration(calM * float64(time.Microsecond)), ReferenceBytes: 32 << 10, Percentile: 99.9},
 	}
 
-	base, err := aequitas.Run(mk(aequitas.SystemBaseline, input, slos))
+	results, err := runAll(o,
+		mk(aequitas.SystemBaseline, input, slos),
+		mk(aequitas.SystemAequitas, input, slos))
 	if err != nil {
 		return err
 	}
-	aeq, err := aequitas.Run(mk(aequitas.SystemAequitas, input, slos))
-	if err != nil {
-		return err
-	}
+	base, aeq := results[0], results[1]
 	tb := stats.NewTable("system", "QoSh RNL(norm)", "QoSm RNL(norm)", "QoSl RNL(norm)", "QoS-share")
 	for _, r := range []struct {
 		name string

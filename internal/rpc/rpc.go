@@ -147,6 +147,18 @@ func (st *Stack) OutstandingClass(dst int, c qos.Class) int {
 	return st.outstanding[outKey{dst, c}]
 }
 
+// ForEachOutstanding calls f once per (destination, class) pair with a
+// non-zero count of incomplete RPCs. Periodic samplers use this to
+// accumulate per-destination totals in one pass over the live entries
+// instead of probing every (dst, class) combination individually.
+func (st *Stack) ForEachOutstanding(f func(dst int, c qos.Class, n int)) {
+	for k, n := range st.outstanding {
+		if n != 0 {
+			f(k.dst, k.class, n)
+		}
+	}
+}
+
 // Issue sends one RPC: maps its priority to a QoS class (Phase 1), asks
 // the admission controller for the class to run on (Phase 2), hands the
 // message to the transport, and measures RNL on completion.

@@ -19,23 +19,29 @@ func (f EventFunc) Run(s *Simulator) { f(s) }
 
 // scheduled pairs an event with its firing time. seq breaks ties so that
 // events scheduled earlier at the same timestamp run first (FIFO within a
-// timestamp), which keeps runs deterministic.
+// timestamp), which keeps runs deterministic. Fired and cancelled nodes are
+// recycled through the simulator's free list; gen distinguishes the node's
+// current occupant from earlier ones so stale Handles cannot touch it.
 type scheduled struct {
 	at     Time
 	seq    uint64
+	gen    uint64
 	ev     Event
 	cancel bool
 	index  int
 }
 
 // Handle refers to a scheduled event and can cancel it before it fires.
-type Handle struct{ s *scheduled }
+type Handle struct {
+	s   *scheduled
+	gen uint64
+}
 
 // Cancel prevents the event from running. Cancelling an already-fired or
 // already-cancelled event is a no-op. Cancel reports whether the event was
 // still pending.
 func (h Handle) Cancel() bool {
-	if h.s == nil || h.s.cancel || h.s.index < 0 {
+	if !h.Pending() {
 		return false
 	}
 	h.s.cancel = true
@@ -43,7 +49,9 @@ func (h Handle) Cancel() bool {
 }
 
 // Pending reports whether the event has neither fired nor been cancelled.
-func (h Handle) Pending() bool { return h.s != nil && !h.s.cancel && h.s.index >= 0 }
+func (h Handle) Pending() bool {
+	return h.s != nil && h.s.gen == h.gen && !h.s.cancel && h.s.index >= 0
+}
 
 type eventHeap []*scheduled
 
@@ -81,6 +89,9 @@ type Simulator struct {
 	seq    uint64
 	events eventHeap
 	rng    *rand.Rand
+	// free holds fired/cancelled nodes for reuse, bounding steady-state
+	// allocation to the peak number of simultaneously pending events.
+	free []*scheduled
 	// Processed counts events that have run, for diagnostics and test
 	// assertions about simulation effort.
 	Processed uint64
@@ -103,10 +114,26 @@ func (s *Simulator) At(t Time, ev Event) Handle {
 	if t < s.now {
 		panic("sim: event scheduled in the past")
 	}
-	sc := &scheduled{at: t, seq: s.seq, ev: ev}
+	var sc *scheduled
+	if n := len(s.free); n > 0 {
+		sc = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		sc.at, sc.seq, sc.ev, sc.cancel = t, s.seq, ev, false
+	} else {
+		sc = &scheduled{at: t, seq: s.seq, ev: ev}
+	}
 	s.seq++
 	heap.Push(&s.events, sc)
-	return Handle{sc}
+	return Handle{sc, sc.gen}
+}
+
+// recycle returns a popped node to the free list. Bumping gen invalidates
+// every Handle that still points at the node.
+func (s *Simulator) recycle(sc *scheduled) {
+	sc.gen++
+	sc.ev = nil
+	s.free = append(s.free, sc)
 }
 
 // After schedules ev to run d after the current time.
@@ -133,11 +160,14 @@ func (s *Simulator) Step() bool {
 	for len(s.events) > 0 {
 		sc := heap.Pop(&s.events).(*scheduled)
 		if sc.cancel {
+			s.recycle(sc)
 			continue
 		}
 		s.now = sc.at
 		s.Processed++
-		sc.ev.Run(s)
+		ev := sc.ev
+		s.recycle(sc)
+		ev.Run(s)
 		return true
 	}
 	return false
@@ -156,7 +186,7 @@ func (s *Simulator) RunUntil(end Time) {
 		// Peek without popping.
 		next := s.events[0]
 		if next.cancel {
-			heap.Pop(&s.events)
+			s.recycle(heap.Pop(&s.events).(*scheduled))
 			continue
 		}
 		if next.at > end {

@@ -278,3 +278,95 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 	}
 	s.Run()
 }
+
+// TestHandleStaleAfterRecycle: a node recycled through the free list must
+// not let a stale Handle cancel (or report pending for) the event that now
+// occupies it.
+func TestHandleStaleAfterRecycle(t *testing.T) {
+	s := New(1)
+	h1 := s.AtFunc(10, func(*Simulator) {})
+	s.Run() // fires h1; its node goes to the free list
+
+	ran := false
+	h2 := s.AtFunc(20, func(*Simulator) { ran = true })
+	if h2.s != h1.s {
+		t.Fatal("test premise broken: node was not recycled")
+	}
+	if h1.Pending() {
+		t.Error("stale handle reports pending")
+	}
+	if h1.Cancel() {
+		t.Error("stale handle cancelled the recycled node's new event")
+	}
+	if !h2.Pending() {
+		t.Error("fresh handle not pending after stale Cancel attempt")
+	}
+	s.Run()
+	if !ran {
+		t.Error("recycled node's event did not run")
+	}
+}
+
+// TestHandleStaleAfterCancelRecycle: same, when the original occupant was
+// cancelled (recycled from the cancel path) rather than fired.
+func TestHandleStaleAfterCancelRecycle(t *testing.T) {
+	s := New(1)
+	h1 := s.AtFunc(10, func(*Simulator) { t.Error("cancelled event ran") })
+	h1.Cancel()
+	s.Run() // discards + recycles the cancelled node
+
+	ran := false
+	h2 := s.AtFunc(20, func(*Simulator) { ran = true })
+	if h1.Cancel() || h1.Pending() {
+		t.Error("stale handle still controls recycled node")
+	}
+	s.Run()
+	if !ran || h2.Pending() {
+		t.Errorf("ran = %v, h2.Pending = %v", ran, h2.Pending())
+	}
+}
+
+// TestRunUntilOnlyCancelled: RunUntil must drain a queue holding nothing
+// but cancelled events (recycling them) and still advance the clock.
+func TestRunUntilOnlyCancelled(t *testing.T) {
+	s := New(1)
+	var hs []Handle
+	for i := Time(10); i <= 50; i += 10 {
+		hs = append(hs, s.AtFunc(i, func(*Simulator) { t.Error("cancelled event ran") }))
+	}
+	for _, h := range hs {
+		if !h.Cancel() {
+			t.Fatal("Cancel failed")
+		}
+	}
+	s.RunUntil(100)
+	if s.Now() != 100 {
+		t.Errorf("Now() = %v, want 100", s.Now())
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending() = %d, want 0", s.Pending())
+	}
+	if len(s.free) != len(hs) {
+		t.Errorf("free list has %d nodes, want %d", len(s.free), len(hs))
+	}
+}
+
+// TestFreeListReuse: steady-state schedule/run cycles must reuse nodes
+// rather than allocate.
+func TestFreeListReuse(t *testing.T) {
+	s := New(1)
+	// Prime the free list.
+	for i := 0; i < 8; i++ {
+		s.AfterFunc(1, func(*Simulator) {})
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		s.AfterFunc(1, func(*Simulator) {})
+		s.Run()
+	})
+	// EventFunc closures may allocate; the scheduled node must not. Allow
+	// at most the closure conversion.
+	if allocs > 1 {
+		t.Errorf("AllocsPerRun = %v, want <= 1 (nodes must be recycled)", allocs)
+	}
+}

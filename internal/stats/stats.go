@@ -15,18 +15,45 @@ import (
 )
 
 // Sample accumulates float64 observations and computes exact quantiles.
-// The zero value is ready to use.
+// The zero value is ready to use and retains every observation. A sample
+// built with NewBoundedSample instead keeps a uniform reservoir of fixed
+// size, so memory stays bounded on arbitrarily long streams: Sum, Mean and
+// N remain exact over the whole stream while order statistics (quantiles,
+// CDF, StdDev) are computed from the reservoir.
 type Sample struct {
 	xs     []float64
 	sorted bool
 	sum    float64
+	seen   int64
+	// limit > 0 switches Add to reservoir replacement once len(xs) == limit.
+	limit int
+	rng   *rand.Rand
+}
+
+// NewBoundedSample returns a Sample that retains at most limit observations
+// via uniform reservoir sampling (Vitter's Algorithm R) seeded with seed.
+// Identical insertion sequences yield identical reservoirs, preserving
+// run-to-run determinism.
+func NewBoundedSample(limit int, seed int64) *Sample {
+	if limit <= 0 {
+		panic("stats: bounded sample limit must be positive")
+	}
+	return &Sample{limit: limit, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Add records one observation.
 func (s *Sample) Add(x float64) {
+	s.seen++
+	s.sum += x
+	if s.limit > 0 && len(s.xs) >= s.limit {
+		if j := s.rng.Int63n(s.seen); j < int64(s.limit) {
+			s.xs[j] = x
+			s.sorted = false
+		}
+		return
+	}
 	s.xs = append(s.xs, x)
 	s.sorted = false
-	s.sum += x
 }
 
 // AddAll records every observation in xs.
@@ -36,18 +63,24 @@ func (s *Sample) AddAll(xs []float64) {
 	}
 }
 
-// N reports the number of observations.
-func (s *Sample) N() int { return len(s.xs) }
+// N reports the number of observations offered, including any a bounded
+// sample has since evicted from its reservoir.
+func (s *Sample) N() int { return int(s.seen) }
+
+// Retained reports the number of observations currently held (equal to N
+// unless the sample is bounded).
+func (s *Sample) Retained() int { return len(s.xs) }
 
 // Sum reports the sum of all observations.
 func (s *Sample) Sum() float64 { return s.sum }
 
-// Mean reports the arithmetic mean, or NaN if empty.
+// Mean reports the arithmetic mean over every observation offered, or NaN
+// if empty.
 func (s *Sample) Mean() float64 {
-	if len(s.xs) == 0 {
+	if s.seen == 0 {
 		return math.NaN()
 	}
-	return s.sum / float64(len(s.xs))
+	return s.sum / float64(s.seen)
 }
 
 func (s *Sample) sort() {

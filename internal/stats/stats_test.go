@@ -281,3 +281,73 @@ func BenchmarkSampleAddQuantile(b *testing.B) {
 	}
 	_ = s.Quantile(0.999)
 }
+
+func TestBoundedSample(t *testing.T) {
+	const limit, n = 50, 10000
+	s := NewBoundedSample(limit, 1)
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := float64(i)
+		s.Add(x)
+		sum += x
+	}
+	if s.N() != n {
+		t.Errorf("N = %d, want %d (stream count, not reservoir size)", s.N(), n)
+	}
+	if s.Retained() != limit {
+		t.Errorf("Retained = %d, want %d", s.Retained(), limit)
+	}
+	if s.Sum() != sum {
+		t.Errorf("Sum = %v, want %v (exact over stream)", s.Sum(), sum)
+	}
+	if got, want := s.Mean(), sum/n; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Mean = %v, want %v (exact over stream)", got, want)
+	}
+	// Quantiles are approximate but must stay inside the observed range,
+	// and the median of a uniform 0..n ramp should land near the middle.
+	med := s.Quantile(0.5)
+	if med < 0 || med > float64(n-1) {
+		t.Errorf("median %v outside observed range", med)
+	}
+	if med < 0.2*float64(n) || med > 0.8*float64(n) {
+		t.Errorf("median %v implausible for uniform ramp of %d", med, n)
+	}
+}
+
+func TestBoundedSampleDeterministic(t *testing.T) {
+	mk := func() []float64 {
+		s := NewBoundedSample(10, 42)
+		for i := 0; i < 1000; i++ {
+			s.Add(float64(i * 7 % 113))
+		}
+		return s.Values()
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reservoirs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBoundedSampleBelowLimitExact(t *testing.T) {
+	s := NewBoundedSample(100, 1)
+	for i := 0; i < 50; i++ {
+		s.Add(float64(i))
+	}
+	if s.N() != 50 || s.Retained() != 50 {
+		t.Errorf("N = %d, Retained = %d, want 50/50", s.N(), s.Retained())
+	}
+	if got := s.Quantile(1); got != 49 {
+		t.Errorf("Max = %v, want 49 (exact below limit)", got)
+	}
+}
+
+func TestBoundedSampleBadLimitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBoundedSample(0, 1) did not panic")
+		}
+	}()
+	NewBoundedSample(0, 1)
+}

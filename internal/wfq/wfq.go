@@ -10,7 +10,27 @@
 // depend on the WFQ realisation.
 package wfq
 
-import "container/heap"
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// validateWeights panics unless every class weight is a positive finite
+// number. A zero or negative weight would make WFQ's finish-tag division
+// produce +Inf/NaN virtual times (and DWRR a non-positive quantum), which
+// silently corrupts scheduling order; failing loudly at construction
+// mirrors the qos.Weights validation the public simulation config applies.
+func validateWeights(weights []float64) {
+	if len(weights) == 0 {
+		panic("wfq: no class weights")
+	}
+	for i, w := range weights {
+		if !(w > 0) || math.IsInf(w, 1) {
+			panic(fmt.Sprintf("wfq: weight[%d] = %v, must be positive and finite", i, w))
+		}
+	}
+}
 
 // Item is anything schedulable: a packet with a size, a QoS class, and an
 // urgency metric used only by priority-based disciplines (lower urgency is
@@ -89,7 +109,9 @@ type taggedQueue struct {
 
 // NewWFQ returns a WFQ over len(weights) classes. perClassBytes bounds
 // each class queue (0 means unlimited, used for theory-validation runs).
+// NewWFQ panics if any weight is zero, negative, or non-finite.
 func NewWFQ(weights []float64, perClassBytes int) *WFQ {
+	validateWeights(weights)
 	w := &WFQ{
 		weights:  append([]float64(nil), weights...),
 		capBytes: perClassBytes,
@@ -183,8 +205,10 @@ type DWRR struct {
 }
 
 // NewDWRR returns a DWRR scheduler; quantumBytes is the per-round byte
-// quantum granted to a class of weight 1 (typically one MTU).
+// quantum granted to a class of weight 1 (typically one MTU). NewDWRR
+// panics if any weight is zero, negative, or non-finite.
 func NewDWRR(weights []float64, quantumBytes, perClassBytes int) *DWRR {
+	validateWeights(weights)
 	return &DWRR{
 		weights:  append([]float64(nil), weights...),
 		quantum:  quantumBytes,

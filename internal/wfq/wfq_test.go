@@ -339,3 +339,32 @@ func TestWeightedShareProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// mustPanic asserts that f panics; the ISSUE's divide-by-zero guard.
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+func TestNewWFQValidatesWeights(t *testing.T) {
+	bad := [][]float64{nil, {}, {0, 1}, {4, -1}, {math.Inf(1)}, {math.NaN()}}
+	for _, w := range bad {
+		w := w
+		mustPanic(t, "NewWFQ", func() { NewWFQ(w, 0) })
+		mustPanic(t, "NewDWRR", func() { NewDWRR(w, 1500, 0) })
+	}
+	// Valid weights still construct, and finish tags stay finite.
+	w := NewWFQ([]float64{4, 1}, 0)
+	w.Enqueue(&testItem{size: 1500, class: 0})
+	w.Enqueue(&testItem{size: 1500, class: 1})
+	for it := w.Dequeue(); it != nil; it = w.Dequeue() {
+	}
+	if w.virt != 0 && (math.IsInf(w.virt, 0) || math.IsNaN(w.virt)) {
+		t.Errorf("virtual time corrupted: %v", w.virt)
+	}
+}

@@ -92,7 +92,11 @@ func NewPiecewise(sizes []int64, cdf []float64) (*Piecewise, error) {
 	if cdf[0] < 0 || math.Abs(cdf[len(cdf)-1]-1) > 1e-9 {
 		return nil, fmt.Errorf("workload: cdf must end at 1")
 	}
-	return &Piecewise{Sizes: sizes, CDF: cdf}, nil
+	p := &Piecewise{Sizes: sizes, CDF: cdf}
+	// Pre-compute the mean so Sample/Mean are read-only afterwards: a
+	// SizeDist may be shared by configurations running concurrently.
+	p.meanOnce = p.computeMean()
+	return p, nil
 }
 
 // MustPiecewise is NewPiecewise for static tables.
@@ -124,12 +128,18 @@ func (p *Piecewise) Sample(r *rand.Rand) int64 {
 	return int64(math.Exp(l0 + frac*(l1-l0)))
 }
 
-// Mean implements SizeDist (cached numeric estimate of the log-linear
-// interpolated distribution).
+// Mean implements SizeDist (numeric estimate of the log-linear
+// interpolated distribution, computed once at construction).
 func (p *Piecewise) Mean() float64 {
 	if p.meanOnce != 0 {
 		return p.meanOnce
 	}
+	// Zero-value Piecewise built without NewPiecewise: fall back to
+	// computing on demand (single-threaded construction paths only).
+	return p.computeMean()
+}
+
+func (p *Piecewise) computeMean() float64 {
 	// Expected value of the log-linear segments: integrate exp of a
 	// uniform in log space per segment. E[X | segment] for X = e^L, L
 	// uniform on [l0, l1]: (e^l1 − e^l0)/(l1 − l0).
@@ -149,7 +159,6 @@ func (p *Piecewise) Mean() float64 {
 		}
 		mean += w * seg
 	}
-	p.meanOnce = mean
 	return mean
 }
 

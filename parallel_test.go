@@ -1,0 +1,237 @@
+package aequitas
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sweepCluster is a small, fast cluster config used by the parallel-engine
+// tests; i varies the QoSh share so entries are genuinely distinct.
+func sweepCluster(i int) SimConfig {
+	share := 0.3 + 0.05*float64(i)
+	return SimConfig{
+		System:     SystemAequitas,
+		Hosts:      4,
+		Seed:       int64(i + 1),
+		Duration:   6 * time.Millisecond,
+		QoSWeights: []float64{8, 4, 1},
+		SLOs: []SLO{
+			{Target: 25 * time.Microsecond, ReferenceBytes: 32 << 10, Percentile: 99.9},
+			{Target: 50 * time.Microsecond, ReferenceBytes: 32 << 10, Percentile: 99.9},
+		},
+		Traffic: []HostTraffic{{
+			AvgLoad:   0.8,
+			BurstLoad: 1.4,
+			Classes: []TrafficClass{
+				{Priority: PC, Share: share, FixedBytes: 32 << 10},
+				{Priority: NC, Share: 0.25, FixedBytes: 32 << 10},
+				{Priority: BE, Share: 0.75 - share, FixedBytes: 32 << 10},
+			},
+		}},
+	}
+}
+
+// TestRunManyDeterministic is the engine's core guarantee: the same
+// configs and seeds produce identical Results at 1 worker and at
+// GOMAXPROCS workers (and identical to plain sequential Run calls).
+func TestRunManyDeterministic(t *testing.T) {
+	const n = 4
+	cfgs := make([]SimConfig, n)
+	for i := range cfgs {
+		cfgs[i] = sweepCluster(i)
+	}
+	seq, err := RunMany(cfgs, ParallelOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunMany(cfgs, ParallelOptions{Workers: runtime.GOMAXPROCS(0) + 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		direct, err := Run(cfgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq[i], par[i]) {
+			t.Errorf("config %d: 1-worker and parallel Results differ", i)
+		}
+		if !reflect.DeepEqual(seq[i], direct) {
+			t.Errorf("config %d: RunMany and direct Run Results differ", i)
+		}
+	}
+}
+
+// TestRunManyOrderAndErrors: results come back in input order, a bad
+// config reports the lowest-index error, and good configs still complete.
+func TestRunManyOrderAndErrors(t *testing.T) {
+	cfgs := []SimConfig{
+		sweepCluster(0),
+		{Hosts: 1, Duration: time.Millisecond}, // invalid: needs >= 2 hosts
+		sweepCluster(1),
+		{Hosts: 1, Duration: time.Millisecond}, // invalid too; index 1 must win
+	}
+	res, err := RunMany(cfgs, ParallelOptions{Workers: 3})
+	if err == nil {
+		t.Fatal("want error from invalid config")
+	}
+	if want := "sweep config 1"; !contains(err.Error(), want) {
+		t.Errorf("err = %v, want mention of %q", err, want)
+	}
+	if res[0] == nil || res[2] == nil {
+		t.Error("valid configs did not produce results")
+	}
+	if res[1] != nil || res[3] != nil {
+		t.Error("invalid configs produced results")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSweepBaseSeed: BaseSeed overrides per-entry seeds deterministically
+// and decorrelates entries.
+func TestSweepBaseSeed(t *testing.T) {
+	mk := func(i int) SimConfig { cfg := sweepCluster(0); cfg.Seed = 0; return cfg }
+	a, err := Sweep(2, mk, ParallelOptions{Workers: 2, BaseSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(2, mk, ParallelOptions{Workers: 1, BaseSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			t.Errorf("entry %d: BaseSeed sweep not reproducible", i)
+		}
+	}
+	// Identical configs, different derived seeds: the entries should not
+	// be byte-identical runs of each other.
+	if reflect.DeepEqual(a[0], a[1]) {
+		t.Error("BaseSeed produced identical runs for distinct indices")
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(42, i)
+		if seen[s] {
+			t.Fatalf("DeriveSeed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(42, 0) != DeriveSeed(42, 0) {
+		t.Error("DeriveSeed not a pure function")
+	}
+	if DeriveSeed(42, 0) == DeriveSeed(43, 0) {
+		t.Error("DeriveSeed ignores base")
+	}
+}
+
+// TestConcurrentRun runs two simulations concurrently; under `go test
+// -race` this fails loudly if Run touches any shared mutable state.
+func TestConcurrentRun(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := Run(sweepCluster(i)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestRawGoodputRatio: under a deterministic config the unclamped ratio
+// must stay within [0, 1]; anything above 1 is an accounting error that
+// the clamped GoodputFraction would otherwise hide.
+func TestRawGoodputRatio(t *testing.T) {
+	res, err := Run(sweepCluster(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RawGoodputRatio <= 0 || res.RawGoodputRatio > 1.0 {
+		t.Errorf("RawGoodputRatio = %v, want in (0, 1]", res.RawGoodputRatio)
+	}
+	if res.GoodputFraction != res.RawGoodputRatio {
+		t.Errorf("clamp applied though raw ratio %v <= 1", res.RawGoodputRatio)
+	}
+}
+
+// TestBoundedRNLSamples: MaxRNLSamples caps memory while keeping counts
+// exact and quantiles inside the observed range, deterministically.
+func TestBoundedRNLSamples(t *testing.T) {
+	cfg := sweepCluster(0)
+	exact, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxRNLSamples = 64
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("bounded runs with identical config differ")
+	}
+	for cl, sum := range a.RNLRun {
+		if sum.N != exact.RNLRun[cl].N {
+			t.Errorf("class %v: bounded N = %d, exact N = %d", cl, sum.N, exact.RNLRun[cl].N)
+		}
+		ex := exact.RNLRun[cl]
+		if sum.P50US < ex.MeanUS/100 || sum.P50US > ex.MaxUS {
+			t.Errorf("class %v: reservoir p50 %v outside plausible range (max %v)", cl, sum.P50US, ex.MaxUS)
+		}
+	}
+}
+
+// BenchmarkRunManySequential and BenchmarkRunManyParallel time the same
+// 8-config sweep at 1 worker and at GOMAXPROCS workers. On a multi-core
+// runner the parallel variant must show near-linear speedup (the
+// acceptance criterion is >= 2x at 8 configs).
+func benchSweepConfigs() []SimConfig {
+	cfgs := make([]SimConfig, 8)
+	for i := range cfgs {
+		cfgs[i] = sweepCluster(i % 4)
+		cfgs[i].Seed = int64(i + 1)
+	}
+	return cfgs
+}
+
+func BenchmarkRunManySequential(b *testing.B) {
+	cfgs := benchSweepConfigs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunMany(cfgs, ParallelOptions{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunManyParallel(b *testing.B) {
+	cfgs := benchSweepConfigs()
+	b.ReportAllocs()
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	for i := 0; i < b.N; i++ {
+		if _, err := RunMany(cfgs, ParallelOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -120,8 +120,12 @@ type Results struct {
 	Terminated int64
 
 	// GoodputFraction is completed payload bytes over offered payload
-	// bytes in the measurement window (Figure 22's network utilisation).
+	// bytes in the measurement window (Figure 22's network utilisation),
+	// clamped to 1 for reporting. RawGoodputRatio is the same ratio
+	// unclamped; a value above 1 indicates a measurement-accounting error
+	// (completions credited outside the offered-byte window).
 	GoodputFraction float64
+	RawGoodputRatio float64
 	// AvgDownlinkUtilization is the mean busy fraction of switch egress
 	// ports during the measurement window.
 	AvgDownlinkUtilization float64

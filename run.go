@@ -249,13 +249,14 @@ type collector struct {
 	stacks []*rpc.Stack
 	gens   []*workload.Generator
 
-	measuring bool
-
 	inputMix    *qos.MixCounter
 	admittedMix *qos.MixCounter
 
 	rnlRun  map[qos.Class]*stats.Sample
 	rnlPrio map[qos.Priority]*stats.Sample
+	// nextSampleSeed derives deterministic per-series seeds for bounded
+	// (reservoir) RNL samples, keyed by creation order.
+	nextSampleSeed int64
 
 	issued, completed, downgraded, dropped int64
 	// SLO accounting by priority: issued vs met, in bytes and counts.
@@ -271,6 +272,8 @@ type collector struct {
 	probes      []*probeState
 	outHigh     stats.Sample
 	outLow      stats.Sample
+	outHiBuf    []int // per-dst scratch reused across sample ticks
+	outLoBuf    []int
 	traceHeader bool
 }
 
@@ -280,6 +283,10 @@ type probeState struct {
 	thruSer    stats.Series
 	bytes      int64 // completed bytes on (src,dst,class) since last sample
 	lastSample sim.Time
+	// hasSample distinguishes "no previous sample yet" from a real sample
+	// taken at t=0 (which a zero-time sentinel would misread when
+	// Warmup == 0).
+	hasSample bool
 }
 
 func newCollector(cfg *SimConfig) *collector {
@@ -305,7 +312,6 @@ func newCollector(cfg *SimConfig) *collector {
 }
 
 func (c *collector) beginMeasurement(s *sim.Simulator, net *netsim.Network) {
-	c.measuring = true
 	c.measStart = s.Now()
 	for _, g := range c.gens {
 		c.offeredBytesAtWarm += g.Offered.Total()
@@ -323,7 +329,10 @@ func (c *collector) endMeasurement(s *sim.Simulator, net *netsim.Network) {
 }
 
 func (c *collector) onAdmit(s *sim.Simulator, requested qos.Class, d rpc.Decision, sizeMTUs int64) {
-	if !c.measuring || s.Now() > c.end {
+	// Gate on the same issue-time window as onComplete so the SLO-met
+	// numerators (completions) and denominators (admissions) count the
+	// same RPC population.
+	if !c.inWindow(s.Now()) {
 		return
 	}
 	bytes := sizeMTUs * int64(netsim.MaxPayload)
@@ -361,8 +370,8 @@ func (c *collector) onComplete(s *sim.Simulator, r *rpc.RPC) {
 		return
 	}
 	us := r.RNL.Micros()
-	sampleFor(c.rnlRun, r.QoSRun).Add(us)
-	sampleFor(c.rnlPrio, r.Priority).Add(us)
+	sampleFor(c.rnlRun, r.QoSRun, c.newSample).Add(us)
+	sampleFor(c.rnlPrio, r.Priority, c.newSample).Add(us)
 	c.completed++
 	c.completedPayloadBytes += r.Bytes
 
@@ -392,13 +401,26 @@ func (c *collector) meetsSLO(r *rpc.RPC) bool {
 	return r.RNL/sim.Duration(r.SizeMTUs) < target
 }
 
-func sampleFor[K comparable](m map[K]*stats.Sample, k K) *stats.Sample {
+func sampleFor[K comparable](m map[K]*stats.Sample, k K, mk func() *stats.Sample) *stats.Sample {
 	sm, ok := m[k]
 	if !ok {
-		sm = &stats.Sample{}
+		sm = mk()
 		m[k] = sm
 	}
 	return sm
+}
+
+// newSample builds one RNL series accumulator: exact by default, or a
+// bounded reservoir when cfg.MaxRNLSamples is set. Reservoir seeds derive
+// deterministically from the run seed and series creation order, so a
+// given config produces identical Results regardless of what else runs in
+// the process.
+func (c *collector) newSample() *stats.Sample {
+	if c.cfg.MaxRNLSamples <= 0 {
+		return &stats.Sample{}
+	}
+	c.nextSampleSeed++
+	return stats.NewBoundedSample(c.cfg.MaxRNLSamples, c.cfg.Seed+c.nextSampleSeed*0x9E3779B9)
 }
 
 // sample records probe and outstanding data points.
@@ -410,29 +432,45 @@ func (c *collector) sample(s *sim.Simulator, controllers []*core.Controller) {
 			p = ctl.AdmitProbability(ps.p.Dst, ps.p.Class)
 		}
 		ps.admitSer.Append(now, p)
-		dt := (s.Now() - ps.lastSample).Seconds()
-		if ps.lastSample == 0 {
-			dt = 0
-		}
-		if dt > 0 {
-			gbps := float64(ps.bytes) * 8 / dt / 1e9
-			ps.thruSer.Append(now, gbps)
+		if ps.hasSample {
+			if dt := (s.Now() - ps.lastSample).Seconds(); dt > 0 {
+				gbps := float64(ps.bytes) * 8 / dt / 1e9
+				ps.thruSer.Append(now, gbps)
+			}
 		}
 		ps.bytes = 0
 		ps.lastSample = s.Now()
+		ps.hasSample = true
 	}
 	if c.cfg.TrackOutstanding {
-		levels := c.cfg.levels()
-		for dst := 0; dst < len(c.stacks); dst++ {
-			var hi, lo int
-			for _, st := range c.stacks {
-				for cl := 0; cl < levels-1; cl++ {
-					hi += st.OutstandingClass(dst, qos.Class(cl))
+		// One pass over every stack's live (dst, class) entries,
+		// accumulating per-destination counts — O(live entries) instead of
+		// the former O(hosts² · levels) re-probe of every combination.
+		scavenger := qos.Class(c.cfg.levels() - 1)
+		n := len(c.stacks)
+		if c.outHiBuf == nil {
+			c.outHiBuf = make([]int, n)
+			c.outLoBuf = make([]int, n)
+		}
+		for i := range c.outHiBuf {
+			c.outHiBuf[i] = 0
+			c.outLoBuf[i] = 0
+		}
+		for _, st := range c.stacks {
+			st.ForEachOutstanding(func(dst int, cl qos.Class, cnt int) {
+				if dst < 0 || dst >= n {
+					return
 				}
-				lo += st.OutstandingClass(dst, qos.Class(levels-1))
-			}
-			c.outHigh.Add(float64(hi))
-			c.outLow.Add(float64(lo))
+				if cl >= scavenger {
+					c.outLoBuf[dst] += cnt
+				} else {
+					c.outHiBuf[dst] += cnt
+				}
+			})
+		}
+		for dst := 0; dst < n; dst++ {
+			c.outHigh.Add(float64(c.outHiBuf[dst]))
+			c.outLow.Add(float64(c.outLoBuf[dst]))
 		}
 	}
 }
@@ -506,7 +544,11 @@ func (c *collector) results(cfg *SimConfig, net *netsim.Network) *Results {
 	}
 	offered -= c.offeredBytesAtWarm
 	if offered > 0 {
-		res.GoodputFraction = float64(c.completedPayloadBytes) / float64(offered)
+		// RawGoodputRatio keeps the unclamped ratio so accounting errors
+		// (completions exceeding offered bytes) stay visible; the reported
+		// GoodputFraction clamps to 1 for plotting.
+		res.RawGoodputRatio = float64(c.completedPayloadBytes) / float64(offered)
+		res.GoodputFraction = res.RawGoodputRatio
 		if res.GoodputFraction > 1 {
 			res.GoodputFraction = 1
 		}

@@ -203,6 +203,11 @@ type SimConfig struct {
 	// TrackOutstanding samples per-switch-port outstanding RPC counts
 	// (Figure 13).
 	TrackOutstanding bool
+	// MaxRNLSamples, when > 0, bounds each per-class RNL series to a
+	// uniform reservoir of that many observations so memory stays flat at
+	// long Durations; 0 keeps every observation (exact quantiles).
+	// Reservoir seeds derive from Seed, so results stay deterministic.
+	MaxRNLSamples int
 	// TraceWriter, when set, receives one CSV record per completed RPC
 	// in the measurement window (header: complete_s, src, dst, priority,
 	// requested, ran, downgraded, bytes, rnl_us) for external analysis.
