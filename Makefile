@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench figures
+.PHONY: all build test race vet check bench figures trace-check
 
 all: build
 
@@ -20,7 +20,15 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: vet build race
+check: vet build race trace-check
+
+# trace-check runs a short instrumented simulation and validates the
+# NDJSON lifecycle trace against the schema in internal/obs.
+trace-check: build
+	@mkdir -p out
+	$(GO) run ./cmd/aequitas-sim -hosts 4 -dur 3ms -trace out/trace-check.ndjson \
+	    -metrics out/trace-check.csv > /dev/null
+	$(GO) run ./cmd/tracecheck out/trace-check.ndjson
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -96,7 +96,10 @@ func TestAequitasMeetsSLOUnderOverload(t *testing.T) {
 		t.Errorf("final p_admit = %v", pr.AdmitProbability.Final(-1))
 	}
 	// Aequitas's defining behaviour: p_admit well below 1 at equilibrium.
-	if mean := pr.AdmitProbability.MeanAfter(0.05); mean > 0.9 {
+	mean, ok := pr.AdmitProbability.MeanAfterOK(0.05)
+	if !ok {
+		t.Error("no p_admit samples after 0.05s")
+	} else if mean > 0.9 {
 		t.Errorf("mean p_admit %.2f; admission control appears inactive", mean)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"aequitas"
+	"aequitas/internal/obs"
 )
 
 var systems = map[string]aequitas.System{
@@ -49,9 +50,34 @@ func main() {
 		alpha    = flag.Float64("alpha", 0.01, "admit probability additive increment")
 		beta     = flag.Float64("beta", 0.01, "admit probability decrement per MTU per miss")
 		weights  = flag.String("weights", "8,4,1", "WFQ weights, highest class first")
-		trace    = flag.String("trace", "", "write a per-RPC CSV trace to this file")
+		trace    = flag.String("trace", "", "write the RPC lifecycle event trace (NDJSON) to this file")
+		traceCSV = flag.String("trace-csv", "", "write a per-RPC completion CSV trace to this file")
+		traceChr = flag.String("trace-chrome", "", "write a Chrome trace-event JSON (Perfetto) to this file")
+		metrics  = flag.String("metrics", "", "write the periodic metrics time series (CSV) to this file")
+		metEvery = flag.Duration("metrics-every", 0, "metrics sampling interval in simulated time (default 100us)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		stop, err := obs.StartCPUProfile(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memProf); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
 
 	sys, ok := systems[*system]
 	if !ok {
@@ -92,13 +118,26 @@ func main() {
 		Duration:   *dur,
 		QoSWeights: w,
 	}
-	if *trace != "" {
-		f, err := os.Create(*trace)
-		if err != nil {
-			log.Fatal(err)
-		}
+	if *traceCSV != "" {
+		f := mustCreate(*traceCSV)
 		defer f.Close()
-		cfg.TraceWriter = f
+		cfg.TraceWriter = aequitas.NewCSVTrace(f)
+	}
+	if *trace != "" {
+		f := mustCreate(*trace)
+		defer f.Close()
+		cfg.Obs.TraceNDJSON = f
+	}
+	if *traceChr != "" {
+		f := mustCreate(*traceChr)
+		defer f.Close()
+		cfg.Obs.TraceChrome = f
+	}
+	if *metrics != "" {
+		f := mustCreate(*metrics)
+		defer f.Close()
+		cfg.Obs.MetricsCSV = f
+		cfg.Obs.MetricsEvery = *metEvery
 	}
 	cfg.SLOs = []aequitas.SLO{
 		{Target: *sloHigh, ReferenceBytes: *sloRef, Percentile: 99.9},
@@ -138,6 +177,14 @@ func main() {
 	for pr, f := range res.SLOMetBytesFraction {
 		fmt.Printf("%v traffic meeting its original SLO: %.1f%%\n", pr, 100*f)
 	}
+}
+
+func mustCreate(path string) *os.File {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return f
 }
 
 func parseFloats(s string) ([]float64, error) {

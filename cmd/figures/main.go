@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"aequitas"
+	"aequitas/internal/obs"
 )
 
 // figure is one regenerable experiment.
@@ -97,8 +98,30 @@ func main() {
 		long     = flag.Duration("long", 600*time.Millisecond, "horizon for convergence experiments")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		parallel = flag.Int("parallel", 0, "simulation workers per figure (0 = GOMAXPROCS)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile covering the figure runs to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file after the figure runs")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		stop, err := obs.StartCPUProfile(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memProf); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	sort.Slice(figures, func(i, j int) bool { return figures[i].id < figures[j].id })
 

@@ -1,0 +1,47 @@
+// Command tracecheck validates NDJSON lifecycle traces produced by the
+// observability layer (aequitas-sim -trace, SimConfig.Obs.TraceNDJSON).
+// It checks each line against the schema in internal/obs — known kind,
+// required fields present and correctly typed, timestamps non-decreasing,
+// p_admit in [0, 1] — and exits non-zero on the first violation.
+//
+// Usage:
+//
+//	tracecheck trace.ndjson [more.ndjson ...]
+//
+// `make trace-check` runs a short instrumented simulation and feeds the
+// result through this command.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"aequitas/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.ndjson> [...]")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+			continue
+		}
+		n, err := obs.ValidateNDJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%s: %d events ok\n", path, n)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -2,6 +2,7 @@ package aequitas
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"time"
 )
@@ -126,8 +127,14 @@ func TestSeriesHelpers(t *testing.T) {
 	if got := s.MeanAfter(2); got != 20 {
 		t.Errorf("MeanAfter = %v", got)
 	}
-	if got := s.MeanAfter(99); got != 0 {
-		t.Errorf("MeanAfter beyond range = %v", got)
+	if got := s.MeanAfter(99); !math.IsNaN(got) {
+		t.Errorf("MeanAfter beyond range = %v, want NaN", got)
+	}
+	if _, ok := s.MeanAfterOK(99); ok {
+		t.Error("MeanAfterOK beyond range reported ok")
+	}
+	if got, ok := s.MeanAfterOK(2); !ok || got != 20 {
+		t.Errorf("MeanAfterOK = %v, %v", got, ok)
 	}
 	if got := s.SettlingTime(0.5); got != 2 {
 		t.Errorf("SettlingTime = %v", got)
@@ -135,9 +142,16 @@ func TestSeriesHelpers(t *testing.T) {
 }
 
 func TestLatencySummaryString(t *testing.T) {
-	l := LatencySummary{N: 10, MeanUS: 1.5, P50US: 1, P99US: 3, P999US: 4, MaxUS: 5}
-	if l.String() == "" {
+	l := LatencySummary{N: 10, MeanUS: 1.5, P50US: 1, P90US: 2, P99US: 3, P999US: 4, MaxUS: 5}
+	s := l.String()
+	if s == "" {
 		t.Error("empty String")
+	}
+	// Every field must appear — P90US was historically omitted.
+	for _, want := range []string{"n=10", "mean=1.5us", "p50=1.0us", "p90=2.0us", "p99=3.0us", "p99.9=4.0us", "max=5.0us"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
 	}
 }
 

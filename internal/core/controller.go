@@ -12,7 +12,9 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
+	"aequitas/internal/obs"
 	"aequitas/internal/qos"
 	"aequitas/internal/rpc"
 	"aequitas/internal/sim"
@@ -178,6 +180,47 @@ func (ct *Controller) AdmitProbability(dst int, class qos.Class) float64 {
 		return 1
 	}
 	return ct.classState(dst, class).pAdmit
+}
+
+// ForEachState visits every (dst, class) admission state in deterministic
+// order with its current admit probability and the time remaining before
+// the additive-increase window reopens at now (zero when the window is
+// already open or no increase has happened yet).
+func (ct *Controller) ForEachState(now sim.Time, f func(dst int, class qos.Class, pAdmit float64, windowRemaining sim.Duration)) {
+	keys := make([]stateKey, 0, len(ct.state))
+	for k := range ct.state {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dst != keys[j].dst {
+			return keys[i].dst < keys[j].dst
+		}
+		return keys[i].class < keys[j].class
+	})
+	for _, k := range keys {
+		st := ct.state[k]
+		var rem sim.Duration
+		if st.everIncreased {
+			if open := st.lastIncrease + ct.cfg.incrementWindow(int(k.class)); open > now {
+				rem = open - now
+			}
+		}
+		f(k.dst, k.class, st.pAdmit, rem)
+	}
+}
+
+// MetricsSampler returns an obs.Sampler exposing this controller's
+// per-(dst, class) admit probability and additive-increase window
+// remainder; host identifies the controller's sending host in metric
+// names.
+func (ct *Controller) MetricsSampler(host int) obs.Sampler {
+	return func(now sim.Time, emit func(string, float64)) {
+		ct.ForEachState(now, func(dst int, class qos.Class, p float64, rem sim.Duration) {
+			key := fmt.Sprintf("h%d.d%d.q%d", host, dst, int(class))
+			emit("padmit."+key, p)
+			emit("incwin_us."+key, rem.Micros())
+		})
+	}
 }
 
 // Admit implements rpc.Admitter — Algorithm 1 lines 5-12. RPCs requesting

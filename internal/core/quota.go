@@ -189,6 +189,13 @@ func (qa *QuotaAdmitter) Admit(s *sim.Simulator, dst int, requested qos.Class, s
 	return qa.Controller.Admit(s, dst, requested, sizeMTUs)
 }
 
+// AdmitProbability implements rpc.ProbabilityReporter by delegating to
+// the wrapped controller (in-quota traffic bypasses the draw, but the
+// probability that would apply is still the controller's).
+func (qa *QuotaAdmitter) AdmitProbability(dst int, class qos.Class) float64 {
+	return qa.Controller.AdmitProbability(dst, class)
+}
+
 // Observe implements rpc.Admitter. In-quota traffic still contributes
 // latency measurements: if the quota was over-provisioned relative to the
 // SLO, the controller must learn it.

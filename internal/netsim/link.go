@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"aequitas/internal/obs"
 	"aequitas/internal/sim"
 	"aequitas/internal/wfq"
 )
@@ -46,6 +47,10 @@ type Link struct {
 	// letting transports implement loss detection hooks and tests count
 	// what was lost.
 	OnDrop func(s *sim.Simulator, p *Packet)
+
+	// Trace, when set, receives per-hop queue-residency and drop events.
+	// nil disables tracing at zero cost on the transmit path.
+	Trace *obs.Tracer
 }
 
 // NewLink creates a link delivering packets to dst.
@@ -55,11 +60,15 @@ func NewLink(name string, rate sim.Rate, prop sim.Duration, sched wfq.Scheduler,
 
 // Send enqueues p for transmission, applying the scheduler's drop policy.
 func (l *Link) Send(s *sim.Simulator, p *Packet) {
+	p.EnqueuedAt = s.Now()
 	dropped := l.Sched.Enqueue(p)
 	for _, d := range dropped {
 		dp := d.(*Packet)
 		l.Stats.DropPackets++
 		l.Stats.DropBytes += int64(dp.Size)
+		if l.Trace != nil {
+			l.Trace.Drop(s.Now(), dp.MsgID, l.Name, int(dp.Class), dp.Size)
+		}
 		if l.OnDrop != nil {
 			l.OnDrop(s, dp)
 		}
@@ -78,6 +87,10 @@ func (l *Link) kick(s *sim.Simulator) {
 	}
 	p := it.(*Packet)
 	l.busy = true
+	if l.Trace != nil && !p.Ack {
+		l.Trace.Hop(s.Now(), p.MsgID, l.Name, int(p.Class), p.Size,
+			s.Now()-p.EnqueuedAt, l.Sched.QueuedBytes())
+	}
 	tx := l.Rate.TxTime(p.Size)
 	l.Stats.BusyTime += tx
 	l.Stats.TxPackets++

@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 
+	"aequitas/internal/obs"
 	"aequitas/internal/sim"
 	"aequitas/internal/wfq"
 )
@@ -166,6 +167,39 @@ func (h *Host) Send(s *sim.Simulator, p *Packet) {
 		p.ID = h.net.NextPacketID()
 	}
 	h.Uplink.Send(s, p)
+}
+
+// ForEachLink visits every link in a fixed order — host uplinks, then
+// last-hop downlinks, then core links — so instrumentation wired through
+// it (tracing, metrics columns) is deterministic run to run.
+func (n *Network) ForEachLink(f func(*Link)) {
+	for _, h := range n.hosts {
+		f(h.Uplink)
+	}
+	for _, d := range n.downlinks {
+		f(d)
+	}
+	for _, c := range n.CoreLinks() {
+		f(c)
+	}
+}
+
+// SetTracer points every link's per-hop tracer at tr (nil detaches).
+func (n *Network) SetTracer(tr *obs.Tracer) {
+	n.ForEachLink(func(l *Link) { l.Trace = tr })
+}
+
+// MetricsSampler returns an obs.Sampler reporting, for every egress port,
+// the scheduler's queued bytes and packets and the cumulative drop count —
+// the per-port WFQ occupancy the paper's queueing analysis reasons about.
+func (n *Network) MetricsSampler() obs.Sampler {
+	return func(now sim.Time, emit func(string, float64)) {
+		n.ForEachLink(func(l *Link) {
+			emit("q."+l.Name+".bytes", float64(l.Sched.QueuedBytes()))
+			emit("q."+l.Name+".pkts", float64(l.Sched.QueuedItems()))
+			emit("drop."+l.Name+".pkts", float64(l.Stats.DropPackets))
+		})
+	}
 }
 
 // TotalDropped sums packet drops across all links in the network,

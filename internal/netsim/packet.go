@@ -46,6 +46,10 @@ type Packet struct {
 
 	// Deadline is used by deadline-aware baselines (D3, PDQ).
 	Deadline sim.Time
+
+	// EnqueuedAt is stamped by Link.Send when the packet enters an egress
+	// scheduler, so per-hop queue residency can be traced on dequeue.
+	EnqueuedAt sim.Time
 }
 
 // SizeBytes implements wfq.Item.

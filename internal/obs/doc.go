@@ -1,0 +1,46 @@
+// Package obs is the simulation-wide observability layer: a structured
+// RPC-lifecycle event tracer, a metrics registry with periodic
+// simulated-time samplers, and profiling helpers.
+//
+// The layer is designed around one invariant: when disabled it costs
+// nothing on the hot path. Every Tracer event method is safe to call on a
+// nil receiver and returns immediately without allocating, so instrumented
+// code holds a possibly-nil *Tracer and calls it unconditionally (or
+// behind a nil check when argument evaluation itself would do work). The
+// obs test suite enforces zero allocations per disabled event with
+// testing.AllocsPerRun.
+//
+// # Trace schema
+//
+// A Tracer records the full RPC lifecycle as a flat event stream:
+//
+//	issue     the application issued an RPC (src, dst, prio, class, bytes)
+//	admit     the admission decision, with the admit probability used
+//	          (decision ∈ admit|downgrade|drop, p_admit ∈ [0, 1])
+//	enqueue   the RPC's first packet was handed to the host NIC queue
+//	hop       a packet left one egress queue (link, queue residency,
+//	          queued bytes remaining after dequeue)
+//	drop      a packet was dropped by an egress scheduler
+//	complete  the last byte was acknowledged (rnl_us)
+//
+// WriteNDJSON emits one JSON object per line with the fields listed in
+// the table below; ValidateNDJSON checks a stream against this schema.
+// Common fields: ts_us (non-negative, non-decreasing), kind, rpc.
+// Kind-specific required fields:
+//
+//	issue:    src dst prio class bytes
+//	admit:    src dst class decision p_admit
+//	enqueue:  src dst class bytes
+//	hop:      link class bytes resid_us qbytes
+//	drop:     link class bytes
+//	complete: src dst class bytes rnl_us
+//
+// WriteChromeTrace emits the same events in Chrome trace-event JSON
+// (loadable at https://ui.perfetto.dev): RPCs become async b/e spans keyed
+// by RPC id, queue residencies become complete ("X") slices on one track
+// per link, and admission decisions become instant events.
+//
+// Events are recorded in simulator order, so for a fixed configuration the
+// stream is bit-identical regardless of how many sweep workers run other
+// simulations concurrently — each run owns its Tracer.
+package obs

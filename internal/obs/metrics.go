@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+
+	"aequitas/internal/sim"
+)
+
+// Sampler reports a set of named gauge values at one simulated instant.
+// Implementations must emit in a deterministic order (sorted keys or a
+// fixed traversal), because the registry assigns CSV columns in
+// first-appearance order.
+type Sampler func(now sim.Time, emit func(name string, v float64))
+
+// Registry collects periodic metric samples into a wide-format time
+// series: one row per Sample call, one column per distinct metric name.
+// Columns may appear mid-run (admission state and connections are created
+// lazily); earlier rows hold NaN for late columns and the CSV writer
+// emits those cells empty.
+type Registry struct {
+	samplers []Sampler
+	colIndex map[string]int
+	cols     []string
+	times    []float64
+	rows     [][]float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{colIndex: make(map[string]int)}
+}
+
+// Register adds a sampler invoked on every Sample tick, in registration
+// order.
+func (r *Registry) Register(s Sampler) {
+	if r == nil || s == nil {
+		return
+	}
+	r.samplers = append(r.samplers, s)
+}
+
+// Columns returns the metric names in column order.
+func (r *Registry) Columns() []string {
+	if r == nil {
+		return nil
+	}
+	return r.cols
+}
+
+// Rows reports the number of sampled rows.
+func (r *Registry) Rows() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.rows)
+}
+
+// Value returns the sampled value at row i for the named column, or NaN.
+func (r *Registry) Value(i int, name string) float64 {
+	if r == nil || i < 0 || i >= len(r.rows) {
+		return math.NaN()
+	}
+	idx, ok := r.colIndex[name]
+	if !ok || idx >= len(r.rows[i]) {
+		return math.NaN()
+	}
+	return r.rows[i][idx]
+}
+
+// Sample runs every sampler and appends one row at now.
+func (r *Registry) Sample(now sim.Time) {
+	if r == nil {
+		return
+	}
+	row := make([]float64, len(r.cols))
+	for i := range row {
+		row[i] = math.NaN()
+	}
+	emit := func(name string, v float64) {
+		idx, ok := r.colIndex[name]
+		if !ok {
+			idx = len(r.cols)
+			r.colIndex[name] = idx
+			r.cols = append(r.cols, name)
+			row = append(row, math.NaN())
+		}
+		row[idx] = v
+	}
+	for _, s := range r.samplers {
+		s(now, emit)
+	}
+	r.times = append(r.times, now.Seconds())
+	r.rows = append(r.rows, row)
+}
+
+// WriteCSV writes the sampled series as wide-format CSV: a t_s time
+// column followed by one column per metric. Cells never sampled in a row
+// (columns that appeared later) are left empty.
+func (r *Registry) WriteCSV(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString("t_s"); err != nil {
+		return err
+	}
+	for _, c := range r.cols {
+		bw.WriteByte(',')
+		bw.WriteString(c)
+	}
+	bw.WriteByte('\n')
+	var buf []byte
+	for i, row := range r.rows {
+		buf = strconv.AppendFloat(buf[:0], r.times[i], 'f', 9, 64)
+		for j := 0; j < len(r.cols); j++ {
+			buf = append(buf, ',')
+			if j < len(row) && !math.IsNaN(row[j]) {
+				buf = strconv.AppendFloat(buf, row[j], 'g', -1, 64)
+			}
+		}
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"aequitas/internal/sim"
+)
+
+// fill records one event of every kind on t, in a valid lifecycle order.
+func fill(t *Tracer) {
+	t.Issue(0, 1, 0, 3, 0, 0, 4096)
+	t.Admit(sim.Microsecond, 1, 0, 3, 0, DecisionAdmit, 0.75)
+	t.Enqueue(2*sim.Microsecond, 1, 0, 3, 0, 4096)
+	t.Hop(3*sim.Microsecond, 1, "h0-up", 0, 1500, sim.Microsecond, 3000)
+	t.Drop(4*sim.Microsecond, 2, "sw-down3", 2, 1500)
+	t.Complete(5*sim.Microsecond, 1, 0, 3, 0, 4096, 5*sim.Microsecond)
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	fill(tr)
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateNDJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if n != tr.Len() {
+		t.Errorf("validated %d events, recorded %d", n, tr.Len())
+	}
+	// Every line must decode as JSON with exactly the schema's fields.
+	for i, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d: %v", i+1, err)
+		}
+		kind := m["kind"].(string)
+		want := map[string]bool{"ts_us": true, "kind": true, "rpc": true}
+		for _, f := range SchemaFields(kind) {
+			want[f] = true
+		}
+		for k := range m {
+			if !want[k] {
+				t.Errorf("line %d (%s): unexpected field %q", i+1, kind, k)
+			}
+		}
+		if len(m) != len(want) {
+			t.Errorf("line %d (%s): %d fields, want %d", i+1, kind, len(m), len(want))
+		}
+	}
+}
+
+func TestValidateNDJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad json":        `{"ts_us":1,`,
+		"missing ts":      `{"kind":"issue","rpc":1,"src":0,"dst":1,"prio":0,"class":0,"bytes":1}`,
+		"negative ts":     `{"ts_us":-1,"kind":"issue","rpc":1,"src":0,"dst":1,"prio":0,"class":0,"bytes":1}`,
+		"unknown kind":    `{"ts_us":1,"kind":"warp","rpc":1}`,
+		"missing rpc":     `{"ts_us":1,"kind":"drop","link":"x","class":0,"bytes":1}`,
+		"missing field":   `{"ts_us":1,"kind":"issue","rpc":1,"src":0,"dst":1,"prio":0,"class":0}`,
+		"wrong type":      `{"ts_us":1,"kind":"drop","rpc":1,"link":7,"class":0,"bytes":1}`,
+		"p_admit range":   `{"ts_us":1,"kind":"admit","rpc":1,"src":0,"dst":1,"class":0,"decision":"admit","p_admit":1.5}`,
+		"bad decision":    `{"ts_us":1,"kind":"admit","rpc":1,"src":0,"dst":1,"class":0,"decision":"maybe","p_admit":0.5}`,
+		"negative resid":  `{"ts_us":1,"kind":"hop","rpc":1,"link":"x","class":0,"bytes":1,"resid_us":-2,"qbytes":0}`,
+		"zero rnl":        `{"ts_us":1,"kind":"complete","rpc":1,"src":0,"dst":1,"class":0,"bytes":1,"rnl_us":0}`,
+		"time regression": "{\"ts_us\":5,\"kind\":\"drop\",\"rpc\":1,\"link\":\"x\",\"class\":0,\"bytes\":1}\n{\"ts_us\":4,\"kind\":\"drop\",\"rpc\":2,\"link\":\"x\",\"class\":0,\"bytes\":1}",
+	}
+	for name, in := range cases {
+		if _, err := ValidateNDJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+}
+
+func TestChromeTraceJSON(t *testing.T) {
+	tr := NewTracer()
+	fill(tr)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	phases := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		phases[e["ph"].(string)]++
+	}
+	// b/e span for the RPC, X slice for the hop, i instants for
+	// admit+enqueue+drop, M metadata for the fabric process + 2 links.
+	for ph, want := range map[string]int{"b": 1, "e": 1, "X": 1, "i": 3, "M": 3} {
+		if phases[ph] != want {
+			t.Errorf("phase %q count = %d, want %d (all: %v)", ph, phases[ph], want, phases)
+		}
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	fill(tr) // must not panic
+	if tr.Enabled() || tr.Len() != 0 || tr.Events() != nil {
+		t.Error("nil tracer not inert")
+	}
+	if err := tr.WriteNDJSON(nil); err != nil {
+		t.Error(err)
+	}
+	if err := tr.WriteChromeTrace(nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDisabledTracerAllocs proves the acceptance criterion: with
+// observability disabled the event hot path performs zero allocations.
+func TestDisabledTracerAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		fill(tr)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracer: %v allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkDisabledTracer(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Hop(sim.Time(i), uint64(i), "h0-up", 0, 1500, 0, 0)
+	}
+}
+
+func BenchmarkEnabledTracerHop(b *testing.B) {
+	tr := NewTracer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Hop(sim.Time(i), uint64(i), "h0-up", 0, 1500, 0, 0)
+	}
+}
+
+func TestRegistryWideCSV(t *testing.T) {
+	r := NewRegistry()
+	tick := 0
+	r.Register(func(now sim.Time, emit func(string, float64)) {
+		emit("a", float64(tick))
+		if tick >= 1 {
+			emit("late", 7) // column appears on the second sample
+		}
+	})
+	for ; tick < 3; tick++ {
+		r.Sample(sim.Time(tick) * sim.Time(sim.Microsecond))
+	}
+	if got := r.Columns(); len(got) != 2 || got[0] != "a" || got[1] != "late" {
+		t.Fatalf("columns = %v", got)
+	}
+	if r.Rows() != 3 {
+		t.Fatalf("rows = %d", r.Rows())
+	}
+	if !math.IsNaN(r.Value(0, "late")) {
+		t.Error("row 0 'late' should be NaN before the column appeared")
+	}
+	if v := r.Value(2, "late"); v != 7 {
+		t.Errorf("row 2 'late' = %v", v)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "t_s,a,late" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// First row's late cell is empty, not "NaN".
+	if !strings.HasSuffix(lines[1], ",0,") {
+		t.Errorf("row 1 = %q, want empty trailing cell", lines[1])
+	}
+	if !strings.HasSuffix(lines[3], ",2,7") {
+		t.Errorf("row 3 = %q", lines[3])
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	r.Register(func(sim.Time, func(string, float64)) {})
+	r.Sample(0)
+	if r.Rows() != 0 || r.Columns() != nil || !math.IsNaN(r.Value(0, "x")) {
+		t.Error("nil registry not inert")
+	}
+	if err := r.WriteCSV(nil); err != nil {
+		t.Error(err)
+	}
+}

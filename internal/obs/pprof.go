@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+)
+
+// StartCPUProfile begins a CPU profile written to path and returns the
+// function that stops the profile and closes the file. It is the shared
+// implementation behind the -cpuprofile flag in cmd/figures and
+// cmd/aequitas-sim.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes a heap profile to path after forcing a GC so
+// the profile reflects live memory, the shared implementation behind the
+// -memprofile flag.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	return nil
+}
+
+// DoWorker runs f with the pprof label sweep_worker=<id> applied, so CPU
+// profiles of parallel sweeps attribute samples to individual workers.
+func DoWorker(id int, f func()) {
+	pprof.Do(context.Background(), pprof.Labels("sweep_worker", strconv.Itoa(id)),
+		func(context.Context) { f() })
+}

@@ -1,0 +1,436 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"aequitas/internal/sim"
+)
+
+// Kind is the lifecycle stage an Event records.
+type Kind uint8
+
+const (
+	KindIssue Kind = iota
+	KindAdmit
+	KindEnqueue
+	KindHop
+	KindDrop
+	KindComplete
+	kindCount
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindIssue:
+		return "issue"
+	case KindAdmit:
+		return "admit"
+	case KindEnqueue:
+		return "enqueue"
+	case KindHop:
+		return "hop"
+	case KindDrop:
+		return "drop"
+	case KindComplete:
+		return "complete"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Decision is the admission verdict recorded by a KindAdmit event.
+type Decision uint8
+
+const (
+	DecisionAdmit Decision = iota
+	DecisionDowngrade
+	DecisionDrop
+)
+
+func (d Decision) String() string {
+	switch d {
+	case DecisionAdmit:
+		return "admit"
+	case DecisionDowngrade:
+		return "downgrade"
+	case DecisionDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("Decision(%d)", uint8(d))
+	}
+}
+
+// Event is one recorded lifecycle event. A single struct covers every
+// kind so the tracer's buffer is a flat slice of values: recording an
+// event is an append, never a heap allocation per event.
+type Event struct {
+	TS       sim.Time
+	Kind     Kind
+	Decision Decision
+	Class    int16
+	Prio     int16
+	Src, Dst int32
+	RPC      uint64
+	Bytes    int64
+	// Val carries the kind's scalar: p_admit (admit), queue residency in
+	// picoseconds (hop), or RNL in picoseconds (complete).
+	Val float64
+	// QBytes is the egress queue occupancy after a hop's dequeue.
+	QBytes int64
+	// Link names the egress port for hop and drop events. Link names are
+	// interned at topology construction, so storing one here copies a
+	// string header, not the bytes.
+	Link string
+}
+
+// Tracer records lifecycle events for one simulation run. A nil *Tracer
+// is the disabled tracer: every method is a nil-checked no-op, which is
+// the zero-overhead fast path instrumented code relies on.
+type Tracer struct {
+	events []Event
+}
+
+// NewTracer returns an enabled tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Enabled reports whether the tracer records events.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Len reports the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events returns the recorded events in emission order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Issue records an RPC entering the stack.
+func (t *Tracer) Issue(now sim.Time, rpc uint64, src, dst, prio, class int, bytes int64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{TS: now, Kind: KindIssue, RPC: rpc,
+		Src: int32(src), Dst: int32(dst), Prio: int16(prio), Class: int16(class), Bytes: bytes})
+}
+
+// Admit records the admission decision and the admit probability used.
+func (t *Tracer) Admit(now sim.Time, rpc uint64, src, dst, class int, dec Decision, pAdmit float64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{TS: now, Kind: KindAdmit, RPC: rpc,
+		Src: int32(src), Dst: int32(dst), Class: int16(class), Decision: dec, Val: pAdmit})
+}
+
+// Enqueue records the RPC's first packet being handed to the host NIC.
+func (t *Tracer) Enqueue(now sim.Time, rpc uint64, src, dst, class int, bytes int64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{TS: now, Kind: KindEnqueue, RPC: rpc,
+		Src: int32(src), Dst: int32(dst), Class: int16(class), Bytes: bytes})
+}
+
+// Hop records a packet leaving one egress queue after resid queueing;
+// queuedBytes is the port occupancy after the dequeue.
+func (t *Tracer) Hop(now sim.Time, rpc uint64, link string, class, bytes int, resid sim.Duration, queuedBytes int) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{TS: now, Kind: KindHop, RPC: rpc, Link: link,
+		Class: int16(class), Bytes: int64(bytes), Val: float64(resid), QBytes: int64(queuedBytes)})
+}
+
+// Drop records a packet dropped by an egress scheduler.
+func (t *Tracer) Drop(now sim.Time, rpc uint64, link string, class, bytes int) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{TS: now, Kind: KindDrop, RPC: rpc, Link: link,
+		Class: int16(class), Bytes: int64(bytes)})
+}
+
+// Complete records the RPC's last byte being acknowledged.
+func (t *Tracer) Complete(now sim.Time, rpc uint64, src, dst, class int, bytes int64, rnl sim.Duration) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{TS: now, Kind: KindComplete, RPC: rpc,
+		Src: int32(src), Dst: int32(dst), Class: int16(class), Bytes: bytes, Val: float64(rnl)})
+}
+
+// picosUS converts a picosecond scalar held in Event.Val to microseconds.
+func picosUS(v float64) float64 { return v / float64(sim.Microsecond) }
+
+// WriteNDJSON writes the recorded events as newline-delimited JSON, one
+// event per line, in emission order.
+func (t *Tracer) WriteNDJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var buf []byte
+	for i := range t.events {
+		buf = appendNDJSON(buf[:0], &t.events[i])
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func appendNDJSON(b []byte, e *Event) []byte {
+	num := func(b []byte, key string, v int64) []byte {
+		b = append(b, ',', '"')
+		b = append(b, key...)
+		b = append(b, '"', ':')
+		return strconv.AppendInt(b, v, 10)
+	}
+	flt := func(b []byte, key string, v float64) []byte {
+		b = append(b, ',', '"')
+		b = append(b, key...)
+		b = append(b, '"', ':')
+		return strconv.AppendFloat(b, v, 'g', -1, 64)
+	}
+	str := func(b []byte, key, v string) []byte {
+		b = append(b, ',', '"')
+		b = append(b, key...)
+		b = append(b, '"', ':')
+		return strconv.AppendQuote(b, v)
+	}
+	b = append(b, `{"ts_us":`...)
+	b = strconv.AppendFloat(b, e.TS.Micros(), 'f', 3, 64)
+	b = str(b, "kind", e.Kind.String())
+	b = num(b, "rpc", int64(e.RPC))
+	switch e.Kind {
+	case KindIssue:
+		b = num(b, "src", int64(e.Src))
+		b = num(b, "dst", int64(e.Dst))
+		b = num(b, "prio", int64(e.Prio))
+		b = num(b, "class", int64(e.Class))
+		b = num(b, "bytes", e.Bytes)
+	case KindAdmit:
+		b = num(b, "src", int64(e.Src))
+		b = num(b, "dst", int64(e.Dst))
+		b = num(b, "class", int64(e.Class))
+		b = str(b, "decision", e.Decision.String())
+		b = flt(b, "p_admit", e.Val)
+	case KindEnqueue:
+		b = num(b, "src", int64(e.Src))
+		b = num(b, "dst", int64(e.Dst))
+		b = num(b, "class", int64(e.Class))
+		b = num(b, "bytes", e.Bytes)
+	case KindHop:
+		b = str(b, "link", e.Link)
+		b = num(b, "class", int64(e.Class))
+		b = num(b, "bytes", e.Bytes)
+		b = flt(b, "resid_us", picosUS(e.Val))
+		b = num(b, "qbytes", e.QBytes)
+	case KindDrop:
+		b = str(b, "link", e.Link)
+		b = num(b, "class", int64(e.Class))
+		b = num(b, "bytes", e.Bytes)
+	case KindComplete:
+		b = num(b, "src", int64(e.Src))
+		b = num(b, "dst", int64(e.Dst))
+		b = num(b, "class", int64(e.Class))
+		b = num(b, "bytes", e.Bytes)
+		b = flt(b, "rnl_us", picosUS(e.Val))
+	}
+	return append(b, '}')
+}
+
+// schemaFields maps each kind to the fields required beyond the common
+// ts_us/kind/rpc. ValidateNDJSON and the schema tests share it.
+var schemaFields = map[string][]string{
+	"issue":    {"src", "dst", "prio", "class", "bytes"},
+	"admit":    {"src", "dst", "class", "decision", "p_admit"},
+	"enqueue":  {"src", "dst", "class", "bytes"},
+	"hop":      {"link", "class", "bytes", "resid_us", "qbytes"},
+	"drop":     {"link", "class", "bytes"},
+	"complete": {"src", "dst", "class", "bytes", "rnl_us"},
+}
+
+// SchemaFields returns the required kind-specific field names for kind,
+// or nil for an unknown kind.
+func SchemaFields(kind string) []string { return schemaFields[kind] }
+
+// ValidateNDJSON checks an NDJSON stream against the trace schema: every
+// line is a JSON object carrying ts_us/kind/rpc plus its kind's required
+// fields, timestamps are non-negative and non-decreasing, admit events
+// carry a probability in [0, 1] and a known decision, and hop residencies
+// are non-negative. It returns the number of valid events.
+func ValidateNDJSON(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	n := 0
+	lastTS := -1.0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		n++
+		var m map[string]any
+		if err := json.Unmarshal(line, &m); err != nil {
+			return n, fmt.Errorf("obs: line %d: invalid JSON: %w", n, err)
+		}
+		ts, ok := m["ts_us"].(float64)
+		if !ok || ts < 0 {
+			return n, fmt.Errorf("obs: line %d: missing or negative ts_us", n)
+		}
+		if ts < lastTS {
+			return n, fmt.Errorf("obs: line %d: ts_us %.3f before previous %.3f", n, ts, lastTS)
+		}
+		lastTS = ts
+		kind, ok := m["kind"].(string)
+		if !ok {
+			return n, fmt.Errorf("obs: line %d: missing kind", n)
+		}
+		req, ok := schemaFields[kind]
+		if !ok {
+			return n, fmt.Errorf("obs: line %d: unknown kind %q", n, kind)
+		}
+		if _, ok := m["rpc"].(float64); !ok {
+			return n, fmt.Errorf("obs: line %d: missing rpc", n)
+		}
+		for _, f := range req {
+			v, ok := m[f]
+			if !ok {
+				return n, fmt.Errorf("obs: line %d: %s event missing %q", n, kind, f)
+			}
+			switch f {
+			case "link", "decision":
+				if _, ok := v.(string); !ok {
+					return n, fmt.Errorf("obs: line %d: %q must be a string", n, f)
+				}
+			default:
+				if _, ok := v.(float64); !ok {
+					return n, fmt.Errorf("obs: line %d: %q must be a number", n, f)
+				}
+			}
+		}
+		switch kind {
+		case "admit":
+			if p := m["p_admit"].(float64); p < 0 || p > 1 {
+				return n, fmt.Errorf("obs: line %d: p_admit %v out of [0, 1]", n, m["p_admit"])
+			}
+			switch m["decision"].(string) {
+			case "admit", "downgrade", "drop":
+			default:
+				return n, fmt.Errorf("obs: line %d: unknown decision %q", n, m["decision"])
+			}
+		case "hop":
+			if m["resid_us"].(float64) < 0 {
+				return n, fmt.Errorf("obs: line %d: negative resid_us", n)
+			}
+		case "complete":
+			if m["rnl_us"].(float64) <= 0 {
+				return n, fmt.Errorf("obs: line %d: non-positive rnl_us", n)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// chromeEvent is one Chrome trace-event JSON object.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the recorded events in Chrome trace-event JSON
+// (the {"traceEvents": [...]} form Perfetto loads). RPC lifecycles become
+// async begin/end spans keyed by RPC id under the source host's process;
+// queue residencies become complete slices on one thread track per link;
+// admission decisions and drops become instant events.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	linkTID := make(map[string]int)
+	tid := func(link string) int {
+		id, ok := linkTID[link]
+		if !ok {
+			id = len(linkTID) + 1
+			linkTID[link] = id
+		}
+		return id
+	}
+	const fabricPID = 1 << 20 // synthetic "fabric" process for link tracks
+	out := make([]chromeEvent, 0, len(t.events))
+	meta := []chromeEvent{}
+	for i := range t.events {
+		e := &t.events[i]
+		ts := e.TS.Micros()
+		switch e.Kind {
+		case KindIssue:
+			out = append(out, chromeEvent{Name: "rpc", Cat: "rpc", Ph: "b", TS: ts,
+				PID: int(e.Src), TID: int(e.Dst), ID: strconv.FormatUint(e.RPC, 10),
+				Args: map[string]any{"prio": e.Prio, "class": e.Class, "bytes": e.Bytes}})
+		case KindComplete:
+			out = append(out, chromeEvent{Name: "rpc", Cat: "rpc", Ph: "e", TS: ts,
+				PID: int(e.Src), TID: int(e.Dst), ID: strconv.FormatUint(e.RPC, 10),
+				Args: map[string]any{"rnl_us": picosUS(e.Val)}})
+		case KindAdmit:
+			out = append(out, chromeEvent{Name: "admit/" + e.Decision.String(), Cat: "admission",
+				Ph: "i", S: "t", TS: ts, PID: int(e.Src), TID: int(e.Dst),
+				Args: map[string]any{"rpc": e.RPC, "p_admit": e.Val, "class": e.Class}})
+		case KindEnqueue:
+			out = append(out, chromeEvent{Name: "enqueue", Cat: "rpc", Ph: "i", S: "t",
+				TS: ts, PID: int(e.Src), TID: int(e.Dst),
+				Args: map[string]any{"rpc": e.RPC, "class": e.Class, "bytes": e.Bytes}})
+		case KindHop:
+			resid := picosUS(e.Val)
+			start := ts - resid
+			out = append(out, chromeEvent{Name: e.Link, Cat: "queue", Ph: "X",
+				TS: start, Dur: &resid, PID: fabricPID, TID: tid(e.Link),
+				Args: map[string]any{"rpc": e.RPC, "class": e.Class, "bytes": e.Bytes, "qbytes": e.QBytes}})
+		case KindDrop:
+			out = append(out, chromeEvent{Name: "drop@" + e.Link, Cat: "queue", Ph: "i", S: "t",
+				TS: ts, PID: fabricPID, TID: tid(e.Link),
+				Args: map[string]any{"rpc": e.RPC, "class": e.Class, "bytes": e.Bytes}})
+		}
+	}
+	// Name the synthetic fabric process and its per-link threads. Order by
+	// tid (first appearance), never map order, so output is deterministic.
+	if len(linkTID) > 0 {
+		meta = append(meta, chromeEvent{Name: "process_name", Ph: "M", PID: fabricPID,
+			Args: map[string]any{"name": "fabric"}})
+		byTID := make([]string, len(linkTID)+1)
+		for link, id := range linkTID {
+			byTID[id] = link
+		}
+		for id := 1; id < len(byTID); id++ {
+			meta = append(meta, chromeEvent{Name: "thread_name", Ph: "M", PID: fabricPID, TID: id,
+				Args: map[string]any{"name": byTID[id]}})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": append(meta, out...)})
+}

@@ -8,6 +8,7 @@ package rpc
 
 import (
 	"aequitas/internal/netsim"
+	"aequitas/internal/obs"
 	"aequitas/internal/qos"
 	"aequitas/internal/sim"
 	"aequitas/internal/transport"
@@ -38,6 +39,11 @@ type RPC struct {
 	// SizeMTUs is the RPC size in MTUs, the unit of Algorithm 1's
 	// normalised SLO and size-proportional decrease.
 	SizeMTUs int64
+	// PAdmit is the admit probability in force for the requested
+	// (dst, class) channel when the RPC was issued. It is recorded only
+	// when the stack is tracing or RecordPAdmit is set (1.0 for admitters
+	// without a probability).
+	PAdmit float64
 
 	// Deadline optionally propagates to deadline-aware baselines.
 	Deadline sim.Time
@@ -64,6 +70,14 @@ type Admitter interface {
 	// Observe feeds back one completed RPC's measured RNL on the class
 	// it actually ran on.
 	Observe(s *sim.Simulator, dst int, run qos.Class, rnl sim.Duration, sizeMTUs int64)
+}
+
+// ProbabilityReporter is implemented by admitters that can report the
+// admit probability they would apply to a (dst, class) channel; the
+// Aequitas controller implements it. The stack uses it to stamp RPCs and
+// lifecycle trace events with the probability behind each decision.
+type ProbabilityReporter interface {
+	AdmitProbability(dst int, class qos.Class) float64
 }
 
 // PassThrough admits every RPC on its requested class: the "w/o Aequitas"
@@ -102,6 +116,15 @@ type Stack struct {
 	// metrics).
 	OnComplete func(s *sim.Simulator, r *RPC)
 	Stats      Stats
+
+	// Trace, when set, receives issue/admit/complete lifecycle events;
+	// Src identifies this stack's host in those events. RecordPAdmit
+	// additionally stamps RPC.PAdmit even without a tracer (for the
+	// per-RPC CSV trace). All default off so the issue path stays free of
+	// observability work.
+	Trace        *obs.Tracer
+	Src          int
+	RecordPAdmit bool
 
 	nextID uint64
 	// outstanding counts incomplete RPCs per (destination host, class),
@@ -171,8 +194,27 @@ func (st *Stack) Issue(s *sim.Simulator, r *RPC) {
 	r.SizeMTUs = netsim.MTUsFor(r.Bytes)
 	r.IssueTime = s.Now()
 
+	if st.Trace != nil {
+		st.Trace.Issue(s.Now(), r.ID, st.Src, r.Dst, int(r.Priority), int(r.QoSRequested), r.Bytes)
+	}
 	d := st.admitter.Admit(s, r.Dst, r.QoSRequested, r.SizeMTUs)
 	st.Stats.Issued++
+	if st.Trace != nil || st.RecordPAdmit {
+		r.PAdmit = 1
+		if pr, ok := st.admitter.(ProbabilityReporter); ok {
+			r.PAdmit = pr.AdmitProbability(r.Dst, r.QoSRequested)
+		}
+	}
+	if st.Trace != nil {
+		dec := obs.DecisionAdmit
+		switch {
+		case d.Drop:
+			dec = obs.DecisionDrop
+		case d.Downgraded:
+			dec = obs.DecisionDowngrade
+		}
+		st.Trace.Admit(s.Now(), r.ID, st.Src, r.Dst, int(d.Class), dec, r.PAdmit)
+	}
 	if d.Drop {
 		st.Stats.Dropped++
 		return
@@ -196,6 +238,9 @@ func (st *Stack) Issue(s *sim.Simulator, r *RPC) {
 			st.outstanding[outKey{r.Dst, r.QoSRun}]--
 			st.Stats.Completed++
 			st.admitter.Observe(s, r.Dst, r.QoSRun, r.RNL, r.SizeMTUs)
+			if st.Trace != nil {
+				st.Trace.Complete(s.Now(), r.ID, st.Src, r.Dst, int(r.QoSRun), r.Bytes, r.RNL)
+			}
 			if st.OnComplete != nil {
 				st.OnComplete(s, r)
 			}

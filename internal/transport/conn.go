@@ -2,8 +2,10 @@ package transport
 
 import (
 	"fmt"
+	"sort"
 
 	"aequitas/internal/netsim"
+	"aequitas/internal/obs"
 	"aequitas/internal/qos"
 	"aequitas/internal/sim"
 )
@@ -25,6 +27,9 @@ type Message struct {
 	SubmitTime sim.Time
 
 	start, end int64 // byte range within the connection stream
+	// enqTraced marks that the first-packet enqueue event was emitted, so
+	// an RTO rewind does not produce a duplicate.
+	enqTraced bool
 }
 
 // Config parameterises an Endpoint.
@@ -36,6 +41,8 @@ type Config struct {
 	// InitialRTT seeds the smoothed RTT estimate before the first sample
 	// (default 10 µs).
 	InitialRTT sim.Duration
+	// Trace, when set, receives first-packet enqueue lifecycle events.
+	Trace *obs.Tracer
 }
 
 func (c *Config) applyDefaults() {
@@ -141,6 +148,39 @@ func (e *Endpoint) conn(peer int, class qos.Class) *conn {
 	return c
 }
 
+// ForEachConn visits every sender-side connection in deterministic
+// (peer, class) order with its current congestion window (packets) and
+// smoothed RTT.
+func (e *Endpoint) ForEachConn(f func(peer int, class qos.Class, cwndPkts float64, srtt sim.Duration)) {
+	keys := make([]connKey, 0, len(e.conns))
+	for k := range e.conns {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].peer != keys[j].peer {
+			return keys[i].peer < keys[j].peer
+		}
+		return keys[i].class < keys[j].class
+	})
+	for _, k := range keys {
+		c := e.conns[k]
+		f(k.peer, k.class, c.cc.Window(), c.srtt)
+	}
+}
+
+// MetricsSampler returns an obs.Sampler reporting cwnd (packets) and
+// smoothed RTT (µs) for every live connection of this endpoint.
+func (e *Endpoint) MetricsSampler() obs.Sampler {
+	host := e.host.ID
+	return func(now sim.Time, emit func(string, float64)) {
+		e.ForEachConn(func(peer int, class qos.Class, cwnd float64, srtt sim.Duration) {
+			key := fmt.Sprintf("h%d.d%d.q%d", host, peer, int(class))
+			emit("cwnd."+key, cwnd)
+			emit("srtt_us."+key, srtt.Micros())
+		})
+	}
+}
+
 // HandlePacket implements netsim.Handler.
 func (e *Endpoint) HandlePacket(s *sim.Simulator, p *Packet) {
 	if p.Ack {
@@ -234,6 +274,10 @@ func (c *conn) emit(s *sim.Simulator) {
 		p.MsgID = m.ID
 		p.Urg = m.end - c.nextSend // remaining bytes: SRPT urgency
 		p.Deadline = m.Deadline
+		if c.ep.cfg.Trace != nil && !m.enqTraced {
+			m.enqTraced = true
+			c.ep.cfg.Trace.Enqueue(s.Now(), m.ID, c.ep.host.ID, c.peer, int(c.class), m.Bytes)
+		}
 	}
 	c.nextSend += payload
 	// Pacing gate for the next packet when the window is sub-packet.

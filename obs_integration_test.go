@@ -1,0 +1,200 @@
+package aequitas
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"aequitas/internal/obs"
+)
+
+// obsTestConfig is a small overloaded Aequitas run that exercises every
+// lifecycle stage (issues, admission decisions with p_admit < 1,
+// downgrades, enqueues, hops, completions).
+func obsTestConfig(seed int64) SimConfig {
+	return SimConfig{
+		System:   SystemAequitas,
+		Hosts:    4,
+		Seed:     seed,
+		Duration: 5 * time.Millisecond,
+		Warmup:   time.Millisecond,
+		SLOs: []SLO{
+			{Target: 15 * time.Microsecond, ReferenceBytes: 32 << 10, Percentile: 99.9},
+			{Target: 25 * time.Microsecond, ReferenceBytes: 32 << 10, Percentile: 99.9},
+		},
+		Traffic: []HostTraffic{{
+			AvgLoad:   0.9,
+			BurstLoad: 1.4,
+			Classes: []TrafficClass{
+				{Priority: PC, Share: 0.6, FixedBytes: 8 << 10},
+				{Priority: BE, Share: 0.4, FixedBytes: 32 << 10},
+			},
+		}},
+	}
+}
+
+// TestObsEndToEnd runs one instrumented simulation and checks the
+// acceptance criterion: the NDJSON stream is schema-valid and the metrics
+// CSV carries queue, admission, and transport time series.
+func TestObsEndToEnd(t *testing.T) {
+	var ndjson, chrome, metrics bytes.Buffer
+	cfg := obsTestConfig(11)
+	cfg.Obs = ObsConfig{
+		TraceNDJSON: &ndjson,
+		TraceChrome: &chrome,
+		MetricsCSV:  &metrics,
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := obs.ValidateNDJSON(bytes.NewReader(ndjson.Bytes()))
+	if err != nil {
+		t.Fatalf("NDJSON invalid: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("empty trace")
+	}
+
+	// Every lifecycle stage except drop (load-dependent) must appear, and
+	// per-RPC ordering must hold: issue first, complete last.
+	kinds := map[string]int{}
+	type bounds struct{ issue, admit, complete float64 }
+	rpcs := map[uint64]*bounds{}
+	for _, line := range strings.Split(strings.TrimSpace(ndjson.String()), "\n") {
+		var e struct {
+			TS   float64 `json:"ts_us"`
+			Kind string  `json:"kind"`
+			RPC  uint64  `json:"rpc"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatal(err)
+		}
+		kinds[e.Kind]++
+		b := rpcs[e.RPC]
+		if b == nil {
+			b = &bounds{issue: -1, admit: -1, complete: -1}
+			rpcs[e.RPC] = b
+		}
+		switch e.Kind {
+		case "issue":
+			b.issue = e.TS
+		case "admit":
+			b.admit = e.TS
+		case "complete":
+			b.complete = e.TS
+		}
+	}
+	for _, k := range []string{"issue", "admit", "enqueue", "hop", "complete"} {
+		if kinds[k] == 0 {
+			t.Errorf("no %q events (kinds: %v)", k, kinds)
+		}
+	}
+	checked := 0
+	for id, b := range rpcs {
+		if b.complete < 0 {
+			continue // still in flight at the horizon
+		}
+		if b.issue < 0 || b.admit < 0 {
+			t.Fatalf("rpc %d completed without issue/admit", id)
+		}
+		if b.issue > b.admit || b.admit > b.complete {
+			t.Fatalf("rpc %d lifecycle out of order: issue %.3f admit %.3f complete %.3f",
+				id, b.issue, b.admit, b.complete)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Error("no completed RPC lifecycles to check")
+	}
+
+	// The Chrome trace is one JSON document with a traceEvents array.
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace invalid: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("empty chrome trace")
+	}
+
+	// The metrics CSV must expose all three subsystem families.
+	header := strings.SplitN(metrics.String(), "\n", 2)[0]
+	if !strings.HasPrefix(header, "t_s,") {
+		t.Fatalf("metrics header = %q", header)
+	}
+	for _, fam := range []string{"q.", "drop.", "padmit.", "incwin_us.", "cwnd.", "srtt_us."} {
+		if !strings.Contains(header, ","+fam) {
+			t.Errorf("metrics header missing %q columns: %q", fam, header)
+		}
+	}
+	if rows := strings.Count(metrics.String(), "\n") - 1; rows < 10 {
+		t.Errorf("metrics rows = %d, want >= 10", rows)
+	}
+}
+
+// TestObsDeterministicUnderParallel: per-config observability output is
+// byte-identical when a sweep runs on one worker and on GOMAXPROCS
+// workers.
+func TestObsDeterministicUnderParallel(t *testing.T) {
+	const n = 3
+	sweep := func(workers int) ([]string, []string) {
+		nd := make([]bytes.Buffer, n)
+		ms := make([]bytes.Buffer, n)
+		_, err := Sweep(n, func(i int) SimConfig {
+			cfg := obsTestConfig(int64(21 + i))
+			cfg.Obs = ObsConfig{TraceNDJSON: &nd[i], MetricsCSV: &ms[i]}
+			return cfg
+		}, ParallelOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outN := make([]string, n)
+		outM := make([]string, n)
+		for i := range nd {
+			outN[i] = nd[i].String()
+			outM[i] = ms[i].String()
+		}
+		return outN, outM
+	}
+	serialN, serialM := sweep(1)
+	parN, parM := sweep(runtime.GOMAXPROCS(0))
+	for i := 0; i < n; i++ {
+		if serialN[i] != parN[i] {
+			t.Errorf("config %d: NDJSON differs between 1 and %d workers", i, runtime.GOMAXPROCS(0))
+		}
+		if serialM[i] != parM[i] {
+			t.Errorf("config %d: metrics CSV differs between 1 and %d workers", i, runtime.GOMAXPROCS(0))
+		}
+		if serialN[i] == "" || serialM[i] == "" {
+			t.Errorf("config %d: empty observability output", i)
+		}
+	}
+}
+
+// TestObsSchemaGolden pins the NDJSON schema: the exact per-kind required
+// fields. Extending the schema is fine (update the golden); renaming or
+// dropping fields breaks downstream consumers and must be deliberate.
+func TestObsSchemaGolden(t *testing.T) {
+	golden := map[string][]string{
+		"issue":    {"src", "dst", "prio", "class", "bytes"},
+		"admit":    {"src", "dst", "class", "decision", "p_admit"},
+		"enqueue":  {"src", "dst", "class", "bytes"},
+		"hop":      {"link", "class", "bytes", "resid_us", "qbytes"},
+		"drop":     {"link", "class", "bytes"},
+		"complete": {"src", "dst", "class", "bytes", "rnl_us"},
+	}
+	for kind, want := range golden {
+		got := obs.SchemaFields(kind)
+		if strings.Join(got, ",") != strings.Join(want, ",") {
+			t.Errorf("schema for %q = %v, want %v", kind, got, want)
+		}
+	}
+	if obs.SchemaFields("nope") != nil {
+		t.Error("unknown kind has schema fields")
+	}
+}

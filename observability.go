@@ -1,0 +1,102 @@
+package aequitas
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"aequitas/internal/obs"
+)
+
+// ObsConfig configures the per-run observability layer: the structured
+// RPC-lifecycle tracer (NDJSON and Chrome trace-event output), and the
+// metrics registry sampling per-port queue occupancy, per-(dst, class)
+// admission state, and per-connection transport state on a simulated-time
+// ticker. The zero value disables everything at zero hot-path cost.
+//
+// Each run owns its tracer and registry and writes output at the end of
+// Run, so the streams are deterministic for a fixed SimConfig regardless
+// of sweep parallelism; configurations run concurrently must not share
+// writers.
+type ObsConfig struct {
+	// TraceNDJSON receives the lifecycle event stream as NDJSON (see
+	// internal/obs for the schema). Setting it enables the tracer.
+	TraceNDJSON io.Writer
+	// TraceChrome receives the same events as Chrome trace-event JSON,
+	// loadable in Perfetto (ui.perfetto.dev).
+	TraceChrome io.Writer
+	// MetricsCSV receives the wide-format metrics time series (column
+	// t_s plus one column per metric). Setting it enables the registry.
+	MetricsCSV io.Writer
+	// MetricsEvery is the sampling interval (default 100 µs).
+	MetricsEvery time.Duration
+	// MetricsHosts restricts per-host samplers (admission state,
+	// transport connections) to these host ids; nil samples every host.
+	// Per-port queue metrics are always network-wide.
+	MetricsHosts []int
+}
+
+// enabled reports whether any observability output is requested.
+func (o *ObsConfig) enabled() bool {
+	return o.TraceNDJSON != nil || o.TraceChrome != nil || o.MetricsCSV != nil
+}
+
+// tracer returns the run's tracer, or nil when tracing is off.
+func (o *ObsConfig) tracer() *obs.Tracer {
+	if o.TraceNDJSON == nil && o.TraceChrome == nil {
+		return nil
+	}
+	return obs.NewTracer()
+}
+
+// registry returns the run's metrics registry, or nil when metrics are
+// off.
+func (o *ObsConfig) registry() *obs.Registry {
+	if o.MetricsCSV == nil {
+		return nil
+	}
+	return obs.NewRegistry()
+}
+
+// metricsHost reports whether per-host samplers should cover host i.
+func (o *ObsConfig) metricsHost(i int) bool {
+	if o.MetricsHosts == nil {
+		return true
+	}
+	for _, h := range o.MetricsHosts {
+		if h == i {
+			return true
+		}
+	}
+	return false
+}
+
+// CSVTrace wraps a per-RPC CSV trace destination (SimConfig.TraceWriter)
+// and guarantees the header line is written exactly once for the sink's
+// lifetime — even when the same sink is reused across runs, as happens
+// when a run is retried into one output file. Plain io.Writer sinks get
+// one header per Run instead.
+type CSVTrace struct {
+	W io.Writer
+
+	mu         sync.Mutex
+	headerDone bool
+}
+
+// NewCSVTrace wraps w as a header-once trace sink.
+func NewCSVTrace(w io.Writer) *CSVTrace { return &CSVTrace{W: w} }
+
+// Write implements io.Writer.
+func (t *CSVTrace) Write(p []byte) (int, error) { return t.W.Write(p) }
+
+// claimHeader reports whether the caller should write the header,
+// flipping the once-only latch.
+func (t *CSVTrace) claimHeader() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.headerDone {
+		return false
+	}
+	t.headerDone = true
+	return true
+}

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"aequitas/internal/obs"
 )
 
 // ParallelOptions configures RunMany and Sweep.
@@ -64,20 +66,25 @@ func RunMany(cfgs []SimConfig, opts ParallelOptions) ([]*Results, error) {
 	next := int64(-1)
 	var wg sync.WaitGroup
 	for w := opts.workers(n); w > 0; w-- {
+		worker := w - 1
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= n {
-					return
+			// The pprof label attributes CPU samples to this worker in
+			// -cpuprofile output; it has no effect on results.
+			obs.DoWorker(worker, func() {
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= n {
+						return
+					}
+					cfg := cfgs[i]
+					if opts.BaseSeed != 0 {
+						cfg.Seed = DeriveSeed(opts.BaseSeed, i)
+					}
+					results[i], errs[i] = Run(cfg)
 				}
-				cfg := cfgs[i]
-				if opts.BaseSeed != 0 {
-					cfg.Seed = DeriveSeed(opts.BaseSeed, i)
-				}
-				results[i], errs[i] = Run(cfg)
-			}
+			})
 		}()
 	}
 	wg.Wait()

@@ -2,6 +2,7 @@ package aequitas
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"aequitas/internal/stats"
@@ -25,8 +26,20 @@ func (s Series) Final(def float64) float64 {
 	return s.V[len(s.V)-1]
 }
 
-// MeanAfter returns the mean of values with T ≥ start.
+// MeanAfter returns the mean of values with T ≥ start, or NaN when the
+// series has no samples after start — distinguishing "no data" from a
+// true zero mean. Use MeanAfterOK when an explicit ok flag is clearer.
 func (s Series) MeanAfter(start float64) float64 {
+	m, ok := s.MeanAfterOK(start)
+	if !ok {
+		return math.NaN()
+	}
+	return m
+}
+
+// MeanAfterOK returns the mean of values with T ≥ start and whether any
+// sample lay in that range.
+func (s Series) MeanAfterOK(start float64) (mean float64, ok bool) {
 	var sum float64
 	n := 0
 	for i, t := range s.T {
@@ -36,9 +49,9 @@ func (s Series) MeanAfter(start float64) float64 {
 		}
 	}
 	if n == 0 {
-		return 0
+		return 0, false
 	}
-	return sum / float64(n)
+	return sum / float64(n), true
 }
 
 // SettlingTime returns the earliest time after which all values stay
@@ -55,8 +68,8 @@ type LatencySummary struct {
 }
 
 func (l LatencySummary) String() string {
-	return fmt.Sprintf("n=%d mean=%.1fus p50=%.1fus p99=%.1fus p99.9=%.1fus max=%.1fus",
-		l.N, l.MeanUS, l.P50US, l.P99US, l.P999US, l.MaxUS)
+	return fmt.Sprintf("n=%d mean=%.1fus p50=%.1fus p90=%.1fus p99=%.1fus p99.9=%.1fus max=%.1fus",
+		l.N, l.MeanUS, l.P50US, l.P90US, l.P99US, l.P999US, l.MaxUS)
 }
 
 func summarizeUS(s *stats.Sample) LatencySummary {

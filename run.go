@@ -39,9 +39,18 @@ func Run(cfg SimConfig) (*Results, error) {
 
 	col := newCollector(&cfg)
 
+	// Observability: one tracer and one metrics registry per run, so
+	// event and sample order depend only on this run's event sequence.
+	tracer := cfg.Obs.tracer()
+	registry := cfg.Obs.registry()
+	if tracer != nil {
+		net.SetTracer(tracer)
+	}
+
 	// Per-host transport senders and admission controllers.
 	senders := make([]rpc.Sender, cfg.Hosts)
 	controllers := make([]*core.Controller, cfg.Hosts)
+	endpoints := make([]*transport.Endpoint, cfg.Hosts)
 	var fabric *baselines.DeadlineFabric
 	if cfg.System == SystemD3 || cfg.System == SystemPDQ {
 		policy := baselines.PolicyD3
@@ -55,7 +64,10 @@ func Run(cfg SimConfig) (*Results, error) {
 	}
 	newEndpoint := func(h *netsim.Host, tc transport.Config) *transport.Endpoint {
 		tc.RTOMin = sim.FromStd(cfg.RTOMin)
-		return transport.NewEndpoint(net, h, tc)
+		tc.Trace = tracer
+		ep := transport.NewEndpoint(net, h, tc)
+		endpoints[h.ID] = ep
+		return ep
 	}
 	for i := 0; i < cfg.Hosts; i++ {
 		h := net.Host(i)
@@ -100,6 +112,9 @@ func Run(cfg SimConfig) (*Results, error) {
 			adm = ctl
 		}
 		stack := rpc.NewStack(senders[i], &countingAdmitter{inner: adm, col: col})
+		stack.Trace = tracer
+		stack.Src = i
+		stack.RecordPAdmit = cfg.TraceWriter != nil
 		src := i
 		stack.OnComplete = func(s *sim.Simulator, r *rpc.RPC) {
 			col.addProbeBytes(src, r.Dst, r.QoSRun, r.Bytes)
@@ -141,6 +156,37 @@ func Run(cfg SimConfig) (*Results, error) {
 	end := sim.FromStd(cfg.Duration)
 	s.AtFunc(warm, func(s *sim.Simulator) { col.beginMeasurement(s, net) })
 
+	// Periodic metrics sampling: per-port queue occupancy always, plus
+	// per-host admission and transport state for the selected hosts.
+	// Sampling starts at t=0 (before warmup) so convergence transients are
+	// visible.
+	if registry != nil {
+		registry.Register(net.MetricsSampler())
+		for i := 0; i < cfg.Hosts; i++ {
+			if !cfg.Obs.metricsHost(i) {
+				continue
+			}
+			if controllers[i] != nil {
+				registry.Register(controllers[i].MetricsSampler(i))
+			}
+			if endpoints[i] != nil {
+				registry.Register(endpoints[i].MetricsSampler())
+			}
+		}
+		interval := sim.FromStd(cfg.Obs.MetricsEvery)
+		if interval <= 0 {
+			interval = sim.FromStd(100 * time.Microsecond)
+		}
+		var mtick func(*sim.Simulator)
+		mtick = func(s *sim.Simulator) {
+			registry.Sample(s.Now())
+			if s.Now() < end {
+				s.AfterFunc(interval, mtick)
+			}
+		}
+		s.AtFunc(0, mtick)
+	}
+
 	// Probe and outstanding sampling.
 	if len(cfg.Probes) > 0 || cfg.TrackOutstanding {
 		interval := sim.FromStd(cfg.SampleEvery)
@@ -165,6 +211,26 @@ func Run(cfg SimConfig) (*Results, error) {
 		drain = sim.FromStd(50 * time.Millisecond)
 	}
 	s.RunUntil(end + drain)
+
+	// Flush observability output. The run is single-threaded and each run
+	// owns its writers, so the streams are deterministic and race-free.
+	if tracer != nil {
+		if w := cfg.Obs.TraceNDJSON; w != nil {
+			if err := tracer.WriteNDJSON(w); err != nil {
+				return nil, fmt.Errorf("aequitas: trace ndjson: %w", err)
+			}
+		}
+		if w := cfg.Obs.TraceChrome; w != nil {
+			if err := tracer.WriteChromeTrace(w); err != nil {
+				return nil, fmt.Errorf("aequitas: trace chrome: %w", err)
+			}
+		}
+	}
+	if registry != nil {
+		if err := registry.WriteCSV(cfg.Obs.MetricsCSV); err != nil {
+			return nil, fmt.Errorf("aequitas: metrics csv: %w", err)
+		}
+	}
 
 	res := col.results(&cfg, net)
 	if fabric != nil {
@@ -239,6 +305,16 @@ func (ca *countingAdmitter) Admit(s *sim.Simulator, dst int, requested qos.Class
 
 func (ca *countingAdmitter) Observe(s *sim.Simulator, dst int, run qos.Class, rnl sim.Duration, sizeMTUs int64) {
 	ca.inner.Observe(s, dst, run, rnl, sizeMTUs)
+}
+
+// AdmitProbability implements rpc.ProbabilityReporter when the wrapped
+// admitter does, so the stack's lifecycle trace and the per-RPC CSV see
+// the probability behind each decision (1.0 for pass-through admitters).
+func (ca *countingAdmitter) AdmitProbability(dst int, class qos.Class) float64 {
+	if pr, ok := ca.inner.(rpc.ProbabilityReporter); ok {
+		return pr.AdmitProbability(dst, class)
+	}
+	return 1
 }
 
 // collector accumulates all measurements for one run.
@@ -475,19 +551,36 @@ func (c *collector) sample(s *sim.Simulator, controllers []*core.Controller) {
 	}
 }
 
+// traceCSVHeader is the per-RPC CSV trace schema.
+const traceCSVHeader = "complete_s,src,dst,priority,requested,ran,downgraded,decision,p_admit,bytes,rnl_us"
+
 // trace writes one per-RPC CSV record to the configured TraceWriter.
 func (c *collector) trace(s *sim.Simulator, src int, r *rpc.RPC) {
 	w := c.cfg.TraceWriter
 	if w == nil || !c.inWindow(r.IssueTime) {
 		return
 	}
-	if !c.traceHeader {
-		c.traceHeader = true
-		fmt.Fprintln(w, "complete_s,src,dst,priority,requested,ran,downgraded,bytes,rnl_us")
+	// A CSVTrace sink owns the header latch, so a retried run reusing the
+	// sink still writes the header exactly once; a bare io.Writer falls
+	// back to once per collector (i.e. per run).
+	switch sink := w.(type) {
+	case *CSVTrace:
+		if sink.claimHeader() {
+			fmt.Fprintln(w, traceCSVHeader)
+		}
+	default:
+		if !c.traceHeader {
+			c.traceHeader = true
+			fmt.Fprintln(w, traceCSVHeader)
+		}
 	}
-	fmt.Fprintf(w, "%.9f,%d,%d,%s,%s,%s,%t,%d,%.3f\n",
+	decision := "admit"
+	if r.Downgraded {
+		decision = "downgrade"
+	}
+	fmt.Fprintf(w, "%.9f,%d,%d,%s,%s,%s,%t,%s,%.4f,%d,%.3f\n",
 		r.CompleteTime.Seconds(), src, r.Dst, r.Priority, r.QoSRequested,
-		r.QoSRun, r.Downgraded, r.Bytes, r.RNL.Micros())
+		r.QoSRun, r.Downgraded, decision, r.PAdmit, r.Bytes, r.RNL.Micros())
 }
 
 // addProbeBytes credits completed bytes to matching probes; wired through

@@ -210,8 +210,14 @@ type SimConfig struct {
 	MaxRNLSamples int
 	// TraceWriter, when set, receives one CSV record per completed RPC
 	// in the measurement window (header: complete_s, src, dst, priority,
-	// requested, ran, downgraded, bytes, rnl_us) for external analysis.
+	// requested, ran, downgraded, decision, p_admit, bytes, rnl_us) for
+	// external analysis. Wrap the destination in a CSVTrace to keep the
+	// header to exactly one line when the sink outlives a retried run.
 	TraceWriter io.Writer
+	// Obs configures the observability layer: RPC-lifecycle tracing
+	// (NDJSON / Chrome trace-event) and periodic metrics sampling. The
+	// zero value disables it with no hot-path cost.
+	Obs ObsConfig
 }
 
 func (c *SimConfig) applyDefaults() error {

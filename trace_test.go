@@ -38,7 +38,7 @@ func TestTraceWriter(t *testing.T) {
 		t.Fatalf("trace has %d rows", len(records))
 	}
 	header := strings.Join(records[0], ",")
-	if header != "complete_s,src,dst,priority,requested,ran,downgraded,bytes,rnl_us" {
+	if header != traceCSVHeader {
 		t.Fatalf("header = %q", header)
 	}
 	// Row count matches completions counted by the collector.
@@ -47,7 +47,7 @@ func TestTraceWriter(t *testing.T) {
 	}
 	lastT := 0.0
 	for i, rec := range records[1:] {
-		if len(rec) != 9 {
+		if len(rec) != 11 {
 			t.Fatalf("row %d has %d fields", i, len(rec))
 		}
 		ts, err := strconv.ParseFloat(rec[0], 64)
@@ -58,14 +58,49 @@ func TestTraceWriter(t *testing.T) {
 		if src, _ := strconv.Atoi(rec[1]); src < 0 || src > 3 {
 			t.Fatalf("row %d: src %q", i, rec[1])
 		}
-		rnl, err := strconv.ParseFloat(rec[8], 64)
+		switch rec[7] {
+		case "admit", "downgrade":
+		default:
+			t.Fatalf("row %d: decision %q", i, rec[7])
+		}
+		p, err := strconv.ParseFloat(rec[8], 64)
+		if err != nil || p < 0 || p > 1 {
+			t.Fatalf("row %d: p_admit %q", i, rec[8])
+		}
+		rnl, err := strconv.ParseFloat(rec[10], 64)
 		if err != nil || rnl <= 0 {
-			t.Fatalf("row %d: rnl %q", i, rec[8])
+			t.Fatalf("row %d: rnl %q", i, rec[10])
 		}
 		switch rec[3] {
 		case "PC", "NC", "BE":
 		default:
 			t.Fatalf("row %d: priority %q", i, rec[3])
 		}
+	}
+}
+
+// TestCSVTraceHeaderOnce: a CSVTrace sink reused across two runs gets
+// exactly one header line (satellite: retried runs must not duplicate it).
+func TestCSVTraceHeaderOnce(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewCSVTrace(&buf)
+	cfg := SimConfig{
+		Hosts:       3,
+		Seed:        7,
+		Duration:    2 * time.Millisecond,
+		Warmup:      time.Millisecond,
+		TraceWriter: sink,
+		Traffic: []HostTraffic{{
+			AvgLoad: 0.2,
+			Classes: []TrafficClass{{Priority: PC, Share: 1, FixedBytes: 4 << 10}},
+		}},
+	}
+	for run := 0; run < 2; run++ {
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := strings.Count(buf.String(), traceCSVHeader); n != 1 {
+		t.Errorf("header appears %d times, want 1", n)
 	}
 }
