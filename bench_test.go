@@ -518,6 +518,34 @@ func BenchmarkAblationDropNotDowngrade(b *testing.B) {
 	b.ReportMetric(dropped, "rpcs_dropped")
 }
 
+// BenchmarkRun measures end-to-end simulation cost per scenario-engine
+// composition: the uniform all-to-all default and the incast pattern.
+// Run with: go test -bench=BenchmarkRun -benchmem .
+func BenchmarkRun(b *testing.B) {
+	base := func() SimConfig {
+		cfg := benchCluster(SystemAequitas, [3]float64{0.5, 0.3, 0.2}, 1)
+		cfg.Duration = 5 * time.Millisecond
+		return cfg
+	}
+	b.Run("uniform", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := base()
+			cfg.Seed = int64(i + 1)
+			mustRun(b, cfg)
+		}
+	})
+	b.Run("incast", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := base()
+			cfg.Seed = int64(i + 1)
+			cfg.Traffic[0].Pattern = IncastPattern(0)
+			mustRun(b, cfg)
+		}
+	})
+}
+
 func abs(x float64) float64 {
 	if x < 0 {
 		return -x

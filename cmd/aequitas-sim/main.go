@@ -43,6 +43,8 @@ func main() {
 		load     = flag.Float64("load", 0.8, "average offered load per host (fraction of link rate)")
 		burst    = flag.Float64("burst", 1.4, "burst load rho (0 = unmodulated)")
 		mixStr   = flag.String("mix", "0.5,0.3,0.2", "input QoS mix: PC,NC,BE byte shares")
+		pattern  = flag.String("pattern", "uniform", "traffic pattern: uniform | incast[:FANIN] | permutation | hotspot:HOT:SHARE")
+		shape    = flag.String("load-shape", "constant", "load shape: constant | step:AT:FACTOR | ramp:FROM:TO:FACTOR | onoff:PERIOD:DUTY")
 		rpcBytes = flag.Int64("rpc-bytes", 32<<10, "fixed RPC size; 0 = production-shaped distributions")
 		sloHigh  = flag.Duration("slo-high", 25*time.Microsecond, "QoSh RNL SLO")
 		sloMed   = flag.Duration("slo-med", 50*time.Microsecond, "QoSm RNL SLO")
@@ -144,9 +146,19 @@ func main() {
 		{Target: *sloMed, ReferenceBytes: *sloRef, Percentile: 99.9},
 	}
 	cfg.Admission = aequitas.AdmissionParams{Alpha: *alpha, Beta: *beta}
+	pat, err := parsePattern(*pattern)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ls, err := parseShape(*shape)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg.Traffic = []aequitas.HostTraffic{{
+		Pattern:   pat,
 		AvgLoad:   *load,
 		BurstLoad: *burst,
+		Shape:     ls,
 		Classes:   classes,
 	}}
 
@@ -185,6 +197,102 @@ func mustCreate(path string) *os.File {
 		log.Fatal(err)
 	}
 	return f
+}
+
+// parsePattern maps the -pattern grammar onto a TrafficPattern:
+// uniform | incast[:FANIN] | permutation | hotspot:HOT:SHARE.
+func parsePattern(s string) (aequitas.TrafficPattern, error) {
+	name, args, _ := strings.Cut(s, ":")
+	switch name {
+	case "uniform":
+		return aequitas.UniformPattern(), nil
+	case "permutation":
+		return aequitas.PermutationPattern(), nil
+	case "incast":
+		fanin := 0
+		if args != "" {
+			var err error
+			if fanin, err = strconv.Atoi(args); err != nil {
+				return nil, fmt.Errorf("bad incast fan-in %q", args)
+			}
+		}
+		return aequitas.IncastPattern(fanin), nil
+	case "hotspot":
+		parts := strings.Split(args, ":")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("hotspot needs HOT:SHARE, got %q", s)
+		}
+		hot, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad hotspot host %q", parts[0])
+		}
+		share, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad hotspot share %q", parts[1])
+		}
+		return aequitas.HotspotPattern(hot, share), nil
+	default:
+		return nil, fmt.Errorf("unknown pattern %q", s)
+	}
+}
+
+// parseShape maps the -load-shape grammar onto a LoadShape:
+// constant | step:AT:FACTOR | ramp:FROM:TO:FACTOR | onoff:PERIOD:DUTY.
+// Times use Go duration syntax (e.g. step:10ms:2).
+func parseShape(s string) (aequitas.LoadShape, error) {
+	name, args, _ := strings.Cut(s, ":")
+	parts := strings.Split(args, ":")
+	dur := func(i int) (time.Duration, error) { return time.ParseDuration(parts[i]) }
+	num := func(i int) (float64, error) { return strconv.ParseFloat(parts[i], 64) }
+	switch name {
+	case "constant", "":
+		return nil, nil
+	case "step":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("step needs AT:FACTOR, got %q", s)
+		}
+		at, err := dur(0)
+		if err != nil {
+			return nil, err
+		}
+		f, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		return aequitas.StepLoad(at, f), nil
+	case "ramp":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("ramp needs FROM:TO:FACTOR, got %q", s)
+		}
+		from, err := dur(0)
+		if err != nil {
+			return nil, err
+		}
+		to, err := dur(1)
+		if err != nil {
+			return nil, err
+		}
+		f, err := num(2)
+		if err != nil {
+			return nil, err
+		}
+		return aequitas.RampLoad(from, to, f), nil
+	case "onoff":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("onoff needs PERIOD:DUTY, got %q", s)
+		}
+		period, err := dur(0)
+		if err != nil {
+			return nil, err
+		}
+		duty, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		return aequitas.OnOffLoad(period, duty), nil
+	default:
+		return nil, fmt.Errorf("unknown load shape %q", s)
+	}
 }
 
 func parseFloats(s string) ([]float64, error) {

@@ -1,0 +1,395 @@
+package aequitas
+
+import (
+	"fmt"
+
+	"aequitas/internal/core"
+	"aequitas/internal/netsim"
+	"aequitas/internal/qos"
+	"aequitas/internal/rpc"
+	"aequitas/internal/sim"
+	"aequitas/internal/stats"
+	"aequitas/internal/workload"
+)
+
+// countingAdmitter wraps the real admitter to record input and admitted
+// byte mixes at issue time, within the measurement window.
+type countingAdmitter struct {
+	inner rpc.Admitter
+	col   *collector
+}
+
+func (ca *countingAdmitter) Admit(s *sim.Simulator, dst int, requested qos.Class, sizeMTUs int64) rpc.Decision {
+	d := ca.inner.Admit(s, dst, requested, sizeMTUs)
+	ca.col.onAdmit(s, requested, d, sizeMTUs)
+	return d
+}
+
+func (ca *countingAdmitter) Observe(s *sim.Simulator, dst int, run qos.Class, rnl sim.Duration, sizeMTUs int64) {
+	ca.inner.Observe(s, dst, run, rnl, sizeMTUs)
+}
+
+// AdmitProbability implements rpc.ProbabilityReporter when the wrapped
+// admitter does, so the stack's lifecycle trace and the per-RPC CSV see
+// the probability behind each decision (1.0 for pass-through admitters).
+func (ca *countingAdmitter) AdmitProbability(dst int, class qos.Class) float64 {
+	if pr, ok := ca.inner.(rpc.ProbabilityReporter); ok {
+		return pr.AdmitProbability(dst, class)
+	}
+	return 1
+}
+
+// collector accumulates all measurements for one run.
+type collector struct {
+	cfg    *SimConfig
+	warm   sim.Time
+	end    sim.Time
+	stacks []*rpc.Stack
+	gens   []*workload.Generator
+
+	inputMix    *qos.MixCounter
+	admittedMix *qos.MixCounter
+
+	rnlRun  map[qos.Class]*stats.Sample
+	rnlPrio map[qos.Priority]*stats.Sample
+	// nextSampleSeed derives deterministic per-series seeds for bounded
+	// (reservoir) RNL samples, keyed by creation order.
+	nextSampleSeed int64
+
+	issued, completed, downgraded, dropped int64
+	// SLO accounting by priority: issued vs met, in bytes and counts.
+	issuedBytes, metBytes map[qos.Priority]int64
+	issuedCount, metCount map[qos.Priority]int64
+	// SLO accounting by the class the RPC actually ran on.
+	runBytes, runMetBytes map[qos.Class]int64
+	completedPayloadBytes int64
+	offeredBytesAtWarm    int64
+	busyAtWarm, busyAtEnd sim.Duration
+	measStart, measEnd    sim.Time
+
+	probes      []*probeState
+	outHigh     stats.Sample
+	outLow      stats.Sample
+	outHiBuf    []int // per-dst scratch reused across sample ticks
+	outLoBuf    []int
+	traceHeader bool
+}
+
+type probeState struct {
+	p          Probe
+	admitSer   stats.Series
+	thruSer    stats.Series
+	bytes      int64 // completed bytes on (src,dst,class) since last sample
+	lastSample sim.Time
+	// hasSample distinguishes "no previous sample yet" from a real sample
+	// taken at t=0 (which a zero-time sentinel would misread when
+	// Warmup == 0).
+	hasSample bool
+}
+
+func newCollector(cfg *SimConfig) *collector {
+	c := &collector{
+		cfg:         cfg,
+		warm:        sim.FromStd(cfg.Warmup),
+		end:         sim.FromStd(cfg.Duration),
+		inputMix:    qos.NewMixCounter(cfg.levels()),
+		admittedMix: qos.NewMixCounter(cfg.levels()),
+		rnlRun:      make(map[qos.Class]*stats.Sample),
+		rnlPrio:     make(map[qos.Priority]*stats.Sample),
+		issuedBytes: make(map[qos.Priority]int64),
+		metBytes:    make(map[qos.Priority]int64),
+		issuedCount: make(map[qos.Priority]int64),
+		metCount:    make(map[qos.Priority]int64),
+		runBytes:    make(map[qos.Class]int64),
+		runMetBytes: make(map[qos.Class]int64),
+	}
+	for _, p := range cfg.Probes {
+		c.probes = append(c.probes, &probeState{p: p})
+	}
+	return c
+}
+
+func (c *collector) beginMeasurement(s *sim.Simulator, net *netsim.Network) {
+	c.measStart = s.Now()
+	for _, g := range c.gens {
+		c.offeredBytesAtWarm += g.Offered.Total()
+	}
+	for i := 0; i < net.Hosts(); i++ {
+		c.busyAtWarm += net.Downlink(i).Stats.BusyTime
+	}
+}
+
+func (c *collector) endMeasurement(s *sim.Simulator, net *netsim.Network) {
+	c.measEnd = s.Now()
+	for i := 0; i < net.Hosts(); i++ {
+		c.busyAtEnd += net.Downlink(i).Stats.BusyTime
+	}
+}
+
+func (c *collector) onAdmit(s *sim.Simulator, requested qos.Class, d rpc.Decision, sizeMTUs int64) {
+	// Gate on the same issue-time window as onComplete so the SLO-met
+	// numerators (completions) and denominators (admissions) count the
+	// same RPC population.
+	if !c.inWindow(s.Now()) {
+		return
+	}
+	bytes := sizeMTUs * int64(netsim.MaxPayload)
+	// With fewer QoS levels than priority classes (e.g. 2-level runs),
+	// lower priorities all request the scavenger class; clamp so their
+	// bytes are counted rather than silently dropped.
+	mixClass := requested
+	if int(mixClass) >= c.cfg.levels() {
+		mixClass = qos.Class(c.cfg.levels() - 1)
+	}
+	c.inputMix.Add(mixClass, bytes)
+	if !d.Drop {
+		c.admittedMix.Add(d.Class, bytes)
+	}
+	c.issued++
+	if d.Downgraded {
+		c.downgraded++
+	}
+	if d.Drop {
+		c.dropped++
+	}
+	// SLO-met denominators are charged at issue so that RPCs that never
+	// complete — dropped, terminated by a deadline baseline, or still
+	// stuck at the end of the run — count as misses.
+	pr := qos.MapQoSToPriority(requested)
+	c.issuedBytes[pr] += bytes
+	c.issuedCount[pr]++
+}
+
+// inWindow reports whether an RPC issued at t counts toward statistics.
+func (c *collector) inWindow(t sim.Time) bool { return t >= c.warm && t <= c.end }
+
+func (c *collector) onComplete(s *sim.Simulator, r *rpc.RPC) {
+	if !c.inWindow(r.IssueTime) {
+		return
+	}
+	us := r.RNL.Micros()
+	sampleFor(c.rnlRun, r.QoSRun, c.newSample).Add(us)
+	sampleFor(c.rnlPrio, r.Priority, c.newSample).Add(us)
+	c.completed++
+	c.completedPayloadBytes += r.Bytes
+
+	if c.meetsSLO(r) {
+		// Numerator in the same MTU-quantised bytes as the issue-time
+		// denominator.
+		c.metBytes[r.Priority] += r.SizeMTUs * int64(netsim.MaxPayload)
+		c.metCount[r.Priority]++
+	}
+	if int(r.QoSRun) < len(c.cfg.SLOs) {
+		c.runBytes[r.QoSRun] += r.Bytes
+		target := c.cfg.SLOs[r.QoSRun].perMTU()
+		if r.RNL/sim.Duration(r.SizeMTUs) < target {
+			c.runMetBytes[r.QoSRun] += r.Bytes
+		}
+	}
+}
+
+// meetsSLO checks the RPC against its *original* class's normalised
+// target (Figure 22's criterion).
+func (c *collector) meetsSLO(r *rpc.RPC) bool {
+	k := int(r.QoSRequested)
+	if k >= len(c.cfg.SLOs) {
+		return true // the scavenger class has no SLO to miss
+	}
+	target := c.cfg.SLOs[k].perMTU()
+	return r.RNL/sim.Duration(r.SizeMTUs) < target
+}
+
+func sampleFor[K comparable](m map[K]*stats.Sample, k K, mk func() *stats.Sample) *stats.Sample {
+	sm, ok := m[k]
+	if !ok {
+		sm = mk()
+		m[k] = sm
+	}
+	return sm
+}
+
+// newSample builds one RNL series accumulator: exact by default, or a
+// bounded reservoir when cfg.MaxRNLSamples is set. Reservoir seeds derive
+// deterministically from the run seed and series creation order, so a
+// given config produces identical Results regardless of what else runs in
+// the process.
+func (c *collector) newSample() *stats.Sample {
+	if c.cfg.MaxRNLSamples <= 0 {
+		return &stats.Sample{}
+	}
+	c.nextSampleSeed++
+	return stats.NewBoundedSample(c.cfg.MaxRNLSamples, c.cfg.Seed+c.nextSampleSeed*0x9E3779B9)
+}
+
+// sample records probe and outstanding data points.
+func (c *collector) sample(s *sim.Simulator, controllers []*core.Controller) {
+	now := s.Now().Seconds()
+	for _, ps := range c.probes {
+		p := 1.0
+		if ctl := controllers[ps.p.Src]; ctl != nil {
+			p = ctl.AdmitProbability(ps.p.Dst, ps.p.Class)
+		}
+		ps.admitSer.Append(now, p)
+		if ps.hasSample {
+			if dt := (s.Now() - ps.lastSample).Seconds(); dt > 0 {
+				gbps := float64(ps.bytes) * 8 / dt / 1e9
+				ps.thruSer.Append(now, gbps)
+			}
+		}
+		ps.bytes = 0
+		ps.lastSample = s.Now()
+		ps.hasSample = true
+	}
+	if c.cfg.TrackOutstanding {
+		// One pass over every stack's live (dst, class) entries,
+		// accumulating per-destination counts — O(live entries) instead of
+		// the former O(hosts² · levels) re-probe of every combination.
+		scavenger := qos.Class(c.cfg.levels() - 1)
+		n := len(c.stacks)
+		if c.outHiBuf == nil {
+			c.outHiBuf = make([]int, n)
+			c.outLoBuf = make([]int, n)
+		}
+		for i := range c.outHiBuf {
+			c.outHiBuf[i] = 0
+			c.outLoBuf[i] = 0
+		}
+		for _, st := range c.stacks {
+			st.ForEachOutstanding(func(dst int, cl qos.Class, cnt int) {
+				if dst < 0 || dst >= n {
+					return
+				}
+				if cl >= scavenger {
+					c.outLoBuf[dst] += cnt
+				} else {
+					c.outHiBuf[dst] += cnt
+				}
+			})
+		}
+		for dst := 0; dst < n; dst++ {
+			c.outHigh.Add(float64(c.outHiBuf[dst]))
+			c.outLow.Add(float64(c.outLoBuf[dst]))
+		}
+	}
+}
+
+// traceCSVHeader is the per-RPC CSV trace schema.
+const traceCSVHeader = "complete_s,src,dst,priority,requested,ran,downgraded,decision,p_admit,bytes,rnl_us"
+
+// trace writes one per-RPC CSV record to the configured TraceWriter.
+func (c *collector) trace(s *sim.Simulator, src int, r *rpc.RPC) {
+	w := c.cfg.TraceWriter
+	if w == nil || !c.inWindow(r.IssueTime) {
+		return
+	}
+	// A CSVTrace sink owns the header latch, so a retried run reusing the
+	// sink still writes the header exactly once; a bare io.Writer falls
+	// back to once per collector (i.e. per run).
+	switch sink := w.(type) {
+	case *CSVTrace:
+		if sink.claimHeader() {
+			fmt.Fprintln(w, traceCSVHeader)
+		}
+	default:
+		if !c.traceHeader {
+			c.traceHeader = true
+			fmt.Fprintln(w, traceCSVHeader)
+		}
+	}
+	decision := "admit"
+	if r.Downgraded {
+		decision = "downgrade"
+	}
+	fmt.Fprintf(w, "%.9f,%d,%d,%s,%s,%s,%t,%s,%.4f,%d,%.3f\n",
+		r.CompleteTime.Seconds(), src, r.Dst, r.Priority, r.QoSRequested,
+		r.QoSRun, r.Downgraded, decision, r.PAdmit, r.Bytes, r.RNL.Micros())
+}
+
+// addProbeBytes credits completed bytes to matching probes; wired through
+// per-stack OnComplete in results assembly.
+func (c *collector) addProbeBytes(src, dst int, class qos.Class, bytes int64) {
+	for _, ps := range c.probes {
+		if ps.p.Src == src && ps.p.Dst == dst && ps.p.Class == class {
+			ps.bytes += bytes
+		}
+	}
+}
+
+func (c *collector) results(cfg *SimConfig, net *netsim.Network) *Results {
+	res := &Results{
+		System:              cfg.System,
+		RNLRun:              make(map[Class]LatencySummary),
+		RNLPriority:         make(map[Priority]LatencySummary),
+		SLOMetBytesFraction: make(map[Priority]float64),
+		SLOMetCountFraction: make(map[Priority]float64),
+		Issued:              c.issued,
+		Completed:           c.completed,
+		Downgraded:          c.downgraded,
+		Dropped:             c.dropped,
+		rnlRun:              c.rnlRun,
+	}
+	for cl, sm := range c.rnlRun {
+		res.RNLRun[cl] = summarizeUS(sm)
+	}
+	for pr, sm := range c.rnlPrio {
+		res.RNLPriority[pr] = summarizeUS(sm)
+	}
+	for pr, ib := range c.issuedBytes {
+		if ib > 0 {
+			res.SLOMetBytesFraction[pr] = float64(c.metBytes[pr]) / float64(ib)
+		}
+	}
+	for pr, ic := range c.issuedCount {
+		if ic > 0 {
+			res.SLOMetCountFraction[pr] = float64(c.metCount[pr]) / float64(ic)
+		}
+	}
+	res.SLOMetRunBytesFraction = make(map[Class]float64)
+	for cl, rb := range c.runBytes {
+		if rb > 0 {
+			res.SLOMetRunBytesFraction[cl] = float64(c.runMetBytes[cl]) / float64(rb)
+		}
+	}
+	res.InputMix = c.inputMix.Mix()
+	res.AdmittedMix = c.admittedMix.Mix()
+
+	var offered int64
+	for _, g := range c.gens {
+		offered += g.Offered.Total()
+	}
+	offered -= c.offeredBytesAtWarm
+	if offered > 0 {
+		// RawGoodputRatio keeps the unclamped ratio so accounting errors
+		// (completions exceeding offered bytes) stay visible; the reported
+		// GoodputFraction clamps to 1 for plotting.
+		res.RawGoodputRatio = float64(c.completedPayloadBytes) / float64(offered)
+		res.GoodputFraction = res.RawGoodputRatio
+		if res.GoodputFraction > 1 {
+			res.GoodputFraction = 1
+		}
+	}
+	if span := c.measEnd - c.measStart; span > 0 && net.Hosts() > 0 {
+		res.AvgDownlinkUtilization = float64(c.busyAtEnd-c.busyAtWarm) / float64(span) / float64(net.Hosts())
+	}
+
+	for _, ps := range c.probes {
+		res.Probes = append(res.Probes, ProbeResult{
+			Src: ps.p.Src, Dst: ps.p.Dst, Class: ps.p.Class,
+			AdmitProbability: Series{Name: "p_admit", T: ps.admitSer.T, V: ps.admitSer.V},
+			ThroughputGbps:   Series{Name: "goodput", T: ps.thruSer.T, V: ps.thruSer.V},
+		})
+	}
+	if cfg.TrackOutstanding {
+		res.OutstandingHighMed = toPoints(c.outHigh.CDF(200))
+		res.OutstandingLow = toPoints(c.outLow.CDF(200))
+	}
+	return res
+}
+
+func toPoints(ps []stats.Point) []Point {
+	out := make([]Point, len(ps))
+	for i, p := range ps {
+		out[i] = Point{p.X, p.Y}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package scenario
+
+import "fmt"
+
+// Assignment maps a set of sender hosts onto a shared destination draw.
+// Patterns emit assignments instead of per-sender destination slices so
+// the all-to-all case costs one slice for the whole fabric rather than
+// one "everyone but me" copy per sender.
+type Assignment struct {
+	// Hosts are the sender host ids covered by this assignment.
+	Hosts []int
+	// Dsts are the destination candidates each sender draws from.
+	Dsts []int
+	// Weights optionally biases the draw; parallel to Dsts.
+	Weights []float64
+	// ExcludeSelf removes the sender itself from Dsts at draw time,
+	// letting senders share one destination slice.
+	ExcludeSelf bool
+}
+
+// Pattern generates the sender→destination assignments of one traffic
+// matrix over an n-host fabric.
+type Pattern interface {
+	Expand(n int) ([]Assignment, error)
+	String() string
+}
+
+// AllHosts returns [0, n).
+func AllHosts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Uniform is the all-to-all matrix: every host sends to every other host
+// uniformly. One shared assignment covers the whole fabric.
+type Uniform struct{}
+
+// Expand implements Pattern.
+func (Uniform) Expand(n int) ([]Assignment, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("scenario: uniform pattern needs ≥ 2 hosts, have %d", n)
+	}
+	ids := AllHosts(n)
+	return []Assignment{{Hosts: ids, Dsts: ids, ExcludeSelf: true}}, nil
+}
+
+func (Uniform) String() string { return "uniform" }
+
+// Incast converges Fanin senders onto one receiver — the canonical
+// many-to-one overload. Dst receives; the Fanin lowest-numbered other
+// hosts send. Fanin 0 means every other host.
+type Incast struct {
+	Fanin int
+	Dst   int
+}
+
+// Expand implements Pattern.
+func (p Incast) Expand(n int) ([]Assignment, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("scenario: incast pattern needs ≥ 2 hosts, have %d", n)
+	}
+	if p.Dst < 0 || p.Dst >= n {
+		return nil, fmt.Errorf("scenario: incast destination %d out of range [0,%d)", p.Dst, n)
+	}
+	fanin := p.Fanin
+	if fanin == 0 {
+		fanin = n - 1
+	}
+	if fanin < 1 || fanin > n-1 {
+		return nil, fmt.Errorf("scenario: incast fan-in %d out of range [1,%d]", fanin, n-1)
+	}
+	senders := make([]int, 0, fanin)
+	for i := 0; i < n && len(senders) < fanin; i++ {
+		if i != p.Dst {
+			senders = append(senders, i)
+		}
+	}
+	return []Assignment{{Hosts: senders, Dsts: []int{p.Dst}}}, nil
+}
+
+func (p Incast) String() string {
+	if p.Fanin == 0 {
+		return "incast"
+	}
+	return fmt.Sprintf("incast(%d)", p.Fanin)
+}
+
+// Permutation pairs host i with destination (i+1) mod n: every host
+// sends to exactly one peer and receives from exactly one peer, the
+// classic no-contention matrix.
+type Permutation struct{}
+
+// Expand implements Pattern.
+func (Permutation) Expand(n int) ([]Assignment, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("scenario: permutation pattern needs ≥ 2 hosts, have %d", n)
+	}
+	ids := AllHosts(n)
+	out := make([]Assignment, n)
+	for i := 0; i < n; i++ {
+		out[i] = Assignment{Hosts: ids[i : i+1], Dsts: ids[(i+1)%n : (i+1)%n+1]}
+	}
+	return out, nil
+}
+
+func (Permutation) String() string { return "permutation" }
+
+// Hotspot skews the all-to-all matrix toward one receiver: every sender
+// directs Share of its traffic at host Hot and spreads the rest evenly
+// over the other hosts; Hot itself sends uniformly. Share in (0, 1).
+type Hotspot struct {
+	Hot   int
+	Share float64
+}
+
+// Expand implements Pattern.
+func (p Hotspot) Expand(n int) ([]Assignment, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("scenario: hotspot pattern needs ≥ 3 hosts, have %d", n)
+	}
+	if p.Hot < 0 || p.Hot >= n {
+		return nil, fmt.Errorf("scenario: hotspot host %d out of range [0,%d)", p.Hot, n)
+	}
+	if p.Share <= 0 || p.Share >= 1 {
+		return nil, fmt.Errorf("scenario: hotspot share %v outside (0,1)", p.Share)
+	}
+	ids := AllHosts(n)
+	rest := (1 - p.Share) / float64(n-2)
+	out := make([]Assignment, 0, n)
+	for i := 0; i < n; i++ {
+		if i == p.Hot {
+			// The hotspot host itself spreads uniformly.
+			out = append(out, Assignment{Hosts: ids[i : i+1], Dsts: ids, ExcludeSelf: true})
+			continue
+		}
+		// Exact per-sender weights: Share at the hotspot, the remainder
+		// split over everyone else; the sender's own slot weighs zero.
+		w := make([]float64, n)
+		for j := 0; j < n; j++ {
+			switch j {
+			case i:
+				// self: never a destination
+			case p.Hot:
+				w[j] = p.Share
+			default:
+				w[j] = rest
+			}
+		}
+		out = append(out, Assignment{Hosts: ids[i : i+1], Dsts: ids, Weights: w})
+	}
+	return out, nil
+}
+
+func (p Hotspot) String() string { return fmt.Sprintf("hotspot(%d,%.2f)", p.Hot, p.Share) }

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"sort"
 
 	"aequitas/internal/qos"
 	"aequitas/internal/rpc"
@@ -48,8 +49,21 @@ type Spec struct {
 	Process Process
 	// Classes split the offered bytes; shares must sum to ~1.
 	Classes []ClassSpec
-	// Dsts are destination hosts, chosen uniformly per RPC.
+	// Dsts are destination hosts, chosen uniformly per RPC unless
+	// DstWeights is set.
 	Dsts []int
+	// DstWeights, when non-nil, weights the destination choice; it must
+	// be parallel to Dsts with a positive sum.
+	DstWeights []float64
+	// ExcludeSelf removes host Self from the destination draw, letting
+	// all-to-all patterns share one destination slice across every
+	// sender's generator instead of materialising a per-sender
+	// "everyone but me" copy.
+	ExcludeSelf bool
+	Self        int
+	// Shape varies the offered load over simulated time; nil means
+	// constant load.
+	Shape LoadShape
 }
 
 // Validate reports specification errors.
@@ -82,6 +96,32 @@ func (sp Spec) Validate() error {
 	if len(sp.Dsts) == 0 {
 		return fmt.Errorf("workload: no destinations")
 	}
+	if sp.DstWeights != nil {
+		if len(sp.DstWeights) != len(sp.Dsts) {
+			return fmt.Errorf("workload: %d destination weights for %d destinations", len(sp.DstWeights), len(sp.Dsts))
+		}
+		var sum float64
+		for i, w := range sp.DstWeights {
+			if w < 0 {
+				return fmt.Errorf("workload: destination %d negative weight", i)
+			}
+			sum += w
+		}
+		if sum <= 0 {
+			return fmt.Errorf("workload: destination weights sum to %v", sum)
+		}
+	}
+	if sp.ExcludeSelf {
+		n := len(sp.Dsts)
+		for _, d := range sp.Dsts {
+			if d == sp.Self {
+				n--
+			}
+		}
+		if n == 0 {
+			return fmt.Errorf("workload: destinations reduce to none after excluding self (%d)", sp.Self)
+		}
+	}
 	return nil
 }
 
@@ -90,6 +130,15 @@ func (sp Spec) Validate() error {
 type Generator struct {
 	spec  Spec
 	stack *rpc.Stack
+
+	// selfIdx is Self's position in Dsts (-1 when absent or not
+	// excluded); uniform draws skip it by index shifting, which keeps
+	// the random sequence identical to sampling a materialised
+	// "everyone but me" slice.
+	selfIdx int
+	// cumWeights is the cumulative weight table for weighted draws, with
+	// the excluded self's weight already zeroed.
+	cumWeights []float64
 
 	running bool
 	stopped bool
@@ -111,11 +160,35 @@ func NewGenerator(stack *rpc.Stack, spec Spec) (*Generator, error) {
 			levels = l
 		}
 	}
-	return &Generator{
+	g := &Generator{
 		spec:    spec,
 		stack:   stack,
+		selfIdx: -1,
 		Offered: qos.NewMixCounter(levels),
-	}, nil
+	}
+	if spec.ExcludeSelf {
+		for i, d := range spec.Dsts {
+			if d == spec.Self {
+				g.selfIdx = i
+				break
+			}
+		}
+	}
+	if spec.DstWeights != nil {
+		g.cumWeights = make([]float64, len(spec.DstWeights))
+		var sum float64
+		for i, w := range spec.DstWeights {
+			if i == g.selfIdx {
+				w = 0
+			}
+			sum += w
+			g.cumWeights[i] = sum
+		}
+		if sum <= 0 {
+			return nil, fmt.Errorf("workload: destination weights sum to 0 after excluding self (%d)", spec.Self)
+		}
+	}
+	return g, nil
 }
 
 // Start begins issuing RPCs; one independent arrival stream per class.
@@ -177,6 +250,20 @@ func (g *Generator) scheduleNext(s *sim.Simulator, classIdx int) {
 	if mean == sim.MaxTime {
 		return
 	}
+	if g.spec.Shape != nil {
+		f, until := g.spec.Shape.FactorAt(s.Now())
+		if f <= 0 {
+			// Load is off: resume the stream when the shape next changes.
+			if until <= s.Now() || until == sim.MaxTime {
+				return
+			}
+			s.AtFunc(until, func(s *sim.Simulator) { g.scheduleNext(s, classIdx) })
+			return
+		}
+		if f != 1 {
+			mean = sim.Duration(float64(mean) / f)
+		}
+	}
 	var gap sim.Duration
 	if g.spec.Process == Poisson {
 		gap = sim.Duration(s.Rand().ExpFloat64() * float64(mean))
@@ -191,6 +278,17 @@ func (g *Generator) scheduleNext(s *sim.Simulator, classIdx int) {
 		s.AtFunc(nextBurst, func(s *sim.Simulator) { g.scheduleNext(s, classIdx) })
 		return
 	}
+	// Same clipping for shape off-phases: an arrival drawn in an on-phase
+	// that lands after the shape switches off restarts when load resumes.
+	if g.spec.Shape != nil {
+		if f, until := g.spec.Shape.FactorAt(next); f <= 0 {
+			if until <= next || until == sim.MaxTime {
+				return
+			}
+			s.AtFunc(until, func(s *sim.Simulator) { g.scheduleNext(s, classIdx) })
+			return
+		}
+	}
 	s.AtFunc(next, func(s *sim.Simulator) {
 		if g.stopped {
 			return
@@ -202,7 +300,7 @@ func (g *Generator) scheduleNext(s *sim.Simulator, classIdx int) {
 
 func (g *Generator) issue(s *sim.Simulator, classIdx int) {
 	c := g.spec.Classes[classIdx]
-	dst := g.spec.Dsts[s.Rand().Intn(len(g.spec.Dsts))]
+	dst := g.drawDst(s)
 	size := c.Sizes.Sample(s.Rand())
 	if size <= 0 {
 		size = 1
@@ -213,4 +311,32 @@ func (g *Generator) issue(s *sim.Simulator, classIdx int) {
 	}
 	g.Offered.Add(qos.MapPriorityToQoS(c.Priority), size)
 	g.stack.Issue(s, r)
+}
+
+// drawDst picks the next destination: weighted when DstWeights is set,
+// otherwise uniform over Dsts minus the excluded self. The uniform
+// self-excluding draw shifts indexes past selfIdx, which consumes the
+// same Intn(len-1) draw — and maps it to the same host — as the former
+// per-sender "everyone but me" slice, preserving sequences byte for
+// byte.
+func (g *Generator) drawDst(s *sim.Simulator) int {
+	if g.cumWeights != nil {
+		total := g.cumWeights[len(g.cumWeights)-1]
+		x := s.Rand().Float64() * total
+		i := sort.SearchFloat64s(g.cumWeights, x)
+		// SearchFloat64s finds the first cumulative ≥ x; an exact hit on a
+		// boundary belongs to the next bucket.
+		for i < len(g.cumWeights)-1 && g.cumWeights[i] <= x {
+			i++
+		}
+		return g.spec.Dsts[i]
+	}
+	if g.selfIdx >= 0 {
+		i := s.Rand().Intn(len(g.spec.Dsts) - 1)
+		if i >= g.selfIdx {
+			i++
+		}
+		return g.spec.Dsts[i]
+	}
+	return g.spec.Dsts[s.Rand().Intn(len(g.spec.Dsts))]
 }

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"aequitas/internal/sim"
+)
+
+// LoadShape varies a generator's offered load over simulated time. The
+// generator multiplies each class's instantaneous arrival rate by the
+// factor in effect when the next arrival is scheduled, so offered load
+// tracks the shape at per-arrival granularity. A nil shape means constant
+// load (factor 1) with zero scheduling overhead — the default path draws
+// exactly the same random sequence as before shapes existed.
+type LoadShape interface {
+	// FactorAt returns the load multiplier in effect at t and the time at
+	// which the factor may next change. The change time is consulted only
+	// when the factor is ≤ 0, to resume a paused stream; shapes that never
+	// pause may return sim.MaxTime.
+	FactorAt(t sim.Time) (f float64, until sim.Time)
+}
+
+// Constant offers load at the base rate forever — the explicit form of a
+// nil shape.
+type Constant struct{}
+
+// FactorAt implements LoadShape.
+func (Constant) FactorAt(sim.Time) (float64, sim.Time) { return 1, sim.MaxTime }
+
+// Step multiplies the offered load by Factor from time At onward — the
+// load-step convergence scenario (§5.3): the admit probability must drop
+// and re-stabilise after the step.
+type Step struct {
+	At     sim.Time
+	Factor float64
+}
+
+// FactorAt implements LoadShape.
+func (sh Step) FactorAt(t sim.Time) (float64, sim.Time) {
+	if t < sh.At {
+		return 1, sh.At
+	}
+	return sh.Factor, sim.MaxTime
+}
+
+// Ramp interpolates the load multiplier linearly from 1 at From to Factor
+// at To, holding Factor afterwards.
+type Ramp struct {
+	From, To sim.Time
+	Factor   float64
+}
+
+// FactorAt implements LoadShape.
+func (sh Ramp) FactorAt(t sim.Time) (float64, sim.Time) {
+	switch {
+	case t < sh.From:
+		return 1, sh.From
+	case t >= sh.To || sh.To <= sh.From:
+		return sh.Factor, sim.MaxTime
+	default:
+		frac := float64(t-sh.From) / float64(sh.To-sh.From)
+		return 1 + frac*(sh.Factor-1), sh.To
+	}
+}
+
+// OnOff gates the load with a square wave: full load for the first
+// Duty fraction of every Period, silence for the rest. Duty outside
+// (0, 1) degenerates to always-on.
+type OnOff struct {
+	Period sim.Duration
+	Duty   float64
+}
+
+// FactorAt implements LoadShape.
+func (sh OnOff) FactorAt(t sim.Time) (float64, sim.Time) {
+	if sh.Period <= 0 || sh.Duty <= 0 || sh.Duty >= 1 {
+		return 1, sim.MaxTime
+	}
+	offset := t % sh.Period
+	on := sim.Duration(float64(sh.Period) * sh.Duty)
+	if offset < on {
+		return 1, t - offset + on
+	}
+	return 0, t - offset + sh.Period
+}

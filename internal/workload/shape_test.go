@@ -1,0 +1,220 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"aequitas/internal/qos"
+	"aequitas/internal/rpc"
+	"aequitas/internal/sim"
+	"aequitas/internal/transport"
+)
+
+func TestShapeFactors(t *testing.T) {
+	ms := sim.Millisecond
+	cases := []struct {
+		name  string
+		shape LoadShape
+		t     sim.Time
+		want  float64
+	}{
+		{"constant", Constant{}, 5 * ms, 1},
+		{"step before", Step{At: 10 * ms, Factor: 2}, 5 * ms, 1},
+		{"step after", Step{At: 10 * ms, Factor: 2}, 15 * ms, 2},
+		{"ramp before", Ramp{From: 10 * ms, To: 20 * ms, Factor: 3}, 5 * ms, 1},
+		{"ramp mid", Ramp{From: 10 * ms, To: 20 * ms, Factor: 3}, 15 * ms, 2},
+		{"ramp after", Ramp{From: 10 * ms, To: 20 * ms, Factor: 3}, 25 * ms, 3},
+		{"onoff on", OnOff{Period: 10 * ms, Duty: 0.5}, 3 * ms, 1},
+		{"onoff off", OnOff{Period: 10 * ms, Duty: 0.5}, 7 * ms, 0},
+		{"onoff second period", OnOff{Period: 10 * ms, Duty: 0.5}, 12 * ms, 1},
+	}
+	for _, c := range cases {
+		if f, _ := c.shape.FactorAt(c.t); math.Abs(f-c.want) > 1e-9 {
+			t.Errorf("%s: factor(%v) = %v, want %v", c.name, c.t, f, c.want)
+		}
+	}
+}
+
+func TestOnOffResumeTime(t *testing.T) {
+	sh := OnOff{Period: 10 * sim.Millisecond, Duty: 0.3}
+	f, until := sh.FactorAt(7 * sim.Millisecond)
+	if f != 0 {
+		t.Fatalf("factor = %v in off phase", f)
+	}
+	if until != 10*sim.Millisecond {
+		t.Errorf("resume at %v, want next period start", until)
+	}
+}
+
+// shapeSpec builds a one-class spec against a null transport.
+func shapeSpec(dsts []int) Spec {
+	return Spec{
+		Rate: 100e9, Load: 0.5,
+		Classes: []ClassSpec{{Priority: qos.PC, Share: 1, Sizes: Fixed{Bytes: 1 << 20}}},
+		Dsts:    dsts,
+	}
+}
+
+// countSender swallows messages; issue counting happens via Stack.Stats.
+type countSender struct{}
+
+func (countSender) Send(*sim.Simulator, *transport.Message) {}
+
+func TestStepShapeScalesArrivals(t *testing.T) {
+	// Count arrivals in the two halves of a run with a 4x step at the
+	// midpoint; the second half must see ~4x the arrivals.
+	counts := func(shape LoadShape) (first, second int) {
+		s := sim.New(1)
+		st := rpc.NewStack(countSender{}, nil)
+		spec := shapeSpec([]int{1})
+		spec.Shape = shape
+		g, err := NewGenerator(st, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		half := 50 * sim.Millisecond
+		var a, b int
+		prev := st.Stats.Issued
+		g.Start(s)
+		s.AtFunc(half, func(*sim.Simulator) { a = int(st.Stats.Issued - prev) })
+		s.RunUntil(2 * half)
+		b = int(st.Stats.Issued) - a
+		return a, b
+	}
+	a, b := counts(Step{At: 50 * sim.Millisecond, Factor: 4})
+	if a == 0 || b == 0 {
+		t.Fatalf("no arrivals: %d / %d", a, b)
+	}
+	ratio := float64(b) / float64(a)
+	if ratio < 3 || ratio > 5 {
+		t.Errorf("post-step arrival ratio %.2f, want ~4 (%d vs %d)", ratio, b, a)
+	}
+}
+
+func TestOnOffShapeSilencesOffPhase(t *testing.T) {
+	s := sim.New(1)
+	st := rpc.NewStack(countSender{}, nil)
+	spec := shapeSpec([]int{1})
+	spec.Shape = OnOff{Period: 10 * sim.Millisecond, Duty: 0.5}
+	g, err := NewGenerator(st, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start(s)
+	// Sample issue counts at phase boundaries: none may grow during off
+	// phases.
+	var during []int64
+	for k := 0; k < 8; k++ {
+		at := sim.Time(k) * 5 * sim.Millisecond
+		s.AtFunc(at, func(*sim.Simulator) { during = append(during, st.Stats.Issued) })
+	}
+	s.RunUntil(40 * sim.Millisecond)
+	for k := 1; k+1 < len(during); k += 2 {
+		// during[k] is an off-phase start (5ms, 15ms, ...); the count at
+		// the next on-phase start must equal it.
+		if during[k+1] != during[k] {
+			t.Errorf("arrivals grew during off phase %d: %d -> %d", k/2, during[k], during[k+1])
+		}
+	}
+	if during[len(during)-1] == 0 {
+		t.Error("no arrivals at all")
+	}
+}
+
+func TestExcludeSelfMatchesMaterialisedOthers(t *testing.T) {
+	// The shared-slice self-excluding draw must replay the exact RNG
+	// sequence and destination mapping of a per-sender "everyone but me"
+	// slice.
+	n := 9
+	self := 4
+	others := make([]int, 0, n-1)
+	all := make([]int, n)
+	for i := 0; i < n; i++ {
+		all[i] = i
+		if i != self {
+			others = append(others, i)
+		}
+	}
+	draw := func(spec Spec) []int {
+		s := sim.New(42)
+		st := rpc.NewStack(countSender{}, nil)
+		g, err := NewGenerator(st, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int, 200)
+		for i := range out {
+			out[i] = g.drawDst(s)
+		}
+		return out
+	}
+	a := draw(shapeSpec(others))
+	specB := shapeSpec(all)
+	specB.ExcludeSelf = true
+	specB.Self = self
+	b := draw(specB)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: materialised %d, shared-slice %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWeightedDstsFollowWeights(t *testing.T) {
+	spec := shapeSpec([]int{1, 2, 3})
+	spec.DstWeights = []float64{0.7, 0.2, 0.1}
+	s := sim.New(7)
+	st := rpc.NewStack(countSender{}, nil)
+	g, err := NewGenerator(st, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[g.drawDst(s)]++
+	}
+	for i, want := range spec.DstWeights {
+		got := float64(counts[spec.Dsts[i]]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("dst %d share %.3f, want %.2f", spec.Dsts[i], got, want)
+		}
+	}
+}
+
+func TestWeightedExcludeSelfNeverPicksSelf(t *testing.T) {
+	spec := shapeSpec([]int{0, 1, 2})
+	spec.DstWeights = []float64{0.5, 0.4, 0.1}
+	spec.ExcludeSelf = true
+	spec.Self = 0
+	s := sim.New(7)
+	st := rpc.NewStack(countSender{}, nil)
+	g, err := NewGenerator(st, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if d := g.drawDst(s); d == 0 {
+			t.Fatal("picked excluded self")
+		}
+	}
+}
+
+func TestSpecRejectsBadWeightsAndSelf(t *testing.T) {
+	bad := shapeSpec([]int{1, 2})
+	bad.DstWeights = []float64{1}
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched weight length accepted")
+	}
+	neg := shapeSpec([]int{1, 2})
+	neg.DstWeights = []float64{-1, 2}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative weight accepted")
+	}
+	lone := shapeSpec([]int{3})
+	lone.ExcludeSelf = true
+	lone.Self = 3
+	if err := lone.Validate(); err == nil {
+		t.Error("self-only destination set accepted")
+	}
+}

@@ -54,6 +54,24 @@ func (s Series) MeanAfterOK(start float64) (mean float64, ok bool) {
 	return sum / float64(n), true
 }
 
+// MeanBetween returns the mean of values with start ≤ T < end, or NaN
+// when no sample lies in that window — e.g. the pre-step and post-step
+// admit probabilities around a load step.
+func (s Series) MeanBetween(start, end float64) float64 {
+	var sum float64
+	n := 0
+	for i, t := range s.T {
+		if t >= start && t < end {
+			sum += s.V[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
 // SettlingTime returns the earliest time after which all values stay
 // within ±tol of the final value (convergence time, §6.6).
 func (s Series) SettlingTime(tol float64) float64 {

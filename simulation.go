@@ -8,8 +8,8 @@ import (
 	"aequitas/internal/core"
 	"aequitas/internal/netsim"
 	"aequitas/internal/qos"
+	"aequitas/internal/scenario"
 	"aequitas/internal/sim"
-	"aequitas/internal/wfq"
 	"aequitas/internal/workload"
 )
 
@@ -121,10 +121,18 @@ type HostTraffic struct {
 	// Dsts lists destination ids chosen uniformly per RPC; nil means
 	// all-to-all (every other host).
 	Dsts []int
+	// Pattern, when set, generates the sender→destination matrix instead
+	// of Hosts/Dsts (which must then stay nil). See UniformPattern,
+	// IncastPattern, PermutationPattern and HotspotPattern.
+	Pattern TrafficPattern
 	// AvgLoad is µ, the mean offered load as a fraction of the link
 	// rate. BurstLoad is ρ; when > AvgLoad the Figure 7 burst/idle
 	// modulation is applied.
 	AvgLoad, BurstLoad float64
+	// Shape, when set, scales AvgLoad over simulated time (load steps,
+	// ramps, on/off cycles); nil keeps the load constant. See
+	// ConstantLoad, StepLoad, RampLoad and OnOffLoad.
+	Shape LoadShape
 	// Arrival selects Poisson (default) or Periodic arrivals.
 	Arrival Arrival
 	Classes []TrafficClass
@@ -218,6 +226,20 @@ type SimConfig struct {
 	// (NDJSON / Chrome trace-event) and periodic metrics sampling. The
 	// zero value disables it with no hot-path cost.
 	Obs ObsConfig
+
+	// resolved is the traffic matrix after applyDefaults: one entry per
+	// (Traffic entry, pattern assignment) pair, with destination slices
+	// shared across senders.
+	resolved []resolvedTraffic
+}
+
+// resolvedTraffic is one validated sender→destination assignment.
+type resolvedTraffic struct {
+	traffic     int // index into SimConfig.Traffic
+	hosts       []int
+	dsts        []int
+	weights     []float64
+	excludeSelf bool
 }
 
 func (c *SimConfig) applyDefaults() error {
@@ -260,6 +282,12 @@ func (c *SimConfig) applyDefaults() error {
 	if len(c.Traffic) == 0 {
 		return fmt.Errorf("aequitas: Traffic required")
 	}
+	if _, err := scenario.Lookup(c.System.String()); err != nil {
+		return fmt.Errorf("aequitas: %w", err)
+	}
+	if err := c.resolveTraffic(); err != nil {
+		return err
+	}
 	if c.CCTarget == 0 {
 		c.CCTarget = 10 * time.Microsecond
 	}
@@ -285,6 +313,58 @@ func (c *SimConfig) applyDefaults() error {
 		if a.Floor == 0 {
 			a.Floor = 0.01
 		}
+	}
+	return nil
+}
+
+// resolveTraffic validates every Traffic entry and expands it into
+// concrete sender→destination assignments, up front, so an out-of-range
+// host id or a bad pattern fails before the fabric is built and the
+// error names the offending entry. The all-to-all default shares one id
+// slice across all senders (with self excluded at draw time) instead of
+// materialising an "everyone but me" copy per host.
+func (c *SimConfig) resolveTraffic() error {
+	all := scenario.AllHosts(c.Hosts)
+	c.resolved = c.resolved[:0]
+	for i := range c.Traffic {
+		ht := &c.Traffic[i]
+		if ht.Pattern != nil {
+			if ht.Hosts != nil || ht.Dsts != nil {
+				return fmt.Errorf("aequitas: traffic entry %d: Pattern and explicit Hosts/Dsts are mutually exclusive", i)
+			}
+			as, err := ht.Pattern.Expand(c.Hosts)
+			if err != nil {
+				return fmt.Errorf("aequitas: traffic entry %d: %w", i, err)
+			}
+			for _, a := range as {
+				c.resolved = append(c.resolved, resolvedTraffic{
+					traffic: i, hosts: a.Hosts, dsts: a.Dsts,
+					weights: a.Weights, excludeSelf: a.ExcludeSelf,
+				})
+			}
+			continue
+		}
+		rt := resolvedTraffic{traffic: i, hosts: ht.Hosts, dsts: ht.Dsts}
+		if rt.hosts == nil {
+			rt.hosts = all
+		}
+		for _, h := range ht.Hosts {
+			if h < 0 || h >= c.Hosts {
+				return fmt.Errorf("aequitas: traffic entry %d: host %d out of range [0,%d)", i, h, c.Hosts)
+			}
+		}
+		for _, d := range ht.Dsts {
+			if d < 0 || d >= c.Hosts {
+				return fmt.Errorf("aequitas: traffic entry %d: destination %d out of range [0,%d)", i, d, c.Hosts)
+			}
+		}
+		if rt.dsts == nil {
+			// All-to-all: every sender draws from the full id slice with
+			// itself excluded at draw time.
+			rt.dsts = all
+			rt.excludeSelf = true
+		}
+		c.resolved = append(c.resolved, rt)
 	}
 	return nil
 }
@@ -317,24 +397,14 @@ func (c *SimConfig) coreConfig() core.Config {
 	return cc
 }
 
-// schedFactory returns the switch/host scheduler builder for the system.
+// schedFactory returns the switch scheduler builder for the system, as
+// registered in the scenario registry.
 func (c *SimConfig) schedFactory() netsim.SchedulerFactory {
-	weights := c.QoSWeights
-	buf := c.PerClassBufferBytes
-	switch c.System {
-	case SystemSPQ, SystemQJump:
-		return func() wfq.Scheduler { return wfq.NewSPQ(len(weights), buf) }
-	case SystemDWRR:
-		return func() wfq.Scheduler { return wfq.NewDWRR(weights, netsim.MTU, buf) }
-	case SystemPFabric, SystemHoma:
-		// A single urgency-ordered queue per port; capacity is shared
-		// across classes as in pFabric's shallow-buffer model.
-		total := buf * len(weights)
-		return func() wfq.Scheduler { return wfq.NewPriorityQueue(total) }
-	case SystemD3, SystemPDQ:
-		total := buf * len(weights)
-		return func() wfq.Scheduler { return wfq.NewFIFO(total) }
-	default:
-		return func() wfq.Scheduler { return wfq.NewWFQ(weights, buf) }
+	b, err := scenario.Lookup(c.System.String())
+	if err != nil {
+		// applyDefaults validates the system name; an unknown system here
+		// means schedFactory was called on an unvalidated config.
+		panic(err)
 	}
+	return b.Scheduler(c.QoSWeights, c.PerClassBufferBytes)
 }
