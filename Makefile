@@ -23,12 +23,13 @@ vet:
 check: vet build race trace-check
 
 # trace-check runs a short instrumented simulation and validates the
-# NDJSON lifecycle trace against the schema in internal/obs.
+# NDJSON lifecycle trace and the metrics CSV against the schemas in
+# internal/obs.
 trace-check: build
 	@mkdir -p out
 	$(GO) run ./cmd/aequitas-sim -hosts 4 -dur 3ms -trace out/trace-check.ndjson \
 	    -metrics out/trace-check.csv > /dev/null
-	$(GO) run ./cmd/tracecheck out/trace-check.ndjson
+	$(GO) run ./cmd/tracecheck -metrics out/trace-check.csv out/trace-check.ndjson
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -1,6 +1,12 @@
 package aequitas
 
-import "aequitas/internal/calculus"
+import (
+	"fmt"
+	"time"
+
+	"aequitas/internal/calculus"
+	"aequitas/internal/qos"
+)
 
 // DelayBoundHigh returns the worst-case normalized WFQ delay of the high
 // class in the 2-QoS burst model of §4.1 (Equation 1): phi is the
@@ -22,6 +28,59 @@ func DelayBoundLow(phi, rho, mu, x float64) float64 {
 // pattern.
 func WorstCaseDelays(weights, mix []float64, rho, mu float64) ([]float64, error) {
 	return calculus.WorstCaseDelays(weights, mix, rho, mu)
+}
+
+// QueueingBoundsUS converts the fluid-model worst-case delays into
+// absolute per-class fabric-queueing bounds in microseconds, by scaling
+// the normalized delays of WorstCaseDelays by the burst/arrival period.
+// These are the reference values the online auditor (ObsConfig.Audit)
+// checks observed queueing against.
+func QueueingBoundsUS(weights, mix []float64, rho, mu float64, period time.Duration) ([]float64, error) {
+	d, err := calculus.WorstCaseDelays(weights, mix, rho, mu)
+	if err != nil {
+		return nil, err
+	}
+	periodUS := float64(period) / float64(time.Microsecond)
+	out := make([]float64, len(d))
+	for i, v := range d {
+		out[i] = v * periodUS
+	}
+	return out, nil
+}
+
+// deriveAuditBounds computes the auditor's per-class queueing bounds from
+// the first Traffic entry: its class shares (mapped through the Phase-1
+// priority→QoS mapping and clamped to the configured levels) form the
+// mix, and its AvgLoad/BurstLoad supply µ and ρ. The derivation assumes
+// every switch port sees that entry's load, which holds for the uniform
+// all-to-all pattern; other patterns need explicit Obs.AuditBoundsUS.
+func (c *SimConfig) deriveAuditBounds() ([]float64, error) {
+	if len(c.Traffic) == 0 {
+		return nil, fmt.Errorf("no traffic to derive bounds from; set Obs.AuditBoundsUS")
+	}
+	ht := &c.Traffic[0]
+	levels := c.levels()
+	mix := make([]float64, levels)
+	total := 0.0
+	for _, tc := range ht.Classes {
+		cl := int(qos.MapPriorityToQoS(tc.Priority))
+		if cl >= levels {
+			cl = levels - 1
+		}
+		mix[cl] += tc.Share
+		total += tc.Share
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("traffic class shares sum to %g; set Obs.AuditBoundsUS", total)
+	}
+	for i := range mix {
+		mix[i] /= total
+	}
+	rho, mu := ht.BurstLoad, ht.AvgLoad
+	if !(mu > 0 && rho > mu) {
+		return nil, fmt.Errorf("bound derivation needs BurstLoad > AvgLoad > 0 (got rho=%g, mu=%g); set Obs.AuditBoundsUS", rho, mu)
+	}
+	return QueueingBoundsUS(c.QoSWeights, mix, rho, mu, c.BurstPeriod)
 }
 
 // AdmissibleShare returns the largest contiguous QoSh-share x such that

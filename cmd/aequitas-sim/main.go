@@ -57,6 +57,9 @@ func main() {
 		traceChr = flag.String("trace-chrome", "", "write a Chrome trace-event JSON (Perfetto) to this file")
 		metrics  = flag.String("metrics", "", "write the periodic metrics time series (CSV) to this file")
 		metEvery = flag.Duration("metrics-every", 0, "metrics sampling interval in simulated time (default 100us)")
+		attrib   = flag.Bool("attribution", false, "decompose each RPC's latency and print per-class mean breakdowns")
+		attrCSV  = flag.String("attribution-csv", "", "write the per-RPC latency decomposition (CSV) to this file")
+		audit    = flag.Bool("audit", false, "audit observed queueing against the per-class theory bounds")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -141,6 +144,13 @@ func main() {
 		cfg.Obs.MetricsCSV = f
 		cfg.Obs.MetricsEvery = *metEvery
 	}
+	cfg.Obs.Attribution = *attrib
+	cfg.Obs.Audit = *audit
+	if *attrCSV != "" {
+		f := mustCreate(*attrCSV)
+		defer f.Close()
+		cfg.Obs.AttributionCSV = f
+	}
 	cfg.SLOs = []aequitas.SLO{
 		{Target: *sloHigh, ReferenceBytes: *sloRef, Percentile: 99.9},
 		{Target: *sloMed, ReferenceBytes: *sloRef, Percentile: 99.9},
@@ -188,6 +198,54 @@ func main() {
 		100*res.GoodputFraction, 100*res.AvgDownlinkUtilization)
 	for pr, f := range res.SLOMetBytesFraction {
 		fmt.Printf("%v traffic meeting its original SLO: %.1f%%\n", pr, 100*f)
+	}
+	if res.Attribution != nil {
+		printAttribution(res)
+	}
+	if res.Audit != nil {
+		printAudit(res.Audit)
+	}
+}
+
+// printAttribution prints the per-class mean latency decomposition table.
+func printAttribution(res *aequitas.Results) {
+	fmt.Println("\nlatency attribution (mean us per completed RPC):")
+	fmt.Printf("%-6s %8s %8s %8s %10s %8s %8s %8s %8s %8s\n",
+		"class", "n", "admit", "sender", "transport", "pacing", "nic", "switch", "wire", "rnl")
+	for _, c := range res.Classes() {
+		a, ok := res.Attribution[c]
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-6s %8d %8.2f %8.2f %10.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+			c, a.N, a.AdmitUS, a.SenderUS, a.TransportUS, a.PacingUS, a.NICUS, a.SwitchUS, a.WireUS, a.RNLUS)
+	}
+}
+
+// printAudit prints the QoS-bound auditor's verdict.
+func printAudit(rep *aequitas.AuditReport) {
+	verdict := "OK"
+	if !rep.Ok() {
+		verdict = fmt.Sprintf("%d VIOLATIONS", rep.TotalViolations)
+	}
+	fmt.Printf("\nQoS-bound audit (slack %.1fus): %s\n", rep.SlackUS, verdict)
+	fmt.Printf("%-6s %8s %10s %10s %10s %10s %10s %10s\n",
+		"class", "n", "bound(us)", "q.p99(us)", "q.max(us)", "hop.max", "rnl.p99", "viol")
+	for _, c := range rep.Classes {
+		bound := "-"
+		if c.Bounded {
+			bound = fmt.Sprintf("%.1f", c.BoundUS)
+		}
+		fmt.Printf("%-6s %8d %10s %10.1f %10.1f %10.1f %10.1f %10d\n",
+			c.Class, c.N, bound, c.QueueP99US, c.QueueMaxUS, c.MaxHopUS, c.RNLP99US, c.Violations)
+	}
+	for _, v := range rep.Violations {
+		where := v.Kind
+		if v.Link != "" {
+			where += "@" + v.Link
+		}
+		fmt.Printf("  violation: rpc=%d class=%s %s t=%.1fus observed=%.1fus bound=%.1fus\n",
+			v.RPC, v.Class, where, v.TimeUS, v.ObservedUS, v.BoundUS)
 	}
 }
 

@@ -39,19 +39,36 @@ type figure struct {
 
 // options carries the shared CLI knobs.
 type options struct {
-	nodes   int           // cluster size for "33-node" experiments
-	big     int           // cluster size for the "144-node" experiment
-	dur     time.Duration // simulated horizon for cluster experiments
-	long    time.Duration // horizon for convergence experiments
-	seed    int64
-	workers int // simulation worker-pool size (0 = GOMAXPROCS)
+	nodes    int           // cluster size for "33-node" experiments
+	big      int           // cluster size for the "144-node" experiment
+	dur      time.Duration // simulated horizon for cluster experiments
+	long     time.Duration // horizon for convergence experiments
+	seed     int64
+	workers  int  // simulation worker-pool size (0 = GOMAXPROCS)
+	progress bool // report per-run sweep completion on stderr
+}
+
+// progressFn returns the RunMany progress callback: live "run k/n"
+// completions on stderr when -progress is set, nil otherwise. Progress
+// goes to stderr so piped figure output stays clean.
+func (o options) progressFn() func(aequitas.Progress) {
+	if !o.progress {
+		return nil
+	}
+	return func(p aequitas.Progress) {
+		if p.Err != nil {
+			fmt.Fprintf(os.Stderr, "  run %d/%d failed (config %d): %v\n", p.Done, p.Total, p.Index, p.Err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "  run %d/%d done (config %d)\n", p.Done, p.Total, p.Index)
+	}
 }
 
 // runAll fans the independent simulations of one figure across the worker
 // pool and returns results in input order. Figure output is identical for
 // any -parallel value; only wall-clock time changes.
 func runAll(o options, cfgs ...aequitas.SimConfig) ([]*aequitas.Results, error) {
-	return aequitas.RunMany(cfgs, aequitas.ParallelOptions{Workers: o.workers})
+	return aequitas.RunMany(cfgs, aequitas.ParallelOptions{Workers: o.workers, OnProgress: o.progressFn()})
 }
 
 // parallelFor runs f(0..n-1) on the worker pool — for figure inner loops
@@ -98,6 +115,7 @@ func main() {
 		long     = flag.Duration("long", 600*time.Millisecond, "horizon for convergence experiments")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		parallel = flag.Int("parallel", 0, "simulation workers per figure (0 = GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "report live per-run sweep progress on stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile covering the figure runs to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file after the figure runs")
 	)
@@ -136,7 +154,7 @@ func main() {
 		return
 	}
 
-	o := options{nodes: *nodes, big: *big, dur: *dur, long: *long, seed: *seed, workers: *parallel}
+	o := options{nodes: *nodes, big: *big, dur: *dur, long: *long, seed: *seed, workers: *parallel, progress: *progress}
 	ran := false
 	for _, f := range figures {
 		if *fig == "all" || f.id == *fig {

@@ -1,45 +1,76 @@
-// Command tracecheck validates NDJSON lifecycle traces produced by the
-// observability layer (aequitas-sim -trace, SimConfig.Obs.TraceNDJSON).
-// It checks each line against the schema in internal/obs — known kind,
-// required fields present and correctly typed, timestamps non-decreasing,
-// p_admit in [0, 1] — and exits non-zero on the first violation.
+// Command tracecheck validates observability output produced by the
+// simulator: NDJSON lifecycle traces (aequitas-sim -trace,
+// SimConfig.Obs.TraceNDJSON) and wide-format metrics CSVs
+// (aequitas-sim -metrics, SimConfig.Obs.MetricsCSV).
+//
+// NDJSON lines are checked against the schema in internal/obs — known
+// kind, required fields present and correctly typed, timestamps
+// non-decreasing, p_admit in [0, 1]. Metrics CSVs are checked for a t_s
+// header with columns from the registered metric families, consistent
+// field counts, and monotonically non-decreasing time. It exits non-zero
+// on the first violation in each file, naming the line and field.
 //
 // Usage:
 //
-//	tracecheck trace.ndjson [more.ndjson ...]
+//	tracecheck [-metrics metrics.csv ...] [trace.ndjson ...]
 //
 // `make trace-check` runs a short instrumented simulation and feeds the
-// result through this command.
+// results through this command.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"aequitas/internal/obs"
 )
 
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.ndjson> [...]")
+	var metrics multiFlag
+	flag.Var(&metrics, "metrics", "metrics CSV to validate (repeatable)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-metrics metrics.csv ...] [trace.ndjson ...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if len(metrics) == 0 && flag.NArg() == 0 {
+		flag.Usage()
 		os.Exit(2)
 	}
+
 	failed := false
-	for _, path := range os.Args[1:] {
+	check := func(path, what string, validate func(f *os.File) (int, error)) {
 		f, err := os.Open(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			failed = true
-			continue
+			return
 		}
-		n, err := obs.ValidateNDJSON(f)
+		n, err := validate(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
 			failed = true
-			continue
+			return
 		}
-		fmt.Printf("%s: %d events ok\n", path, n)
+		fmt.Printf("%s: %d %s ok\n", path, n, what)
+	}
+	for _, path := range flag.Args() {
+		check(path, "events", func(f *os.File) (int, error) { return obs.ValidateNDJSON(f) })
+	}
+	for _, path := range metrics {
+		check(path, "rows", func(f *os.File) (int, error) { return obs.ValidateMetricsCSV(f, obs.MetricFamilies) })
 	}
 	if failed {
 		os.Exit(1)

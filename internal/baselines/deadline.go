@@ -141,10 +141,18 @@ func (f *DeadlineFabric) tick(s *sim.Simulator) {
 // the next tick would idle the link after each short flow).
 func (f *DeadlineFabric) kickAll(s *sim.Simulator) {
 	f.reallocate(s)
+	// Restart in flow-id order, not map order: pump schedules simulator
+	// events, and same-timestamp events fire in scheduling order, so map
+	// iteration here would make whole runs nondeterministic.
+	pending := make([]*dlFlow, 0, len(f.flows))
 	for _, fl := range f.flows {
 		if fl.rate > 0 && !fl.sending {
-			f.senders[fl.src].pump(s, fl)
+			pending = append(pending, fl)
 		}
+	}
+	sortFlows(pending, func(a, b *dlFlow) bool { return a.id < b.id })
+	for _, fl := range pending {
+		f.senders[fl.src].pump(s, fl)
 	}
 }
 

@@ -51,6 +51,13 @@ type Link struct {
 	// Trace, when set, receives per-hop queue-residency and drop events.
 	// nil disables tracing at zero cost on the transmit path.
 	Trace *obs.Tracer
+
+	// Attr, when set, receives tail-packet queue residencies for latency
+	// attribution; Audit, when set, checks every data packet's residency
+	// against its class bound. Both nil-disable at zero transmit-path
+	// cost, like Trace.
+	Attr  *obs.Attributor
+	Audit *obs.Auditor
 }
 
 // NewLink creates a link delivering packets to dst.
@@ -87,9 +94,18 @@ func (l *Link) kick(s *sim.Simulator) {
 	}
 	p := it.(*Packet)
 	l.busy = true
-	if l.Trace != nil && !p.Ack {
-		l.Trace.Hop(s.Now(), p.MsgID, l.Name, int(p.Class), p.Size,
-			s.Now()-p.EnqueuedAt, l.Sched.QueuedBytes())
+	if !p.Ack && (l.Trace != nil || l.Audit != nil || l.Attr != nil) {
+		resid := s.Now() - p.EnqueuedAt
+		if l.Trace != nil {
+			l.Trace.Hop(s.Now(), p.MsgID, l.Name, int(p.Class), p.Size,
+				resid, l.Sched.QueuedBytes())
+		}
+		if l.Audit != nil {
+			l.Audit.Hop(s.Now(), p.MsgID, l.Name, int(p.Class), resid)
+		}
+		if l.Attr != nil && p.Tail {
+			l.Attr.TailHop(s.Now(), p.Src, p.MsgID, resid)
+		}
 	}
 	tx := l.Rate.TxTime(p.Size)
 	l.Stats.BusyTime += tx

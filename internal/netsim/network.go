@@ -189,6 +189,17 @@ func (n *Network) SetTracer(tr *obs.Tracer) {
 	n.ForEachLink(func(l *Link) { l.Trace = tr })
 }
 
+// SetAttributor points every link's latency attributor at a (nil
+// detaches).
+func (n *Network) SetAttributor(a *obs.Attributor) {
+	n.ForEachLink(func(l *Link) { l.Attr = a })
+}
+
+// SetAuditor points every link's QoS-bound auditor at a (nil detaches).
+func (n *Network) SetAuditor(a *obs.Auditor) {
+	n.ForEachLink(func(l *Link) { l.Audit = a })
+}
+
 // MetricsSampler returns an obs.Sampler reporting, for every egress port,
 // the scheduler's queued bytes and packets and the cumulative drop count —
 // the per-port WFQ occupancy the paper's queueing analysis reasons about.

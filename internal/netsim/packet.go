@@ -50,6 +50,12 @@ type Packet struct {
 	// EnqueuedAt is stamped by Link.Send when the packet enters an egress
 	// scheduler, so per-hop queue residency can be traced on dequeue.
 	EnqueuedAt sim.Time
+
+	// Tail marks the packet carrying its message's last payload byte.
+	// The transport sets it only when latency attribution is enabled, so
+	// the attributor can charge this packet's per-hop queue residencies
+	// (NIC, then switches) to the message's RNL.
+	Tail bool
 }
 
 // SizeBytes implements wfq.Item.

@@ -1,0 +1,337 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+
+	"aequitas/internal/sim"
+)
+
+// AttrRecord is one completed RPC's latency decomposition. The component
+// durations partition the measured RNL: Wire is defined as the residual
+// (RNL minus every measured component), so the sum is exact by
+// construction and any accounting error shows up as a negative Wire.
+//
+// Systems that bypass the standard transport (Homa, D3, PDQ) produce no
+// enqueue/emit instrumentation; their records degrade gracefully with
+// Sender/Transport/Pacing/NIC/Switch zero and everything in Wire.
+type AttrRecord struct {
+	RPC      uint64
+	Src, Dst int32
+	Class    int16
+	IssueTS  sim.Time
+
+	// Admit is the admission-gate delay: issue to admission decision.
+	Admit sim.Duration
+	// Sender is host-side queueing before the first packet reaches the
+	// NIC egress queue (stream backlog behind earlier messages and
+	// window-limited waiting), excluding pacing stalls.
+	Sender sim.Duration
+	// Transport is first-enqueue to last-payload-packet emission:
+	// window/CC stalls and inter-packet serialisation spacing, excluding
+	// pacing stalls.
+	Transport sim.Duration
+	// Pacing is measured pacing-gate stall time (sub-packet windows).
+	Pacing sim.Duration
+	// NIC is the tail packet's host-uplink queue residency.
+	NIC sim.Duration
+	// Switch is the tail packet's switch-queue residency summed over the
+	// remaining hops (one for the star, up to three for leaf-spine).
+	Switch sim.Duration
+	// Wire is the residual: serialisation, propagation, and the ack path.
+	Wire sim.Duration
+
+	RNL sim.Duration
+}
+
+// pendingAttr accumulates one in-flight RPC's instrumentation.
+type pendingAttr struct {
+	issue, admit, firstEnq, tailEmit sim.Time
+	hasAdmit, hasEnq, hasTail        bool
+	paceBefore, paceAfter            sim.Duration
+	nic, sw                          sim.Duration
+	maxResid                         sim.Duration
+	tailHops                         int
+}
+
+// attrKey identifies one in-flight RPC. RPC ids are per-sender-stack
+// counters, so the source host is part of the key: two hosts' RPC #4 are
+// different RPCs.
+type attrKey struct {
+	src int
+	rpc uint64
+}
+
+// Attributor decomposes each completed RPC's RNL into its components
+// from lifecycle instrumentation in the RPC stack, the transport, and
+// the fabric. A nil *Attributor is the disabled attributor: every method
+// is a nil-checked no-op, the same zero-overhead contract as Tracer.
+type Attributor struct {
+	audit   *Auditor
+	pending map[attrKey]*pendingAttr
+	free    []*pendingAttr
+	recs    []AttrRecord
+}
+
+// NewAttributor returns an enabled attributor. audit, when non-nil,
+// receives each completed RPC's fabric queueing and RNL for bound
+// checking.
+func NewAttributor(audit *Auditor) *Attributor {
+	return &Attributor{audit: audit, pending: make(map[attrKey]*pendingAttr)}
+}
+
+// Enabled reports whether the attributor records decompositions.
+func (a *Attributor) Enabled() bool { return a != nil }
+
+func (a *Attributor) alloc() *pendingAttr {
+	if n := len(a.free); n > 0 {
+		p := a.free[n-1]
+		a.free = a.free[:n-1]
+		return p
+	}
+	return &pendingAttr{}
+}
+
+func (a *Attributor) recycle(k attrKey, p *pendingAttr) {
+	delete(a.pending, k)
+	*p = pendingAttr{}
+	a.free = append(a.free, p)
+}
+
+// Issue starts tracking an RPC at its issue time.
+func (a *Attributor) Issue(now sim.Time, src int, rpc uint64) {
+	if a == nil {
+		return
+	}
+	p := a.alloc()
+	p.issue = now
+	a.pending[attrKey{src, rpc}] = p
+}
+
+// Admit stamps the admission decision time.
+func (a *Attributor) Admit(now sim.Time, src int, rpc uint64) {
+	if a == nil {
+		return
+	}
+	if p := a.pending[attrKey{src, rpc}]; p != nil {
+		p.admit = now
+		p.hasAdmit = true
+	}
+}
+
+// Drop forgets an RPC rejected at admission.
+func (a *Attributor) Drop(src int, rpc uint64) {
+	if a == nil {
+		return
+	}
+	k := attrKey{src, rpc}
+	if p := a.pending[k]; p != nil {
+		a.recycle(k, p)
+	}
+}
+
+// FirstEnqueue stamps the first packet reaching the host NIC egress
+// queue. Later calls for the same RPC (retransmissions) are ignored.
+func (a *Attributor) FirstEnqueue(now sim.Time, src int, rpc uint64) {
+	if a == nil {
+		return
+	}
+	if p := a.pending[attrKey{src, rpc}]; p != nil && !p.hasEnq {
+		p.firstEnq = now
+		p.hasEnq = true
+	}
+}
+
+// TailEmit stamps the emission of the packet carrying the RPC's last
+// payload byte. A re-emission (go-back-N retransmit) overwrites the
+// stamp and resets the tail-hop residencies, so the decomposition
+// reflects the transmission that actually completed.
+func (a *Attributor) TailEmit(now sim.Time, src int, rpc uint64) {
+	if a == nil {
+		return
+	}
+	if p := a.pending[attrKey{src, rpc}]; p != nil {
+		p.tailEmit = now
+		p.hasTail = true
+		p.nic, p.sw, p.maxResid, p.tailHops = 0, 0, 0, 0
+	}
+}
+
+// PaceStall accounts d of pacing-gate stall time to the RPC. Stalls
+// before the first enqueue count toward the sender-side bucket, later
+// ones toward the transport bucket.
+func (a *Attributor) PaceStall(src int, rpc uint64, d sim.Duration) {
+	if a == nil || d <= 0 {
+		return
+	}
+	if p := a.pending[attrKey{src, rpc}]; p != nil {
+		if p.hasEnq {
+			p.paceAfter += d
+		} else {
+			p.paceBefore += d
+		}
+	}
+}
+
+// TailHop accounts one egress-queue residency of the RPC's tail packet.
+// The first hop after emission is the host uplink (NIC); the rest are
+// switch queues.
+func (a *Attributor) TailHop(now sim.Time, src int, rpc uint64, resid sim.Duration) {
+	if a == nil {
+		return
+	}
+	if p := a.pending[attrKey{src, rpc}]; p != nil {
+		if p.tailHops == 0 {
+			p.nic += resid
+		} else {
+			p.sw += resid
+		}
+		if resid > p.maxResid {
+			p.maxResid = resid
+		}
+		p.tailHops++
+	}
+}
+
+// Complete closes out an RPC: compute the decomposition, retain the
+// record (in completion order, so output is deterministic per run), and
+// notify the auditor.
+func (a *Attributor) Complete(now sim.Time, rpc uint64, src, dst, class int, rnl sim.Duration) {
+	if a == nil {
+		return
+	}
+	k := attrKey{src, rpc}
+	p := a.pending[k]
+	if p == nil {
+		return
+	}
+	rec := AttrRecord{
+		RPC: rpc, Src: int32(src), Dst: int32(dst), Class: int16(class),
+		IssueTS: p.issue, RNL: rnl,
+	}
+	base := p.issue
+	if p.hasAdmit {
+		rec.Admit = p.admit - p.issue
+		base = p.admit
+	}
+	if p.hasEnq {
+		rec.Sender = p.firstEnq - base - p.paceBefore
+		if p.hasTail {
+			rec.Transport = p.tailEmit - p.firstEnq - p.paceAfter
+		}
+	}
+	rec.Pacing = p.paceBefore + p.paceAfter
+	rec.NIC = p.nic
+	rec.Switch = p.sw
+	rec.Wire = rnl - rec.Admit - rec.Sender - rec.Transport - rec.Pacing - rec.NIC - rec.Switch
+	a.recs = append(a.recs, rec)
+	a.audit.RPCDone(now, rpc, class, p.nic+p.sw, p.maxResid, rnl)
+	a.recycle(k, p)
+}
+
+// Records returns the retained decompositions in completion order.
+func (a *Attributor) Records() []AttrRecord {
+	if a == nil {
+		return nil
+	}
+	return a.recs
+}
+
+// ClassAttribution is the mean per-RPC decomposition for one class, in
+// microseconds.
+type ClassAttribution struct {
+	Class int
+	N     int
+
+	AdmitUS, SenderUS, TransportUS, PacingUS, NICUS, SwitchUS, WireUS, RNLUS float64
+}
+
+// Summaries aggregates the retained records into per-class means,
+// sorted by class.
+func (a *Attributor) Summaries() []ClassAttribution {
+	if a == nil || len(a.recs) == 0 {
+		return nil
+	}
+	byClass := map[int]*ClassAttribution{}
+	for i := range a.recs {
+		r := &a.recs[i]
+		c := byClass[int(r.Class)]
+		if c == nil {
+			c = &ClassAttribution{Class: int(r.Class)}
+			byClass[int(r.Class)] = c
+		}
+		c.N++
+		c.AdmitUS += r.Admit.Micros()
+		c.SenderUS += r.Sender.Micros()
+		c.TransportUS += r.Transport.Micros()
+		c.PacingUS += r.Pacing.Micros()
+		c.NICUS += r.NIC.Micros()
+		c.SwitchUS += r.Switch.Micros()
+		c.WireUS += r.Wire.Micros()
+		c.RNLUS += r.RNL.Micros()
+	}
+	out := make([]ClassAttribution, 0, len(byClass))
+	for _, c := range byClass {
+		n := float64(c.N)
+		c.AdmitUS /= n
+		c.SenderUS /= n
+		c.TransportUS /= n
+		c.PacingUS /= n
+		c.NICUS /= n
+		c.SwitchUS /= n
+		c.WireUS /= n
+		c.RNLUS /= n
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// AttrCSVHeader is the per-RPC attribution CSV schema.
+const AttrCSVHeader = "rpc,src,dst,class,issue_s,admit_us,sender_us,transport_us,pacing_us,nic_us,switch_us,wire_us,rnl_us"
+
+// WriteCSV writes one wide CSV row per retained record, in completion
+// order. Durations are microseconds in shortest round-trip form, so the
+// output is byte-identical for a fixed run regardless of what else runs
+// in the process.
+func (a *Attributor) WriteCSV(w io.Writer) error {
+	if a == nil {
+		return nil
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(AttrCSVHeader + "\n"); err != nil {
+		return err
+	}
+	var buf []byte
+	us := func(b []byte, d sim.Duration) []byte {
+		b = append(b, ',')
+		return strconv.AppendFloat(b, d.Micros(), 'g', -1, 64)
+	}
+	for i := range a.recs {
+		r := &a.recs[i]
+		buf = strconv.AppendUint(buf[:0], r.RPC, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.Src), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.Dst), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.Class), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, r.IssueTS.Seconds(), 'f', 9, 64)
+		buf = us(buf, r.Admit)
+		buf = us(buf, r.Sender)
+		buf = us(buf, r.Transport)
+		buf = us(buf, r.Pacing)
+		buf = us(buf, r.NIC)
+		buf = us(buf, r.Switch)
+		buf = us(buf, r.Wire)
+		buf = us(buf, r.RNL)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

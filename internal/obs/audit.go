@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"aequitas/internal/sim"
+	"aequitas/internal/stats"
+)
+
+// AuditConfig configures the online QoS-bound auditor.
+type AuditConfig struct {
+	// BoundUS is the per-class worst-case queueing bound in microseconds
+	// (index = QoS class, highest first). Classes beyond the slice are
+	// observed but never flagged. The bounds come from the network-calculus
+	// model: normalized worst-case delay × burst period.
+	BoundUS []float64
+	// SlackUS is headroom added to every bound before flagging, absorbing
+	// the packet-vs-fluid gap between the discrete simulator and the fluid
+	// model (the simulator sits a few percent of a period above theory).
+	SlackUS float64
+	// MaxViolations caps the retained violation list (default 64); the
+	// total count keeps counting past the cap.
+	MaxViolations int
+	// Levels, when positive, clamps audited classes to [0, Levels): the
+	// fabric schedulers serve any out-of-range class from the lowest
+	// queue, so its queueing is governed by the lowest class's bound and
+	// must be audited there. Zero disables clamping (classes beyond
+	// BoundUS are observed but never flagged).
+	Levels int
+}
+
+// AuditViolation is one recorded bound violation with the offending RPC.
+type AuditViolation struct {
+	RPC   uint64
+	Class int
+	// Kind is "hop" (one egress-queue residency over bound) or "rpc"
+	// (an RPC's total fabric queueing over bound).
+	Kind string
+	// Link names the offending egress port for hop violations.
+	Link string
+	// TimeUS is when the violation was observed, in simulated µs.
+	TimeUS float64
+	// ObservedUS is the offending value; BoundUS the raw bound it was
+	// checked against (slack excluded).
+	ObservedUS, BoundUS float64
+}
+
+// classAudit accumulates one class's observations.
+type classAudit struct {
+	rnl        stats.Sample // completed-RPC RNL, µs
+	fabric     stats.Sample // completed-RPC total fabric queueing, µs
+	hops       int64
+	maxHopUS   float64
+	violations int
+}
+
+// Auditor continuously checks observed queueing against the per-class
+// worst-case bounds of the network-calculus model, turning the paper's
+// Fig-10 theory-vs-simulation validation into a runtime invariant. A nil
+// *Auditor is the disabled auditor: every method is a nil-checked no-op.
+type Auditor struct {
+	cfg     AuditConfig
+	classes []*classAudit
+	viol    []AuditViolation
+	total   int
+}
+
+// NewAuditor returns an enabled auditor.
+func NewAuditor(cfg AuditConfig) *Auditor {
+	if cfg.MaxViolations <= 0 {
+		cfg.MaxViolations = 64
+	}
+	return &Auditor{cfg: cfg}
+}
+
+// Enabled reports whether the auditor checks bounds.
+func (a *Auditor) Enabled() bool { return a != nil }
+
+// clamp maps an audited class onto the scheduler-effective class: the
+// fabric serves out-of-range classes from the lowest queue.
+func (a *Auditor) clamp(cl int) int {
+	if a.cfg.Levels > 0 && cl >= a.cfg.Levels {
+		cl = a.cfg.Levels - 1
+	}
+	return cl
+}
+
+func (a *Auditor) class(cl int) *classAudit {
+	if cl < 0 {
+		cl = 0
+	}
+	for cl >= len(a.classes) {
+		a.classes = append(a.classes, &classAudit{})
+	}
+	return a.classes[cl]
+}
+
+func (a *Auditor) bound(cl int) (float64, bool) {
+	if cl < 0 || cl >= len(a.cfg.BoundUS) {
+		return 0, false
+	}
+	return a.cfg.BoundUS[cl], true
+}
+
+func (a *Auditor) record(v AuditViolation) {
+	a.total++
+	if len(a.viol) < a.cfg.MaxViolations {
+		a.viol = append(a.viol, v)
+	}
+}
+
+// Hop checks one data packet's egress-queue residency against the
+// packet's class bound. Called from the link dequeue path, so it does
+// only comparisons; quantile state is per-RPC, not per-hop.
+func (a *Auditor) Hop(now sim.Time, rpc uint64, link string, class int, resid sim.Duration) {
+	if a == nil {
+		return
+	}
+	class = a.clamp(class)
+	c := a.class(class)
+	c.hops++
+	us := resid.Micros()
+	if us > c.maxHopUS {
+		c.maxHopUS = us
+	}
+	if b, ok := a.bound(class); ok && us > b+a.cfg.SlackUS {
+		c.violations++
+		a.record(AuditViolation{RPC: rpc, Class: class, Kind: "hop", Link: link,
+			TimeUS: now.Micros(), ObservedUS: us, BoundUS: b})
+	}
+}
+
+// RPCDone feeds one completed RPC's per-class tail statistics (total
+// fabric queueing — the sum of its tail packet's queue residencies — and
+// RNL) and checks the RPC's worst single queue residency against its
+// class bound. The calculus bound is per queue, so on multi-hop paths the
+// sum is compared hop by hop (see Hop), never in aggregate.
+func (a *Auditor) RPCDone(now sim.Time, rpc uint64, class int, fabric, maxHop, rnl sim.Duration) {
+	if a == nil {
+		return
+	}
+	class = a.clamp(class)
+	c := a.class(class)
+	c.rnl.Add(rnl.Micros())
+	c.fabric.Add(fabric.Micros())
+	us := maxHop.Micros()
+	if b, ok := a.bound(class); ok && us > b+a.cfg.SlackUS {
+		c.violations++
+		a.record(AuditViolation{RPC: rpc, Class: class, Kind: "rpc",
+			TimeUS: now.Micros(), ObservedUS: us, BoundUS: b})
+	}
+}
+
+// AuditClassReport is one class's audit summary.
+type AuditClassReport struct {
+	Class int
+	// N is the number of audited (completed) RPCs.
+	N int
+	// RNL tail percentiles in µs over audited RPCs.
+	RNLP99US, RNLP999US, RNLMaxUS float64
+	// Per-RPC total fabric queueing tails in µs.
+	QueueP99US, QueueMaxUS float64
+	// MaxHopUS is the largest single queue residency seen; Hops the number
+	// of audited dequeues.
+	MaxHopUS float64
+	Hops     int64
+	// BoundUS is the class's raw bound; Bounded is false when the class
+	// had no configured bound (observed only).
+	BoundUS float64
+	Bounded bool
+	// Violations counts this class's bound violations (hop + rpc).
+	Violations int
+}
+
+// AuditReport is the auditor's end-of-run summary.
+type AuditReport struct {
+	SlackUS float64
+	Classes []AuditClassReport
+	// Violations retains the first MaxViolations violations in
+	// observation order; TotalViolations keeps the full count.
+	Violations      []AuditViolation
+	TotalViolations int
+}
+
+// Ok reports whether no bound was violated.
+func (r *AuditReport) Ok() bool { return r != nil && r.TotalViolations == 0 }
+
+// Report summarises the audit. Classes appear in class order; classes
+// that saw no traffic are omitted.
+func (a *Auditor) Report() *AuditReport {
+	if a == nil {
+		return nil
+	}
+	rep := &AuditReport{
+		SlackUS:         a.cfg.SlackUS,
+		Violations:      a.viol,
+		TotalViolations: a.total,
+	}
+	for cl, c := range a.classes {
+		if c.hops == 0 && c.rnl.N() == 0 {
+			continue
+		}
+		cr := AuditClassReport{
+			Class:      cl,
+			N:          c.rnl.N(),
+			MaxHopUS:   c.maxHopUS,
+			Hops:       c.hops,
+			Violations: c.violations,
+		}
+		cr.BoundUS, cr.Bounded = a.bound(cl)
+		if c.rnl.N() > 0 {
+			cr.RNLP99US = c.rnl.Quantile(0.99)
+			cr.RNLP999US = c.rnl.Quantile(0.999)
+			cr.RNLMaxUS = c.rnl.Max()
+			cr.QueueP99US = c.fabric.Quantile(0.99)
+			cr.QueueMaxUS = c.fabric.Max()
+		}
+		rep.Classes = append(rep.Classes, cr)
+	}
+	return rep
+}

@@ -2,9 +2,11 @@ package obs
 
 import (
 	"bufio"
+	"fmt"
 	"io"
 	"math"
 	"strconv"
+	"strings"
 
 	"aequitas/internal/sim"
 )
@@ -94,6 +96,93 @@ func (r *Registry) Sample(now sim.Time) {
 	}
 	r.times = append(r.times, now.Seconds())
 	r.rows = append(r.rows, row)
+}
+
+// MetricFamilies lists the metric-name prefixes emitted by the built-in
+// samplers (per-port queues and drops, admission state, transport
+// connection state). ValidateMetricsCSV callers use it to reject columns
+// no registered sampler could have produced.
+var MetricFamilies = []string{"q.", "drop.", "padmit.", "incwin_us.", "cwnd.", "srtt_us."}
+
+// ValidateMetricsCSV checks a wide-format metrics CSV as written by
+// Registry.WriteCSV: the header starts with t_s followed by unique,
+// non-empty column names (each matching one of the given family prefixes
+// when families is non-nil), every row has the header's field count,
+// t_s is a finite, non-decreasing float, and every other cell is empty or
+// a finite float. It returns the number of data rows. Errors name the
+// physical line number and the offending column.
+func ValidateMetricsCSV(r io.Reader, families []string) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return 0, err
+		}
+		return 0, fmt.Errorf("obs: metrics csv: empty (no header)")
+	}
+	header := strings.Split(sc.Text(), ",")
+	if header[0] != "t_s" {
+		return 0, fmt.Errorf("obs: metrics csv: line 1: first column must be \"t_s\", got %q", header[0])
+	}
+	seen := make(map[string]bool, len(header))
+	for i, name := range header[1:] {
+		col := i + 2 // 1-based, after t_s
+		if name == "" {
+			return 0, fmt.Errorf("obs: metrics csv: line 1: column %d: empty name", col)
+		}
+		if seen[name] {
+			return 0, fmt.Errorf("obs: metrics csv: line 1: column %d: duplicate name %q", col, name)
+		}
+		seen[name] = true
+		if families != nil && !inFamily(name, families) {
+			return 0, fmt.Errorf("obs: metrics csv: line 1: column %d: name %q matches no known metric family", col, name)
+		}
+	}
+	rows := 0
+	lineNo := 1
+	lastT := math.Inf(-1)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != len(header) {
+			return rows, fmt.Errorf("obs: metrics csv: line %d: %d fields, header has %d", lineNo, len(fields), len(header))
+		}
+		t, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil || math.IsNaN(t) || math.IsInf(t, 0) {
+			return rows, fmt.Errorf("obs: metrics csv: line %d: column \"t_s\": not a finite float: %q", lineNo, fields[0])
+		}
+		if t < lastT {
+			return rows, fmt.Errorf("obs: metrics csv: line %d: column \"t_s\": %g before previous %g", lineNo, t, lastT)
+		}
+		lastT = t
+		for i, cell := range fields[1:] {
+			if cell == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+				return rows, fmt.Errorf("obs: metrics csv: line %d: column %q: not a finite float: %q", lineNo, header[i+1], cell)
+			}
+		}
+		rows++
+	}
+	if err := sc.Err(); err != nil {
+		return rows, err
+	}
+	return rows, nil
+}
+
+func inFamily(name string, families []string) bool {
+	for _, f := range families {
+		if strings.HasPrefix(name, f) {
+			return true
+		}
+	}
+	return false
 }
 
 // WriteCSV writes the sampled series as wide-format CSV: a t_s time

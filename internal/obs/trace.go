@@ -273,13 +273,17 @@ func SchemaFields(kind string) []string { return schemaFields[kind] }
 // line is a JSON object carrying ts_us/kind/rpc plus its kind's required
 // fields, timestamps are non-negative and non-decreasing, admit events
 // carry a probability in [0, 1] and a known decision, and hop residencies
-// are non-negative. It returns the number of valid events.
+// are non-negative. It returns the number of valid events. Errors name
+// the offending field and the physical line number (blank lines count, so
+// the number matches an editor's view of the file).
 func ValidateNDJSON(r io.Reader) (int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	n := 0
+	lineNo := 0
 	lastTS := -1.0
 	for sc.Scan() {
+		lineNo++
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
@@ -287,60 +291,60 @@ func ValidateNDJSON(r io.Reader) (int, error) {
 		n++
 		var m map[string]any
 		if err := json.Unmarshal(line, &m); err != nil {
-			return n, fmt.Errorf("obs: line %d: invalid JSON: %w", n, err)
+			return n, fmt.Errorf("obs: line %d: invalid JSON: %w", lineNo, err)
 		}
 		ts, ok := m["ts_us"].(float64)
 		if !ok || ts < 0 {
-			return n, fmt.Errorf("obs: line %d: missing or negative ts_us", n)
+			return n, fmt.Errorf("obs: line %d: field \"ts_us\" missing or negative", lineNo)
 		}
 		if ts < lastTS {
-			return n, fmt.Errorf("obs: line %d: ts_us %.3f before previous %.3f", n, ts, lastTS)
+			return n, fmt.Errorf("obs: line %d: field \"ts_us\" %.3f before previous %.3f", lineNo, ts, lastTS)
 		}
 		lastTS = ts
 		kind, ok := m["kind"].(string)
 		if !ok {
-			return n, fmt.Errorf("obs: line %d: missing kind", n)
+			return n, fmt.Errorf("obs: line %d: field \"kind\" missing", lineNo)
 		}
 		req, ok := schemaFields[kind]
 		if !ok {
-			return n, fmt.Errorf("obs: line %d: unknown kind %q", n, kind)
+			return n, fmt.Errorf("obs: line %d: field \"kind\": unknown kind %q", lineNo, kind)
 		}
 		if _, ok := m["rpc"].(float64); !ok {
-			return n, fmt.Errorf("obs: line %d: missing rpc", n)
+			return n, fmt.Errorf("obs: line %d: field \"rpc\" missing", lineNo)
 		}
 		for _, f := range req {
 			v, ok := m[f]
 			if !ok {
-				return n, fmt.Errorf("obs: line %d: %s event missing %q", n, kind, f)
+				return n, fmt.Errorf("obs: line %d: field %q missing from %s event", lineNo, f, kind)
 			}
 			switch f {
 			case "link", "decision":
 				if _, ok := v.(string); !ok {
-					return n, fmt.Errorf("obs: line %d: %q must be a string", n, f)
+					return n, fmt.Errorf("obs: line %d: field %q must be a string", lineNo, f)
 				}
 			default:
 				if _, ok := v.(float64); !ok {
-					return n, fmt.Errorf("obs: line %d: %q must be a number", n, f)
+					return n, fmt.Errorf("obs: line %d: field %q must be a number", lineNo, f)
 				}
 			}
 		}
 		switch kind {
 		case "admit":
 			if p := m["p_admit"].(float64); p < 0 || p > 1 {
-				return n, fmt.Errorf("obs: line %d: p_admit %v out of [0, 1]", n, m["p_admit"])
+				return n, fmt.Errorf("obs: line %d: field \"p_admit\" %v out of [0, 1]", lineNo, m["p_admit"])
 			}
 			switch m["decision"].(string) {
 			case "admit", "downgrade", "drop":
 			default:
-				return n, fmt.Errorf("obs: line %d: unknown decision %q", n, m["decision"])
+				return n, fmt.Errorf("obs: line %d: field \"decision\": unknown decision %q", lineNo, m["decision"])
 			}
 		case "hop":
 			if m["resid_us"].(float64) < 0 {
-				return n, fmt.Errorf("obs: line %d: negative resid_us", n)
+				return n, fmt.Errorf("obs: line %d: field \"resid_us\" negative", lineNo)
 			}
 		case "complete":
 			if m["rnl_us"].(float64) <= 0 {
-				return n, fmt.Errorf("obs: line %d: non-positive rnl_us", n)
+				return n, fmt.Errorf("obs: line %d: field \"rnl_us\" non-positive", lineNo)
 			}
 		}
 	}

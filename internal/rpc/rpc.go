@@ -125,6 +125,10 @@ type Stack struct {
 	Trace        *obs.Tracer
 	Src          int
 	RecordPAdmit bool
+	// Attr, when set, receives issue/admit/drop/complete stamps for
+	// latency attribution. Its methods are nil-receiver no-ops, so the
+	// calls below stay free when attribution is off.
+	Attr *obs.Attributor
 
 	nextID uint64
 	// outstanding counts incomplete RPCs per (destination host, class),
@@ -197,6 +201,7 @@ func (st *Stack) Issue(s *sim.Simulator, r *RPC) {
 	if st.Trace != nil {
 		st.Trace.Issue(s.Now(), r.ID, st.Src, r.Dst, int(r.Priority), int(r.QoSRequested), r.Bytes)
 	}
+	st.Attr.Issue(s.Now(), st.Src, r.ID)
 	d := st.admitter.Admit(s, r.Dst, r.QoSRequested, r.SizeMTUs)
 	st.Stats.Issued++
 	if st.Trace != nil || st.RecordPAdmit {
@@ -215,8 +220,10 @@ func (st *Stack) Issue(s *sim.Simulator, r *RPC) {
 		}
 		st.Trace.Admit(s.Now(), r.ID, st.Src, r.Dst, int(d.Class), dec, r.PAdmit)
 	}
+	st.Attr.Admit(s.Now(), st.Src, r.ID)
 	if d.Drop {
 		st.Stats.Dropped++
+		st.Attr.Drop(st.Src, r.ID)
 		return
 	}
 	r.QoSRun = d.Class
@@ -241,6 +248,7 @@ func (st *Stack) Issue(s *sim.Simulator, r *RPC) {
 			if st.Trace != nil {
 				st.Trace.Complete(s.Now(), r.ID, st.Src, r.Dst, int(r.QoSRun), r.Bytes, r.RNL)
 			}
+			st.Attr.Complete(s.Now(), r.ID, st.Src, r.Dst, int(r.QoSRun), r.RNL)
 			if st.OnComplete != nil {
 				st.OnComplete(s, r)
 			}

@@ -46,6 +46,11 @@ type Env struct {
 	// NewEndpoint.
 	Tracer *obs.Tracer
 
+	// Attr, when non-nil, is the run's latency attributor, threaded into
+	// every endpoint built through NewEndpoint (systems that bypass the
+	// standard transport contribute no transport-stage attribution).
+	Attr *obs.Attributor
+
 	// Endpoints records the transport endpoints created via NewEndpoint,
 	// indexed by host, so the run can register per-connection metrics
 	// samplers. Entries stay nil for hosts whose system bypasses the
@@ -58,6 +63,7 @@ type Env struct {
 func (e *Env) NewEndpoint(i int, tc transport.Config) *transport.Endpoint {
 	tc.RTOMin = e.RTOMin
 	tc.Trace = e.Tracer
+	tc.Attr = e.Attr
 	ep := transport.NewEndpoint(e.Net, e.Net.Host(i), tc)
 	e.Endpoints[i] = ep
 	return ep

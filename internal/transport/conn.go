@@ -43,6 +43,11 @@ type Config struct {
 	InitialRTT sim.Duration
 	// Trace, when set, receives first-packet enqueue lifecycle events.
 	Trace *obs.Tracer
+	// Attr, when set, receives latency-attribution instrumentation:
+	// first-enqueue and tail-emission stamps, pacing stall durations, and
+	// tail-packet marking for per-hop residency accounting. nil disables
+	// it at zero cost on the send path.
+	Attr *obs.Attributor
 }
 
 func (c *Config) applyDefaults() {
@@ -214,6 +219,11 @@ type conn struct {
 	rtoTimer    sim.Handle
 	paceTimer   sim.Handle
 	nextAllowed sim.Time // pacing gate for sub-packet windows
+
+	// stalled/stallFrom track an open pacing-gate stall for latency
+	// attribution; maintained only when cfg.Attr is set.
+	stalled   bool
+	stallFrom sim.Time
 }
 
 // windowBytes converts the CC window to bytes.
@@ -239,6 +249,10 @@ func (c *conn) trySend(s *sim.Simulator) {
 		if inflight == 0 && wnd < int64(netsim.MaxPayload) {
 			// Sub-packet window: one packet at a time, paced.
 			if s.Now() < c.nextAllowed {
+				if c.ep.cfg.Attr != nil && !c.stalled {
+					c.stalled = true
+					c.stallFrom = s.Now()
+				}
 				c.schedulePace(s)
 				return
 			}
@@ -277,6 +291,20 @@ func (c *conn) emit(s *sim.Simulator) {
 		if c.ep.cfg.Trace != nil && !m.enqTraced {
 			m.enqTraced = true
 			c.ep.cfg.Trace.Enqueue(s.Now(), m.ID, c.ep.host.ID, c.peer, int(c.class), m.Bytes)
+		}
+		if at := c.ep.cfg.Attr; at != nil {
+			// Close an open pacing stall before the first-enqueue stamp, so
+			// a stall ending at the message's first packet lands in the
+			// sender-side pacing bucket.
+			if c.stalled {
+				c.stalled = false
+				at.PaceStall(c.ep.host.ID, m.ID, s.Now()-c.stallFrom)
+			}
+			at.FirstEnqueue(s.Now(), c.ep.host.ID, m.ID)
+			if c.nextSend+payload == m.end {
+				p.Tail = true
+				at.TailEmit(s.Now(), c.ep.host.ID, m.ID)
+			}
 		}
 	}
 	c.nextSend += payload

@@ -34,11 +34,48 @@ type ObsConfig struct {
 	// transport connections) to these host ids; nil samples every host.
 	// Per-port queue metrics are always network-wide.
 	MetricsHosts []int
+
+	// Attribution enables per-RPC latency decomposition: every completed
+	// RPC's RNL is split into admission, sender-host queueing, transport
+	// (window/CC), pacing stalls, NIC and switch queue residency, and a
+	// wire residual. Per-class mean breakdowns land in
+	// Results.Attribution.
+	Attribution bool
+	// AttributionCSV, when set, additionally receives one wide CSV row
+	// per completed RPC's decomposition (implies Attribution). The stream
+	// is deterministic for a fixed SimConfig regardless of sweep
+	// parallelism.
+	AttributionCSV io.Writer
+	// Audit enables the online QoS-bound auditor (implies Attribution):
+	// observed per-hop queue residencies and per-RPC fabric queueing are
+	// checked against the per-class worst-case bounds of the
+	// network-calculus model, and violations are recorded with the
+	// offending RPC ids in Results.Audit.
+	Audit bool
+	// AuditBoundsUS overrides the per-class queueing bounds in
+	// microseconds (highest class first). nil derives them from the first
+	// Traffic entry's mix and load via QueueingBoundsUS, which assumes
+	// the per-port load matches that entry's AvgLoad/BurstLoad (true for
+	// the uniform all-to-all pattern); set explicit bounds for other
+	// patterns.
+	AuditBoundsUS []float64
+	// AuditSlackUS is headroom added to every bound before flagging,
+	// absorbing the packet-vs-fluid gap between the discrete simulator
+	// and the fluid model (EXPERIMENTS.md's Fig-10 table puts it at
+	// 0.03-0.04 of a burst period). Default: 10% of BurstPeriod.
+	AuditSlackUS float64
+	// AuditMaxViolations caps the retained violation list (default 64).
+	AuditMaxViolations int
+}
+
+// attributionOn reports whether the run needs an attributor.
+func (o *ObsConfig) attributionOn() bool {
+	return o.Attribution || o.AttributionCSV != nil || o.Audit
 }
 
 // enabled reports whether any observability output is requested.
 func (o *ObsConfig) enabled() bool {
-	return o.TraceNDJSON != nil || o.TraceChrome != nil || o.MetricsCSV != nil
+	return o.TraceNDJSON != nil || o.TraceChrome != nil || o.MetricsCSV != nil || o.attributionOn()
 }
 
 // tracer returns the run's tracer, or nil when tracing is off.

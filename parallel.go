@@ -20,6 +20,22 @@ type ParallelOptions struct {
 	// reproducible seeds that depend only on the entry index — never on
 	// worker count or completion order.
 	BaseSeed int64
+	// OnProgress, when set, is called once per finished configuration
+	// (successful or not) with the sweep's live completion count. Calls
+	// are serialized, so the callback may write to a shared sink without
+	// locking, but completion order — and therefore the Index sequence —
+	// depends on scheduling; only Done/Total are monotonic.
+	OnProgress func(Progress)
+}
+
+// Progress is one RunMany progress notification.
+type Progress struct {
+	// Index is the configuration that just finished; Err is its error,
+	// nil on success.
+	Index int
+	Err   error
+	// Done configurations have finished so far, out of Total.
+	Done, Total int
 }
 
 func (o ParallelOptions) workers(n int) int {
@@ -64,7 +80,11 @@ func RunMany(cfgs []SimConfig, opts ParallelOptions) ([]*Results, error) {
 	}
 	errs := make([]error, n)
 	next := int64(-1)
-	var wg sync.WaitGroup
+	var (
+		wg         sync.WaitGroup
+		progressMu sync.Mutex
+		done       int
+	)
 	for w := opts.workers(n); w > 0; w-- {
 		worker := w - 1
 		wg.Add(1)
@@ -83,6 +103,12 @@ func RunMany(cfgs []SimConfig, opts ParallelOptions) ([]*Results, error) {
 						cfg.Seed = DeriveSeed(opts.BaseSeed, i)
 					}
 					results[i], errs[i] = Run(cfg)
+					if opts.OnProgress != nil {
+						progressMu.Lock()
+						done++
+						opts.OnProgress(Progress{Index: i, Err: errs[i], Done: done, Total: n})
+						progressMu.Unlock()
+					}
 				}
 			})
 		}()

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"aequitas/internal/obs"
 	"aequitas/internal/stats"
 )
 
@@ -105,6 +106,142 @@ func summarizeUS(s *stats.Sample) LatencySummary {
 	}
 }
 
+// Attribution is the per-class mean latency decomposition of completed
+// RPCs, in microseconds. The components sum to RNLUS by construction
+// (WireUS is the residual: serialization, propagation, and the ack
+// path). Populated when ObsConfig enables attribution.
+type Attribution struct {
+	// N is the number of completed RPCs attributed on this class.
+	N int
+	// AdmitUS is time from RPC issue to the admission verdict.
+	AdmitUS float64
+	// SenderUS is host-side queueing between admission and the first
+	// byte entering the NIC egress queue, excluding pacing stalls.
+	SenderUS float64
+	// TransportUS is the window/congestion-control span from first
+	// enqueue to the tail byte's enqueue, excluding pacing stalls.
+	TransportUS float64
+	// PacingUS is time the message's head-of-line bytes sat blocked on
+	// the transport's sub-packet pacing gate.
+	PacingUS float64
+	// NICUS is the tail packet's residency in the host NIC egress queue.
+	NICUS float64
+	// SwitchUS is the tail packet's summed residency in switch queues.
+	SwitchUS float64
+	// WireUS is the residual: serialization, propagation, and ack-path
+	// time not captured by the other components.
+	WireUS float64
+	// RNLUS is the mean measured RPC network latency.
+	RNLUS float64
+}
+
+// AuditViolation is one QoS-bound breach recorded by the online auditor:
+// either a single packet's switch-queue residency ("hop") or a completed
+// RPC's total fabric queueing ("rpc") exceeding the class bound plus
+// slack.
+type AuditViolation struct {
+	RPC   uint64
+	Class Class
+	// Kind is "hop" or "rpc".
+	Kind string
+	// Link names the offending egress port for hop violations.
+	Link                        string
+	TimeUS, ObservedUS, BoundUS float64
+}
+
+// AuditClass is the auditor's per-class summary.
+type AuditClass struct {
+	Class Class
+	// N counts completed RPCs audited on this class.
+	N int
+	// RNL tails of audited RPCs, in microseconds.
+	RNLP99US, RNLP999US, RNLMaxUS float64
+	// Per-RPC total fabric queueing tails.
+	QueueP99US, QueueMaxUS float64
+	// MaxHopUS is the worst single-packet queue residency observed.
+	MaxHopUS float64
+	// Hops counts audited packet dequeues.
+	Hops int64
+	// BoundUS is the class's queueing bound; Bounded reports whether one
+	// was configured (classes beyond the bound list are observed but not
+	// checked).
+	BoundUS float64
+	Bounded bool
+	// Violations counts breaches on this class (hop and rpc kinds).
+	Violations int
+}
+
+// AuditReport is the online QoS-bound auditor's verdict for one run.
+type AuditReport struct {
+	// SlackUS is the headroom that was added to every bound.
+	SlackUS float64
+	Classes []AuditClass
+	// Violations retains the first ObsConfig.AuditMaxViolations breaches;
+	// TotalViolations counts all of them.
+	Violations      []AuditViolation
+	TotalViolations int
+}
+
+// Ok reports whether the auditor ran and observed no bound violations.
+func (r *AuditReport) Ok() bool { return r != nil && r.TotalViolations == 0 }
+
+// attributionSummary converts the attributor's per-class summaries to the
+// root result type.
+func attributionSummary(a *obs.Attributor) map[Class]Attribution {
+	out := make(map[Class]Attribution)
+	for _, s := range a.Summaries() {
+		out[Class(s.Class)] = Attribution{
+			N:           s.N,
+			AdmitUS:     s.AdmitUS,
+			SenderUS:    s.SenderUS,
+			TransportUS: s.TransportUS,
+			PacingUS:    s.PacingUS,
+			NICUS:       s.NICUS,
+			SwitchUS:    s.SwitchUS,
+			WireUS:      s.WireUS,
+			RNLUS:       s.RNLUS,
+		}
+	}
+	return out
+}
+
+// auditReport converts the auditor's report to the root result type.
+func auditReport(a *obs.Auditor) *AuditReport {
+	rep := a.Report()
+	out := &AuditReport{
+		SlackUS:         rep.SlackUS,
+		TotalViolations: rep.TotalViolations,
+	}
+	for _, c := range rep.Classes {
+		out.Classes = append(out.Classes, AuditClass{
+			Class:      Class(c.Class),
+			N:          c.N,
+			RNLP99US:   c.RNLP99US,
+			RNLP999US:  c.RNLP999US,
+			RNLMaxUS:   c.RNLMaxUS,
+			QueueP99US: c.QueueP99US,
+			QueueMaxUS: c.QueueMaxUS,
+			MaxHopUS:   c.MaxHopUS,
+			Hops:       c.Hops,
+			BoundUS:    c.BoundUS,
+			Bounded:    c.Bounded,
+			Violations: c.Violations,
+		})
+	}
+	for _, v := range rep.Violations {
+		out.Violations = append(out.Violations, AuditViolation{
+			RPC:        v.RPC,
+			Class:      Class(v.Class),
+			Kind:       v.Kind,
+			Link:       v.Link,
+			TimeUS:     v.TimeUS,
+			ObservedUS: v.ObservedUS,
+			BoundUS:    v.BoundUS,
+		})
+	}
+	return out
+}
+
 // ProbeResult is the recorded series for one (src, dst, class) channel.
 type ProbeResult struct {
 	Src, Dst int
@@ -160,6 +297,13 @@ type Results struct {
 	// AvgDownlinkUtilization is the mean busy fraction of switch egress
 	// ports during the measurement window.
 	AvgDownlinkUtilization float64
+
+	// Attribution is the per-class mean latency decomposition; nil unless
+	// ObsConfig enables attribution.
+	Attribution map[Class]Attribution
+	// Audit is the QoS-bound auditor's verdict; nil unless ObsConfig.Audit
+	// is set.
+	Audit *AuditReport
 
 	Probes []ProbeResult
 

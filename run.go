@@ -26,6 +26,8 @@ type runState struct {
 	net      *netsim.Network
 	tracer   *obs.Tracer
 	registry *obs.Registry
+	attr     *obs.Attributor
+	audit    *obs.Auditor
 
 	col         *collector
 	controllers []*core.Controller
@@ -59,6 +61,12 @@ func Run(cfg SimConfig) (*Results, error) {
 	}
 	res := st.col.results(st.cfg, st.net)
 	res.Terminated = st.system.Terminated()
+	if st.attr != nil {
+		res.Attribution = attributionSummary(st.attr)
+	}
+	if st.audit != nil {
+		res.Audit = auditReport(st.audit)
+	}
 	return res, nil
 }
 
@@ -96,6 +104,33 @@ func buildFabric(st *runState) error {
 	if st.tracer != nil {
 		net.SetTracer(st.tracer)
 	}
+
+	// Auditor first (the attributor feeds it per-RPC fabric queueing),
+	// then the attributor, both attached to every link.
+	if cfg.Obs.Audit {
+		bounds := cfg.Obs.AuditBoundsUS
+		if bounds == nil {
+			bounds, err = cfg.deriveAuditBounds()
+			if err != nil {
+				return fmt.Errorf("aequitas: audit bounds: %w", err)
+			}
+		}
+		slack := cfg.Obs.AuditSlackUS
+		if slack == 0 {
+			slack = float64(cfg.BurstPeriod) / float64(time.Microsecond) * 0.1
+		}
+		st.audit = obs.NewAuditor(obs.AuditConfig{
+			BoundUS:       bounds,
+			SlackUS:       slack,
+			MaxViolations: cfg.Obs.AuditMaxViolations,
+			Levels:        len(cfg.QoSWeights),
+		})
+		net.SetAuditor(st.audit)
+	}
+	if cfg.Obs.attributionOn() {
+		st.attr = obs.NewAttributor(st.audit)
+		net.SetAttributor(st.attr)
+	}
 	return nil
 }
 
@@ -114,6 +149,7 @@ func buildHosts(st *runState) error {
 		FixedWindow: cfg.FixedWindow,
 		Core:        cfg.coreConfig(),
 		Tracer:      st.tracer,
+		Attr:        st.attr,
 		Endpoints:   make([]*transport.Endpoint, cfg.Hosts),
 	}
 	system, err := st.builder.Build(st.env)
@@ -134,6 +170,7 @@ func buildHosts(st *runState) error {
 		}
 		stack := rpc.NewStack(hs.Sender, &countingAdmitter{inner: adm, col: st.col})
 		stack.Trace = st.tracer
+		stack.Attr = st.attr
 		stack.Src = i
 		stack.RecordPAdmit = cfg.TraceWriter != nil
 		src := i
@@ -259,6 +296,11 @@ func runAndDrain(st *runState) error {
 	if st.registry != nil {
 		if err := st.registry.WriteCSV(cfg.Obs.MetricsCSV); err != nil {
 			return fmt.Errorf("aequitas: metrics csv: %w", err)
+		}
+	}
+	if w := cfg.Obs.AttributionCSV; w != nil {
+		if err := st.attr.WriteCSV(w); err != nil {
+			return fmt.Errorf("aequitas: attribution csv: %w", err)
 		}
 	}
 	return nil
