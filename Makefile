@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench figures trace-check
+.PHONY: all build test race vet check bench figures trace-check chaos-check
 
 all: build
 
@@ -20,7 +20,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: vet build race trace-check
+check: vet build race trace-check chaos-check
 
 # trace-check runs a short instrumented simulation and validates the
 # NDJSON lifecycle trace and the metrics CSV against the schemas in
@@ -30,6 +30,15 @@ trace-check: build
 	$(GO) run ./cmd/aequitas-sim -hosts 4 -dur 3ms -trace out/trace-check.ndjson \
 	    -metrics out/trace-check.csv > /dev/null
 	$(GO) run ./cmd/tracecheck -metrics out/trace-check.csv out/trace-check.ndjson
+	$(GO) run ./cmd/aequitas-sim -hosts 4 -dur 3ms -faults flapcrash -rpc-timeout 300us \
+	    -trace out/trace-check-faults.ndjson > /dev/null
+	$(GO) run ./cmd/tracecheck out/trace-check-faults.ndjson
+
+# chaos-check is the seeded fault-injection smoke: a link flap plus a host
+# crash/restart under the race detector, exercising blackholes, timeouts,
+# retries, hedging, and the degradation metrics end to end.
+chaos-check:
+	$(GO) test -race -run Chaos -timeout 10m .
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

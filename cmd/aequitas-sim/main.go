@@ -62,6 +62,10 @@ func main() {
 		audit    = flag.Bool("audit", false, "audit observed queueing against the per-class theory bounds")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		faultS   = flag.String("faults", "", "fault plan: preset ("+strings.Join(aequitas.FaultPresetNames(), "|")+") or plan file path")
+		rTimeout = flag.Duration("rpc-timeout", 0, "per-attempt RPC timeout (0 = no timeouts/retries)")
+		rRetries = flag.Int("rpc-retries", 3, "retry budget per RPC once -rpc-timeout is set")
+		rHedge   = flag.Duration("rpc-hedge-after", 0, "issue a hedged duplicate on the scavenger class after this delay (0 = off)")
 	)
 	flag.Parse()
 
@@ -171,6 +175,18 @@ func main() {
 		Shape:     ls,
 		Classes:   classes,
 	}}
+	if *faultS != "" {
+		plan, err := loadFaultPlan(*faultS, *dur)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Faults = plan
+	}
+	cfg.Retry = aequitas.RetryParams{
+		Timeout:    *rTimeout,
+		MaxRetries: *rRetries,
+		HedgeAfter: *rHedge,
+	}
 
 	start := time.Now()
 	res, err := aequitas.Run(cfg)
@@ -204,6 +220,54 @@ func main() {
 	}
 	if res.Audit != nil {
 		printAudit(res.Audit)
+	}
+	if cfg.Faults != nil {
+		printDegradation(res)
+	}
+}
+
+// loadFaultPlan resolves the -faults argument: a preset name first, then
+// a plan file.
+func loadFaultPlan(arg string, dur time.Duration) (*aequitas.FaultPlan, error) {
+	if plan, err := aequitas.FaultPreset(arg, dur); err == nil {
+		return plan, nil
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return nil, fmt.Errorf("-faults %q: not a preset (%s) and %v",
+			arg, strings.Join(aequitas.FaultPresetNames(), "|"), err)
+	}
+	defer f.Close()
+	plan, err := aequitas.ParseFaultPlan(f)
+	if err != nil {
+		return nil, fmt.Errorf("-faults %s: %v", arg, err)
+	}
+	return plan, nil
+}
+
+// printDegradation prints the fault timeline and graceful-degradation
+// metrics.
+func printDegradation(res *aequitas.Results) {
+	fmt.Printf("\nfault injection: goodput availability %.1f%% of bins\n", 100*res.GoodputAvailability)
+	fmt.Printf("robustness: timed out %d, retried %d, hedged %d (wins %d), failed %d, crash-lost %d, not issued %d\n",
+		res.TimedOut, res.Retried, res.Hedged, res.HedgeWins,
+		res.FailedRPCs, res.CrashLostRPCs, res.NotIssuedRPCs)
+	for _, f := range res.Faults {
+		line := fmt.Sprintf("  t=%8.3fms %-8s %s", 1e3*f.TimeS, f.Event, f.Target)
+		if f.Event == "loss" {
+			line += fmt.Sprintf(" rate=%.3f", f.Rate)
+		}
+		if f.Onset() {
+			for i, r := range f.PAdmitRecoveryS {
+				p := res.Probes[i]
+				if r != r { // NaN: never re-converged before the horizon
+					line += fmt.Sprintf("  probe[%d→%d %s] p_admit not recovered", p.Src, p.Dst, p.Class)
+				} else {
+					line += fmt.Sprintf("  probe[%d→%d %s] p_admit recovered in %.2fms", p.Src, p.Dst, p.Class, 1e3*r)
+				}
+			}
+		}
+		fmt.Println(line)
 	}
 }
 

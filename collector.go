@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"aequitas/internal/core"
+	"aequitas/internal/faults"
 	"aequitas/internal/netsim"
 	"aequitas/internal/qos"
 	"aequitas/internal/rpc"
@@ -27,6 +28,15 @@ func (ca *countingAdmitter) Admit(s *sim.Simulator, dst int, requested qos.Class
 
 func (ca *countingAdmitter) Observe(s *sim.Simulator, dst int, run qos.Class, rnl sim.Duration, sizeMTUs int64) {
 	ca.inner.Observe(s, dst, run, rnl, sizeMTUs)
+}
+
+// Reset forwards a crash-induced state wipe to the wrapped admitter when
+// it supports one (the Aequitas controller does; PassThrough is
+// stateless).
+func (ca *countingAdmitter) Reset() {
+	if r, ok := ca.inner.(interface{ Reset() }); ok {
+		r.Reset()
+	}
 }
 
 // AdmitProbability implements rpc.ProbabilityReporter when the wrapped
@@ -73,6 +83,20 @@ type collector struct {
 	outHiBuf    []int // per-dst scratch reused across sample ticks
 	outLoBuf    []int
 	traceHeader bool
+
+	// Degradation accounting, active only when a fault plan is set:
+	// completed payload bytes per coarse time bin across the measurement
+	// window (for goodput availability) plus the applied fault events.
+	faultBin   sim.Duration
+	faultBins  []int64
+	faultMarks []faultMark
+}
+
+// faultMark is one applied fault event, stamped with the time the
+// injector fired it.
+type faultMark struct {
+	at sim.Time
+	e  faults.Event
 }
 
 type probeState struct {
@@ -106,7 +130,23 @@ func newCollector(cfg *SimConfig) *collector {
 	for _, p := range cfg.Probes {
 		c.probes = append(c.probes, &probeState{p: p})
 	}
+	if !cfg.Faults.Empty() {
+		// Availability bins are deliberately coarse — at least a burst
+		// period — so ordinary burst gaps don't read as outage bins.
+		c.faultBin = sim.FromStd(cfg.SampleEvery)
+		if bp := sim.FromStd(cfg.BurstPeriod); bp > c.faultBin {
+			c.faultBin = bp
+		}
+		if span := c.end - c.warm; span > 0 && c.faultBin > 0 {
+			c.faultBins = make([]int64, (span+c.faultBin-1)/c.faultBin)
+		}
+	}
 	return c
+}
+
+// onFault records an applied fault event for the degradation report.
+func (c *collector) onFault(s *sim.Simulator, e faults.Event) {
+	c.faultMarks = append(c.faultMarks, faultMark{at: s.Now(), e: e})
 }
 
 func (c *collector) beginMeasurement(s *sim.Simulator, net *netsim.Network) {
@@ -172,6 +212,15 @@ func (c *collector) onComplete(s *sim.Simulator, r *rpc.RPC) {
 	sampleFor(c.rnlPrio, r.Priority, c.newSample).Add(us)
 	c.completed++
 	c.completedPayloadBytes += r.Bytes
+	if len(c.faultBins) > 0 {
+		idx := int((r.CompleteTime - c.warm) / c.faultBin)
+		if idx < 0 {
+			idx = 0
+		} else if idx >= len(c.faultBins) {
+			idx = len(c.faultBins) - 1
+		}
+		c.faultBins[idx] += r.Bytes
+	}
 
 	if c.meetsSLO(r) {
 		// Numerator in the same MTU-quantised bytes as the issue-time
@@ -383,7 +432,67 @@ func (c *collector) results(cfg *SimConfig, net *netsim.Network) *Results {
 		res.OutstandingHighMed = toPoints(c.outHigh.CDF(200))
 		res.OutstandingLow = toPoints(c.outLow.CDF(200))
 	}
+	for _, st := range c.stacks {
+		res.TimedOut += st.Stats.TimedOut
+		res.Retried += st.Stats.Retried
+		res.Hedged += st.Stats.Hedged
+		res.HedgeWins += st.Stats.HedgeWins
+		res.FailedRPCs += st.Stats.Failed
+		res.CrashLostRPCs += st.Stats.CrashLost
+		res.NotIssuedRPCs += st.Stats.NotIssued
+	}
+	c.degradation(res)
 	return res
+}
+
+// degradation fills the fault-plan report: goodput availability over the
+// coarse bins and per-probe p_admit recovery time after each
+// degradation-onset event.
+func (c *collector) degradation(res *Results) {
+	if len(c.faultBins) > 0 {
+		var total int64
+		for _, b := range c.faultBins {
+			total += b
+		}
+		if total > 0 {
+			mean := float64(total) / float64(len(c.faultBins))
+			ok := 0
+			for _, b := range c.faultBins {
+				if float64(b) >= mean/2 {
+					ok++
+				}
+			}
+			res.GoodputAvailability = float64(ok) / float64(len(c.faultBins))
+		}
+	}
+	for _, m := range c.faultMarks {
+		res.Faults = append(res.Faults, FaultRecord{
+			TimeS:  m.at.Seconds(),
+			Event:  m.e.Kind.String(),
+			Target: m.e.Target(),
+			Rate:   m.e.Rate,
+		})
+	}
+	endS := c.end.Seconds()
+	for i := range res.Faults {
+		fr := &res.Faults[i]
+		if !fr.Onset() {
+			continue
+		}
+		// Recovery is judged up to the next onset event so back-to-back
+		// faults don't mask each other's convergence.
+		horizon := endS
+		for _, later := range res.Faults[i+1:] {
+			if later.Onset() {
+				horizon = later.TimeS
+				break
+			}
+		}
+		for _, pr := range res.Probes {
+			fr.PAdmitRecoveryS = append(fr.PAdmitRecoveryS,
+				faultRecovery(pr.AdmitProbability, fr.TimeS, horizon, 0.10))
+		}
+	}
 }
 
 func toPoints(ps []stats.Point) []Point {

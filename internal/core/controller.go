@@ -163,6 +163,14 @@ func MustNew(cfg Config) *Controller {
 // Config returns the controller's configuration.
 func (ct *Controller) Config() Config { return ct.cfg }
 
+// Reset discards all learned admission state, returning every channel to
+// its initial p_admit of 1 — the state loss a host crash implies
+// (Algorithm 1 keeps its state in sender memory only). Cumulative Stats
+// are kept; they describe the whole run.
+func (ct *Controller) Reset() {
+	clear(ct.state)
+}
+
 func (ct *Controller) classState(dst int, class qos.Class) *classState {
 	k := stateKey{dst, class}
 	st, ok := ct.state[k]

@@ -1,0 +1,113 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aequitas/internal/sim"
+)
+
+// LinkControl is the slice of a link the injector drives. netsim.Link
+// implements it.
+type LinkControl interface {
+	SetDown(s *sim.Simulator, down bool)
+	SetLoss(rate float64, rng *rand.Rand)
+}
+
+// HostControl crashes and restarts one host's end-host state (RPC stack,
+// transport endpoint, admission controller). The run pipeline implements
+// it, because the pieces live in different layers.
+type HostControl interface {
+	Crash(s *sim.Simulator)
+	Restart(s *sim.Simulator)
+}
+
+// Injector schedules a Plan onto a simulator. Targets are bound by name
+// before Schedule; unknown targets fail fast rather than silently
+// injecting nothing.
+type Injector struct {
+	plan  *Plan
+	rng   *rand.Rand
+	links map[string][]LinkControl
+	hosts map[int]HostControl
+
+	// OnEvent, when set, observes every applied event (trace emission,
+	// degradation accounting).
+	OnEvent func(s *sim.Simulator, e Event)
+}
+
+// NewInjector builds an injector for plan. runSeed derives the loss-draw
+// RNG seed when the plan does not pin one, so loss patterns are
+// reproducible per run but independent of the simulation's main RNG.
+func NewInjector(plan *Plan, runSeed int64) *Injector {
+	seed := plan.Seed
+	if seed == 0 {
+		seed = runSeed ^ 0x6c657373 // "loss"
+	}
+	return &Injector{
+		plan:  plan,
+		rng:   rand.New(rand.NewSource(seed)),
+		links: make(map[string][]LinkControl),
+		hosts: make(map[int]HostControl),
+	}
+}
+
+// BindLink registers the controls behind a target name. Binding the same
+// name twice appends, so "host:N" can map to both access links.
+func (in *Injector) BindLink(name string, ls ...LinkControl) {
+	in.links[name] = append(in.links[name], ls...)
+}
+
+// BindHost registers the control for host id.
+func (in *Injector) BindHost(id int, h HostControl) { in.hosts[id] = h }
+
+// Schedule validates every event's target and schedules the plan on s.
+// Events at the same instant fire in plan order (the simulator breaks
+// timestamp ties by scheduling order).
+func (in *Injector) Schedule(s *sim.Simulator) error {
+	if in.plan.Empty() {
+		return nil
+	}
+	if err := in.plan.Validate(); err != nil {
+		return err
+	}
+	evs := in.plan.sorted()
+	for _, e := range evs {
+		if e.Kind.IsLink() {
+			if len(in.links[e.Link]) == 0 {
+				return fmt.Errorf("faults: no link named %q", e.Link)
+			}
+		} else if in.hosts[e.Host] == nil {
+			return fmt.Errorf("faults: no host %d", e.Host)
+		}
+	}
+	for _, e := range evs {
+		e := e
+		s.AtFunc(sim.Time(e.At), func(s *sim.Simulator) { in.apply(s, e) })
+	}
+	return nil
+}
+
+func (in *Injector) apply(s *sim.Simulator, e Event) {
+	switch e.Kind {
+	case LinkDown:
+		for _, l := range in.links[e.Link] {
+			l.SetDown(s, true)
+		}
+	case LinkUp:
+		for _, l := range in.links[e.Link] {
+			l.SetDown(s, false)
+		}
+	case LinkLoss:
+		for _, l := range in.links[e.Link] {
+			l.SetLoss(e.Rate, in.rng)
+		}
+	case HostCrash:
+		in.hosts[e.Host].Crash(s)
+	case HostRestart:
+		in.hosts[e.Host].Restart(s)
+	}
+	if in.OnEvent != nil {
+		in.OnEvent(s, e)
+	}
+}

@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"math/rand"
+
 	"aequitas/internal/obs"
 	"aequitas/internal/sim"
 	"aequitas/internal/wfq"
@@ -23,6 +25,12 @@ type LinkStats struct {
 	TxBytes     int64
 	DropPackets int64
 	DropBytes   int64
+	// FaultDropPackets/FaultDropBytes count packets blackholed while the
+	// link was down or lost to an injected random-loss rate. They are kept
+	// separate from DropPackets (buffer overflow) so congestion and
+	// injected chaos stay distinguishable in reports.
+	FaultDropPackets int64
+	FaultDropBytes   int64
 	// BusyTime accumulates serialisation time, for utilisation reports.
 	BusyTime sim.Duration
 }
@@ -42,6 +50,15 @@ type Link struct {
 
 	dst  Handler
 	busy bool
+
+	// Fault-injection state (internal/faults drives it). While down the
+	// link blackholes arrivals and pauses its transmitter; lossRate drops
+	// each arriving packet independently with that probability, drawn
+	// from lossRNG (a dedicated stream, so the main simulation RNG
+	// sequence is identical with and without loss).
+	down     bool
+	lossRate float64
+	lossRNG  *rand.Rand
 
 	// OnDrop, when set, is invoked for every packet the scheduler drops,
 	// letting transports implement loss detection hooks and tests count
@@ -66,7 +83,18 @@ func NewLink(name string, rate sim.Rate, prop sim.Duration, sched wfq.Scheduler,
 }
 
 // Send enqueues p for transmission, applying the scheduler's drop policy.
+// Packets arriving while the link is down, or losing the random-loss
+// draw, vanish silently — no OnDrop notification, matching real blackhole
+// and corruption semantics; recovery must come from timeouts upstream.
 func (l *Link) Send(s *sim.Simulator, p *Packet) {
+	if l.down || (l.lossRate > 0 && l.lossRNG.Float64() < l.lossRate) {
+		l.Stats.FaultDropPackets++
+		l.Stats.FaultDropBytes += int64(p.Size)
+		if l.Trace != nil {
+			l.Trace.Drop(s.Now(), p.MsgID, l.Name, int(p.Class), p.Size)
+		}
+		return
+	}
 	p.EnqueuedAt = s.Now()
 	dropped := l.Sched.Enqueue(p)
 	for _, d := range dropped {
@@ -83,9 +111,9 @@ func (l *Link) Send(s *sim.Simulator, p *Packet) {
 	l.kick(s)
 }
 
-// kick starts the transmitter if it is idle and work is queued.
+// kick starts the transmitter if it is idle, up, and work is queued.
 func (l *Link) kick(s *sim.Simulator) {
-	if l.busy {
+	if l.busy || l.down {
 		return
 	}
 	it := l.Sched.Dequeue()
@@ -120,6 +148,30 @@ func (l *Link) kick(s *sim.Simulator) {
 		})
 		l.kick(s)
 	})
+}
+
+// SetDown flips the link's fault state. Going down freezes the egress
+// queue (packets mid-serialisation finish and propagate); coming back up
+// restarts the transmitter on whatever survived in the queue.
+func (l *Link) SetDown(s *sim.Simulator, down bool) {
+	if l.down == down {
+		return
+	}
+	l.down = down
+	if !down {
+		l.kick(s)
+	}
+}
+
+// Down reports whether the link is currently failed.
+func (l *Link) Down() bool { return l.down }
+
+// SetLoss sets the link's independent per-packet random loss probability;
+// rate 0 clears it. rng supplies the draws and may be nil only when rate
+// is 0.
+func (l *Link) SetLoss(rate float64, rng *rand.Rand) {
+	l.lossRate = rate
+	l.lossRNG = rng
 }
 
 // QueuedBytes reports bytes currently waiting in the egress scheduler.

@@ -67,6 +67,9 @@ type Network struct {
 	leaves []*leafSwitch
 	spines []*spineSwitch
 	leafOf func(host int) int
+
+	// byName indexes links for fault-injection targeting; built lazily.
+	byName map[string]*Link
 }
 
 // Host is an end host: an uplink into the switch and a receive handler.
@@ -129,6 +132,16 @@ func (n *Network) Host(i int) *Host { return n.hosts[i] }
 // Downlink returns the last-hop egress port toward host i, for occupancy
 // instrumentation and drop accounting.
 func (n *Network) Downlink(i int) *Link { return n.downlinks[i] }
+
+// LinkByName returns the named link, or nil. The index is built on first
+// use from ForEachLink's deterministic order.
+func (n *Network) LinkByName(name string) *Link {
+	if n.byName == nil {
+		n.byName = make(map[string]*Link)
+		n.ForEachLink(func(l *Link) { n.byName[l.Name] = l })
+	}
+	return n.byName[name]
+}
 
 // NextPacketID allocates a unique packet id.
 func (n *Network) NextPacketID() uint64 {

@@ -39,6 +39,12 @@ type Packet struct {
 	SentAt  sim.Time // transmission timestamp for RTT estimation
 	AckSeq  int64    // for ACKs: cumulative bytes acknowledged
 
+	// Gen is the sender's stream epoch for this (src, class) connection.
+	// It is bumped when transport state is torn down after a host crash,
+	// so packets and acks from before the crash cannot corrupt the
+	// rebuilt streams. Zero everywhere when no faults are injected.
+	Gen uint32
+
 	// Urg is the urgency metric consumed by priority-based disciplines
 	// (pFabric, Homa): typically the message's remaining size in bytes at
 	// transmission time. Lower is more urgent.

@@ -231,6 +231,16 @@ func (a *Attributor) Complete(now sim.Time, rpc uint64, src, dst, class int, rnl
 	a.recycle(k, p)
 }
 
+// PendingLen reports in-flight (issued, not yet completed or dropped)
+// attribution entries. Fault paths must Drop what they lose, so tests
+// use this to prove the pending map cannot grow without bound.
+func (a *Attributor) PendingLen() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.pending)
+}
+
 // Records returns the retained decompositions in completion order.
 func (a *Attributor) Records() []AttrRecord {
 	if a == nil {

@@ -18,6 +18,8 @@ func fill(t *Tracer) {
 	t.Hop(3*sim.Microsecond, 1, "h0-up", 0, 1500, sim.Microsecond, 3000)
 	t.Drop(4*sim.Microsecond, 2, "sw-down3", 2, 1500)
 	t.Complete(5*sim.Microsecond, 1, 0, 3, 0, 4096, 5*sim.Microsecond)
+	t.Fault(6*sim.Microsecond, FaultLinkDown, "h0-up", 0)
+	t.Fault(7*sim.Microsecond, FaultLoss, "h0-up", 0.01)
 }
 
 func TestNDJSONRoundTrip(t *testing.T) {
@@ -69,6 +71,8 @@ func TestValidateNDJSONRejects(t *testing.T) {
 		"bad decision":    `{"ts_us":1,"kind":"admit","rpc":1,"src":0,"dst":1,"class":0,"decision":"maybe","p_admit":0.5}`,
 		"negative resid":  `{"ts_us":1,"kind":"hop","rpc":1,"link":"x","class":0,"bytes":1,"resid_us":-2,"qbytes":0}`,
 		"zero rnl":        `{"ts_us":1,"kind":"complete","rpc":1,"src":0,"dst":1,"class":0,"bytes":1,"rnl_us":0}`,
+		"bad fault":       `{"ts_us":1,"kind":"fault","rpc":0,"event":"meteor","target":"x","rate":0}`,
+		"bad fault rate":  `{"ts_us":1,"kind":"fault","rpc":0,"event":"loss","target":"x","rate":1.5}`,
 		"time regression": "{\"ts_us\":5,\"kind\":\"drop\",\"rpc\":1,\"link\":\"x\",\"class\":0,\"bytes\":1}\n{\"ts_us\":4,\"kind\":\"drop\",\"rpc\":2,\"link\":\"x\",\"class\":0,\"bytes\":1}",
 	}
 	for name, in := range cases {
@@ -96,8 +100,9 @@ func TestChromeTraceJSON(t *testing.T) {
 		phases[e["ph"].(string)]++
 	}
 	// b/e span for the RPC, X slice for the hop, i instants for
-	// admit+enqueue+drop, M metadata for the fabric process + 2 links.
-	for ph, want := range map[string]int{"b": 1, "e": 1, "X": 1, "i": 3, "M": 3} {
+	// admit+enqueue+drop and the 2 faults, M metadata for the fabric
+	// process + 2 links.
+	for ph, want := range map[string]int{"b": 1, "e": 1, "X": 1, "i": 5, "M": 3} {
 		if phases[ph] != want {
 			t.Errorf("phase %q count = %d, want %d (all: %v)", ph, phases[ph], want, phases)
 		}

@@ -21,6 +21,7 @@ const (
 	KindHop
 	KindDrop
 	KindComplete
+	KindFault
 	kindCount
 )
 
@@ -38,8 +39,40 @@ func (k Kind) String() string {
 		return "drop"
 	case KindComplete:
 		return "complete"
+	case KindFault:
+		return "fault"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// FaultKind names the injected fault a KindFault event records. It
+// mirrors the faults package's event kinds without importing it (obs is
+// below faults in the dependency order).
+type FaultKind uint8
+
+const (
+	FaultLinkDown FaultKind = iota
+	FaultLinkUp
+	FaultLoss
+	FaultCrash
+	FaultRestart
+)
+
+func (f FaultKind) String() string {
+	switch f {
+	case FaultLinkDown:
+		return "linkdown"
+	case FaultLinkUp:
+		return "linkup"
+	case FaultLoss:
+		return "loss"
+	case FaultCrash:
+		return "crash"
+	case FaultRestart:
+		return "restart"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", uint8(f))
 	}
 }
 
@@ -82,6 +115,8 @@ type Event struct {
 	Val float64
 	// QBytes is the egress queue occupancy after a hop's dequeue.
 	QBytes int64
+	// Fault is the injected fault name for KindFault events.
+	Fault FaultKind
 	// Link names the egress port for hop and drop events. Link names are
 	// interned at topology construction, so storing one here copies a
 	// string header, not the bytes.
@@ -172,6 +207,17 @@ func (t *Tracer) Complete(now sim.Time, rpc uint64, src, dst, class int, bytes i
 		Src: int32(src), Dst: int32(dst), Class: int16(class), Bytes: bytes, Val: float64(rnl)})
 }
 
+// Fault records an injected fault event being applied: a link going
+// down/up, a loss rate changing (rate in Val), or a host crash/restart.
+// target is the link name or "host:N"; it reuses the interned-string
+// Link slot.
+func (t *Tracer) Fault(now sim.Time, f FaultKind, target string, rate float64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{TS: now, Kind: KindFault, Fault: f, Link: target, Val: rate})
+}
+
 // picosUS converts a picosecond scalar held in Event.Val to microseconds.
 func picosUS(v float64) float64 { return v / float64(sim.Microsecond) }
 
@@ -250,6 +296,10 @@ func appendNDJSON(b []byte, e *Event) []byte {
 		b = num(b, "class", int64(e.Class))
 		b = num(b, "bytes", e.Bytes)
 		b = flt(b, "rnl_us", picosUS(e.Val))
+	case KindFault:
+		b = str(b, "event", e.Fault.String())
+		b = str(b, "target", e.Link)
+		b = flt(b, "rate", e.Val)
 	}
 	return append(b, '}')
 }
@@ -263,6 +313,7 @@ var schemaFields = map[string][]string{
 	"hop":      {"link", "class", "bytes", "resid_us", "qbytes"},
 	"drop":     {"link", "class", "bytes"},
 	"complete": {"src", "dst", "class", "bytes", "rnl_us"},
+	"fault":    {"event", "target", "rate"},
 }
 
 // SchemaFields returns the required kind-specific field names for kind,
@@ -318,7 +369,7 @@ func ValidateNDJSON(r io.Reader) (int, error) {
 				return n, fmt.Errorf("obs: line %d: field %q missing from %s event", lineNo, f, kind)
 			}
 			switch f {
-			case "link", "decision":
+			case "link", "decision", "event", "target":
 				if _, ok := v.(string); !ok {
 					return n, fmt.Errorf("obs: line %d: field %q must be a string", lineNo, f)
 				}
@@ -345,6 +396,15 @@ func ValidateNDJSON(r io.Reader) (int, error) {
 		case "complete":
 			if m["rnl_us"].(float64) <= 0 {
 				return n, fmt.Errorf("obs: line %d: field \"rnl_us\" non-positive", lineNo)
+			}
+		case "fault":
+			if r := m["rate"].(float64); r < 0 || r > 1 {
+				return n, fmt.Errorf("obs: line %d: field \"rate\" %v out of [0, 1]", lineNo, m["rate"])
+			}
+			switch m["event"].(string) {
+			case "linkdown", "linkup", "loss", "crash", "restart":
+			default:
+				return n, fmt.Errorf("obs: line %d: field \"event\": unknown fault %q", lineNo, m["event"])
 			}
 		}
 	}
@@ -419,6 +479,10 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			out = append(out, chromeEvent{Name: "drop@" + e.Link, Cat: "queue", Ph: "i", S: "t",
 				TS: ts, PID: fabricPID, TID: tid(e.Link),
 				Args: map[string]any{"rpc": e.RPC, "class": e.Class, "bytes": e.Bytes}})
+		case KindFault:
+			out = append(out, chromeEvent{Name: "fault/" + e.Fault.String(), Cat: "fault",
+				Ph: "i", S: "g", TS: ts, PID: fabricPID, TID: 0,
+				Args: map[string]any{"target": e.Link, "rate": e.Val}})
 		}
 	}
 	// Name the synthetic fabric process and its per-link threads. Order by

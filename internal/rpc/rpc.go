@@ -98,6 +98,16 @@ type Stats struct {
 	Completed  int64
 	Downgraded int64
 	Dropped    int64
+
+	// Robustness counters, populated only under a RetryPolicy or fault
+	// plan (the plain issue path never touches them).
+	TimedOut  int64 // per-attempt timeouts observed
+	Retried   int64 // retry attempts actually sent
+	Hedged    int64 // hedged duplicates sent
+	HedgeWins int64 // completions won by the hedged duplicate
+	Failed    int64 // RPCs abandoned after the retry budget
+	CrashLost int64 // in-flight RPCs lost when this host crashed
+	NotIssued int64 // application sends discarded while the host was down
 }
 
 // Sender is the transport-layer service the RPC stack requires: reliable
@@ -130,10 +140,24 @@ type Stack struct {
 	// calls below stay free when attribution is off.
 	Attr *obs.Attributor
 
+	// Retry enables client-side timeouts, retries, and hedging.
+	// TrackInflight forces per-RPC in-flight tracking even without a
+	// retry policy, so faults (host crashes, peer resets) can fail
+	// in-flight RPCs and keep Outstanding() accounting exact; the run
+	// sets it whenever a fault plan is active. When both are zero the
+	// issue path is exactly the pre-fault code with no extra state.
+	Retry         RetryPolicy
+	TrackInflight bool
+
 	nextID uint64
 	// outstanding counts incomplete RPCs per (destination host, class),
 	// the quantity behind Figure 13's per-switch-port outstanding RPCs.
 	outstanding map[outKey]int
+	// inflight tracks issued-but-incomplete RPCs by id under the robust
+	// issue path; allocated lazily on first tracked issue.
+	inflight map[uint64]*inflightRPC
+	// down marks a crashed host: Issue discards RPCs until Restart.
+	down bool
 }
 
 type outKey struct {
@@ -190,6 +214,13 @@ func (st *Stack) ForEachOutstanding(f func(dst int, c qos.Class, n int)) {
 // the admission controller for the class to run on (Phase 2), hands the
 // message to the transport, and measures RNL on completion.
 func (st *Stack) Issue(s *sim.Simulator, r *RPC) {
+	if st.down {
+		// Crashed host: the application's send is lost. The generator's
+		// offered-byte accounting still advances, so goodput availability
+		// reflects the outage.
+		st.Stats.NotIssued++
+		return
+	}
 	st.nextID++
 	if r.ID == 0 {
 		r.ID = st.nextID
@@ -233,6 +264,10 @@ func (st *Stack) Issue(s *sim.Simulator, r *RPC) {
 	}
 	st.outstanding[outKey{r.Dst, r.QoSRun}]++
 
+	if st.tracking() {
+		st.issueTracked(s, r)
+		return
+	}
 	st.ep.Send(s, &transport.Message{
 		ID:       r.ID,
 		Dst:      r.Dst,

@@ -21,6 +21,10 @@ type Message struct {
 	Deadline sim.Time
 	// OnComplete fires when the last payload byte has been acknowledged.
 	OnComplete func(s *sim.Simulator, m *Message)
+	// OnFail fires when the connection carrying the message is torn down
+	// before completion (the peer crashed); the message will never
+	// complete. At most one of OnComplete/OnFail fires.
+	OnFail func(s *sim.Simulator, m *Message)
 
 	// SubmitTime is when the message was handed to the transport: the t0
 	// of the RPC network latency definition (Appendix A).
@@ -79,6 +83,15 @@ type Endpoint struct {
 	conns map[connKey]*conn
 	recvs map[connKey]*rcvState
 	Stats Stats
+
+	// down marks a crashed endpoint: Send and HandlePacket become no-ops
+	// until Restart. gen is the stream epoch stamped on every outgoing
+	// data packet; it bumps whenever connection state is discarded
+	// (Crash, ResetPeer) so stale packets and acks from before the
+	// teardown cannot corrupt rebuilt streams. Both stay zero when no
+	// faults are injected.
+	down bool
+	gen  uint32
 }
 
 type connKey struct {
@@ -116,6 +129,11 @@ func (e *Endpoint) Send(s *sim.Simulator, m *Message) {
 	if m.Dst == e.host.ID {
 		panic("transport: message to self")
 	}
+	if e.down {
+		// Crashed host: the message vanishes. The RPC stack is down too
+		// and does not issue, so this is defensive.
+		return
+	}
 	m.SubmitTime = s.Now()
 	c := e.conn(m.Dst, m.Class)
 	m.start = c.writeEnd
@@ -147,10 +165,64 @@ func (e *Endpoint) conn(peer int, class qos.Class) *conn {
 			class: class,
 			cc:    e.cfg.NewCC(),
 			srtt:  e.cfg.InitialRTT,
+			gen:   e.gen,
 		}
 		e.conns[k] = c
 	}
 	return c
+}
+
+// Crash simulates this host failing: all connection and receive state is
+// discarded without callbacks (in-flight messages are simply lost — the
+// crashed host's RPC layer clears its own accounting) and the endpoint
+// goes down, ignoring packets and sends until Restart.
+func (e *Endpoint) Crash(s *sim.Simulator) {
+	e.down = true
+	e.gen++
+	for _, c := range e.conns {
+		c.teardown()
+	}
+	clear(e.conns)
+	clear(e.recvs)
+}
+
+// Restart brings a crashed endpoint back with empty transport state.
+func (e *Endpoint) Restart(s *sim.Simulator) { e.down = false }
+
+// Down reports whether the endpoint is crashed.
+func (e *Endpoint) Down() bool { return e.down }
+
+// ResetPeer discards connection and receive state toward peer (whose
+// host crashed): timers are cancelled, the stream epoch bumps so stale
+// acks are ignored, and each incomplete outgoing message's OnFail fires
+// so the RPC layer can retry or abandon it. Connections are visited in
+// class order, keeping callback order deterministic.
+func (e *Endpoint) ResetPeer(s *sim.Simulator, peer int) {
+	e.gen++
+	var keys []connKey
+	for k := range e.conns {
+		if k.peer == peer {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].class < keys[j].class })
+	var failed []*Message
+	for _, k := range keys {
+		c := e.conns[k]
+		failed = append(failed, c.msgs...)
+		c.teardown()
+		delete(e.conns, k)
+	}
+	for k := range e.recvs {
+		if k.peer == peer {
+			delete(e.recvs, k)
+		}
+	}
+	for _, m := range failed {
+		if m.OnFail != nil {
+			m.OnFail(s, m)
+		}
+	}
 }
 
 // ForEachConn visits every sender-side connection in deterministic
@@ -188,6 +260,9 @@ func (e *Endpoint) MetricsSampler() obs.Sampler {
 
 // HandlePacket implements netsim.Handler.
 func (e *Endpoint) HandlePacket(s *sim.Simulator, p *Packet) {
+	if e.down {
+		return
+	}
 	if p.Ack {
 		if c, ok := e.conns[connKey{p.Src, p.Class}]; ok {
 			c.onAck(s, p)
@@ -215,6 +290,11 @@ type conn struct {
 	srtt    sim.Duration
 	rttvar  sim.Duration
 	backoff int // RTO exponential backoff shift
+	// gen is the stream epoch this connection was created under; stamped
+	// on every outgoing data packet and compared on incoming acks, so
+	// acks predating a crash-induced teardown cannot complete messages
+	// on a rebuilt connection.
+	gen uint32
 
 	rtoTimer    sim.Handle
 	paceTimer   sim.Handle
@@ -283,6 +363,7 @@ func (c *conn) emit(s *sim.Simulator) {
 		Seq:     c.nextSend,
 		Payload: int(payload),
 		SentAt:  s.Now(),
+		Gen:     c.gen,
 	}
 	if m != nil {
 		p.MsgID = m.ID
@@ -341,8 +422,20 @@ func (c *conn) schedulePace(s *sim.Simulator) {
 	c.paceTimer = s.AfterFunc(delay, func(s *sim.Simulator) { c.trySend(s) })
 }
 
+// teardown cancels the connection's timers; the caller discards it. No
+// message callbacks fire here — Crash loses messages silently, ResetPeer
+// collects them for OnFail.
+func (c *conn) teardown() {
+	c.rtoTimer.Cancel()
+	c.paceTimer.Cancel()
+	c.msgs = nil
+}
+
 // onAck processes a cumulative acknowledgement.
 func (c *conn) onAck(s *sim.Simulator, p *Packet) {
+	if p.Gen != c.gen {
+		return // ack for a pre-crash stream epoch
+	}
 	rtt := s.Now() - p.SentAt
 	c.updateRTT(rtt)
 	if p.AckSeq <= c.cumAck {
@@ -435,6 +528,10 @@ func (c *conn) onRTO(s *sim.Simulator) {
 type rcvState struct {
 	cumRecv int64
 	ooo     map[int64]int // seq -> payload bytes received out of order
+	// gen is the sender's stream epoch this state tracks. A packet with
+	// a newer epoch means the sender rebuilt the stream after a crash:
+	// restart from zero. Older epochs are stale and dropped.
+	gen uint32
 }
 
 // onData handles an incoming data packet: advance the cumulative counter,
@@ -443,8 +540,17 @@ func (e *Endpoint) onData(s *sim.Simulator, p *Packet) {
 	k := connKey{p.Src, p.Class}
 	r, ok := e.recvs[k]
 	if !ok {
-		r = &rcvState{ooo: make(map[int64]int)}
+		r = &rcvState{ooo: make(map[int64]int), gen: p.Gen}
 		e.recvs[k] = r
+	}
+	if p.Gen != r.gen {
+		if p.Gen < r.gen {
+			return // stale pre-crash packet; no ack
+		}
+		// The sender rebuilt its stream: restart reassembly from zero.
+		r.gen = p.Gen
+		r.cumRecv = 0
+		clear(r.ooo)
 	}
 	switch {
 	case p.Seq == r.cumRecv:
@@ -471,6 +577,7 @@ func (e *Endpoint) onData(s *sim.Simulator, p *Packet) {
 		AckSeq: r.cumRecv,
 		SentAt: p.SentAt, // echo for RTT measurement
 		MsgID:  p.MsgID,
+		Gen:    p.Gen, // echo the epoch so the sender can reject stale acks
 	}
 	e.host.Send(s, ack)
 }

@@ -242,6 +242,73 @@ func auditReport(a *obs.Auditor) *AuditReport {
 	return out
 }
 
+// FaultRecord reports one applied fault event and, for degradation-onset
+// events (link down, loss, host crash), how long each probe's p_admit
+// took to re-converge afterwards.
+type FaultRecord struct {
+	// TimeS is the simulated time the injector applied the event.
+	TimeS float64
+	// Event is the fault kind name ("linkdown", "linkup", "loss",
+	// "crash", "restart"); Target is the link name or "host:N".
+	Event, Target string
+	// Rate is the loss probability for "loss" events, 0 otherwise.
+	Rate float64
+	// PAdmitRecoveryS[i] is, for Results.Probes[i], the time from this
+	// fault until the probe's admit probability climbed back to within
+	// 10% of its pre-fault mean and stayed there until the next onset
+	// fault (or the end of the run). NaN when it never re-converged; only
+	// populated for onset events (linkdown, loss with rate > 0, crash).
+	PAdmitRecoveryS []float64
+}
+
+// Onset reports whether the event degrades service (as opposed to
+// repairing it), i.e. whether recovery is measured from it.
+func (f FaultRecord) Onset() bool {
+	return f.Event == "linkdown" || f.Event == "crash" || (f.Event == "loss" && f.Rate > 0)
+}
+
+// faultRecovery measures how long after faultS the series takes to climb
+// back to within tol (relative) of its pre-fault mean and stay there
+// until horizonS. The bound is one-sided — exceeding the pre-fault mean
+// counts as recovered, since the baseline itself may still be depressed
+// from an earlier fault. The pre-fault baseline is the mean over the
+// last quarter of the series before the fault. Returns NaN when there is
+// no usable baseline, no samples in [faultS, horizonS), or the series
+// never settles back in band.
+func faultRecovery(ser Series, faultS, horizonS, tol float64) float64 {
+	if len(ser.T) == 0 || faultS <= ser.T[0] {
+		return math.NaN()
+	}
+	pre := ser.MeanBetween(faultS-(faultS-ser.T[0])/4, faultS)
+	if math.IsNaN(pre) {
+		pre = ser.MeanBetween(ser.T[0], faultS)
+	}
+	if math.IsNaN(pre) {
+		return math.NaN()
+	}
+	band := tol * math.Abs(pre)
+	if band == 0 {
+		band = tol
+	}
+	recovered := math.NaN() // first in-band time after the latest violation
+	seen := false
+	for i, t := range ser.T {
+		if t < faultS || t >= horizonS {
+			continue
+		}
+		seen = true
+		if ser.V[i] < pre-band {
+			recovered = math.NaN()
+		} else if math.IsNaN(recovered) {
+			recovered = t
+		}
+	}
+	if !seen || math.IsNaN(recovered) {
+		return math.NaN()
+	}
+	return recovered - faultS
+}
+
 // ProbeResult is the recorded series for one (src, dst, class) channel.
 type ProbeResult struct {
 	Src, Dst int
@@ -306,6 +373,22 @@ type Results struct {
 	Audit *AuditReport
 
 	Probes []ProbeResult
+
+	// Faults lists the fault events applied during the run with per-probe
+	// p_admit recovery times; empty unless SimConfig.Faults was set.
+	Faults []FaultRecord
+	// GoodputAvailability is the fraction of coarse time bins across the
+	// measurement window whose completed bytes reached at least half the
+	// per-bin mean — a crude "what fraction of the run delivered useful
+	// goodput" availability figure. Zero unless a fault plan was active.
+	GoodputAvailability float64
+	// Client-side robustness counters summed over all hosts' RPC stacks;
+	// all zero unless SimConfig.Retry / Faults enable the tracked path.
+	TimedOut, Retried, Hedged, HedgeWins int64
+	// FailedRPCs exhausted their retry budget; CrashLostRPCs were in
+	// flight on a host when it crashed; NotIssuedRPCs were generated while
+	// their source host was down.
+	FailedRPCs, CrashLostRPCs, NotIssuedRPCs int64
 
 	// OutstandingHighMed / OutstandingLow are CDFs of per-switch-port
 	// outstanding RPC counts for the SLO classes and the scavenger class

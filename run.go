@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"aequitas/internal/core"
+	"aequitas/internal/faults"
 	"aequitas/internal/netsim"
 	"aequitas/internal/obs"
 	"aequitas/internal/rpc"
@@ -52,6 +53,7 @@ func Run(cfg SimConfig) (*Results, error) {
 		buildFabric,
 		buildHosts,
 		buildWorkload,
+		buildFaults,
 		buildSamplers,
 		runAndDrain,
 	} {
@@ -173,6 +175,13 @@ func buildHosts(st *runState) error {
 		stack.Attr = st.attr
 		stack.Src = i
 		stack.RecordPAdmit = cfg.TraceWriter != nil
+		if cfg.Retry.active() {
+			stack.Retry = cfg.retryPolicy()
+		}
+		// In-flight tracking is what lets crashes fail RPCs and keep
+		// Outstanding() exact; without a plan (or retries) the stack keeps
+		// the plain issue path.
+		stack.TrackInflight = !cfg.Faults.Empty()
 		src := i
 		col := st.col
 		stack.OnComplete = func(s *sim.Simulator, r *rpc.RPC) {
@@ -205,6 +214,82 @@ func buildWorkload(st *runState) error {
 		}
 	}
 	return nil
+}
+
+// buildFaults schedules the fault plan, if any: link targets bind to the
+// fabric's links (plus "host:N" aliases for each host's access links),
+// host targets bind to a control that crashes the whole per-host slice —
+// RPC stack, transport endpoint, admission state, and every peer's
+// connections toward it. Applied events flow into the trace stream and
+// the collector's degradation accounting.
+func buildFaults(st *runState) error {
+	plan := st.cfg.Faults
+	if plan.Empty() {
+		return nil
+	}
+	in := faults.NewInjector(plan, st.cfg.Seed)
+	st.net.ForEachLink(func(l *netsim.Link) { in.BindLink(l.Name, l) })
+	for i := 0; i < st.cfg.Hosts; i++ {
+		in.BindLink(fmt.Sprintf("host:%d", i), st.net.Host(i).Uplink, st.net.Downlink(i))
+		in.BindHost(i, &hostFaultControl{st: st, host: i})
+	}
+	tracer, col := st.tracer, st.col
+	in.OnEvent = func(s *sim.Simulator, e faults.Event) {
+		tracer.Fault(s.Now(), obsFaultKind(e.Kind), e.Target(), e.Rate)
+		col.onFault(s, e)
+	}
+	return in.Schedule(st.s)
+}
+
+// obsFaultKind maps the faults package's event kinds onto the trace
+// stream's enum.
+func obsFaultKind(k faults.Kind) obs.FaultKind {
+	switch k {
+	case faults.LinkDown:
+		return obs.FaultLinkDown
+	case faults.LinkUp:
+		return obs.FaultLinkUp
+	case faults.LinkLoss:
+		return obs.FaultLoss
+	case faults.HostCrash:
+		return obs.FaultCrash
+	default:
+		return obs.FaultRestart
+	}
+}
+
+// hostFaultControl implements faults.HostControl over one host's slice
+// of the run: its RPC stack, transport endpoint, and admission state,
+// plus every peer endpoint's connections toward it.
+type hostFaultControl struct {
+	st   *runState
+	host int
+}
+
+func (h *hostFaultControl) Crash(s *sim.Simulator) {
+	st, i := h.st, h.host
+	stack := st.col.stacks[i]
+	stack.Crash(s)
+	if r, ok := stack.Admitter().(interface{ Reset() }); ok {
+		r.Reset()
+	}
+	// Baselines that bypass the standard transport (Homa, D3, PDQ) have
+	// no endpoint; their in-flight state is cleared via the stack only.
+	if ep := st.env.Endpoints[i]; ep != nil {
+		ep.Crash(s)
+	}
+	for j, ep := range st.env.Endpoints {
+		if j != i && ep != nil {
+			ep.ResetPeer(s, i)
+		}
+	}
+}
+
+func (h *hostFaultControl) Restart(s *sim.Simulator) {
+	if ep := h.st.env.Endpoints[h.host]; ep != nil {
+		ep.Restart(s)
+	}
+	h.st.col.stacks[h.host].Restart()
 }
 
 // buildSamplers schedules the measurement-window boundary, the periodic

@@ -227,6 +227,18 @@ type SimConfig struct {
 	// zero value disables it with no hot-path cost.
 	Obs ObsConfig
 
+	// Faults, when non-nil and non-empty, injects a deterministic fault
+	// plan into the run — link down/up, per-link random loss, host
+	// crash/restart — and populates the degradation metrics in Results.
+	// nil or an empty plan leaves every code path identical to a run
+	// without fault support. Plans may be shared across sweep configs;
+	// they are never mutated.
+	Faults *FaultPlan
+	// Retry configures client-side RPC robustness (timeouts, capped
+	// exponential backoff with deterministic jitter, a retry budget,
+	// optional hedged duplicates). The zero value disables it.
+	Retry RetryParams
+
 	// resolved is the traffic matrix after applyDefaults: one entry per
 	// (Traffic entry, pattern assignment) pair, with destination slices
 	// shared across senders.
@@ -313,6 +325,16 @@ func (c *SimConfig) applyDefaults() error {
 		if a.Floor == 0 {
 			a.Floor = 0.01
 		}
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("aequitas: %w", err)
+	}
+	if r := c.Retry; r.Timeout < 0 || r.MaxRetries < 0 || r.Backoff < 0 ||
+		r.MaxBackoff < 0 || r.HedgeAfter < 0 || r.HedgeMaxBytes < 0 {
+		return fmt.Errorf("aequitas: Retry fields must be non-negative")
+	}
+	if f := c.Retry.JitterFrac; f < 0 || f >= 1 {
+		return fmt.Errorf("aequitas: Retry.JitterFrac %v out of [0, 1)", f)
 	}
 	return nil
 }
