@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench figures trace-check chaos-check
+.PHONY: all build test race vet check bench bench-save bench-compare figures trace-check chaos-check
+
+# BENCH is the tracked benchmark snapshot for this PR; bump the number
+# each PR so the trajectory stays reviewable in-tree (see EXPERIMENTS.md,
+# "Performance").
+BENCH ?= BENCH_6.json
 
 all: build
 
@@ -40,8 +45,23 @@ trace-check: build
 chaos-check:
 	$(GO) test -race -run Chaos -timeout 10m .
 
+# bench runs the tracked benchmark families (end-to-end Run, raw sim
+# loop, WFQ dequeue, transport send) with full iterations and memory
+# stats; `make bench` is the quick human-readable form.
 bench:
-	$(GO) test -bench=. -benchtime=1x ./...
+	$(GO) test -run '^$$' -bench 'BenchmarkRun|BenchmarkSimLoop|BenchmarkWFQDequeue|BenchmarkTransportSend' \
+	    -benchmem . ./internal/sim ./internal/wfq ./internal/transport
+
+# bench-save records the same suite into $(BENCH) via cmd/benchjson,
+# preserving any existing baseline section in the file.
+bench-save:
+	$(GO) run ./cmd/benchjson -pr 6 -out $(BENCH)
+
+# bench-compare diffs two snapshots: make bench-compare OLD=a.json NEW=b.json
+OLD ?= $(BENCH)
+NEW ?= $(BENCH)
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)
 
 figures: build
 	$(GO) run ./cmd/figures -fig all

@@ -17,8 +17,9 @@ import (
 	"aequitas/internal/workload"
 )
 
-// benchCluster is the reduced all-to-all cluster configuration shared by
-// the "33-node" benchmarks.
+// benchCluster is the reduced-scale all-to-all cluster configuration
+// shared by the cluster benchmarks: 8 hosts standing in for the paper's
+// 33-node experiments so the suite completes in minutes.
 func benchCluster(system System, mix [3]float64, seed int64) SimConfig {
 	return SimConfig{
 		System:     system,
@@ -519,7 +520,10 @@ func BenchmarkAblationDropNotDowngrade(b *testing.B) {
 }
 
 // BenchmarkRun measures end-to-end simulation cost per scenario-engine
-// composition: the uniform all-to-all default and the incast pattern.
+// composition: the uniform all-to-all default and the incast pattern. On
+// top of the standard ns/op and allocs/op it reports simulator throughput
+// (events/sec, packets/sec) and the per-completed-RPC cost (ns/RPC) —
+// the headline quantities tracked PR over PR in BENCH_*.json.
 // Run with: go test -bench=BenchmarkRun -benchmem .
 func BenchmarkRun(b *testing.B) {
 	base := func() SimConfig {
@@ -527,22 +531,32 @@ func BenchmarkRun(b *testing.B) {
 		cfg.Duration = 5 * time.Millisecond
 		return cfg
 	}
-	b.Run("uniform", func(b *testing.B) {
+	run := func(b *testing.B, mod func(*SimConfig)) {
 		b.ReportAllocs()
+		var events, packets, rpcs int64
 		for i := 0; i < b.N; i++ {
 			cfg := base()
 			cfg.Seed = int64(i + 1)
-			mustRun(b, cfg)
+			if mod != nil {
+				mod(&cfg)
+			}
+			res := mustRun(b, cfg)
+			events += res.EventsProcessed
+			packets += res.PacketsDelivered
+			rpcs += res.Completed
 		}
-	})
+		secs := b.Elapsed().Seconds()
+		if secs > 0 {
+			b.ReportMetric(float64(events)/secs, "events/s")
+			b.ReportMetric(float64(packets)/secs, "packets/s")
+		}
+		if rpcs > 0 {
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(rpcs), "ns/RPC")
+		}
+	}
+	b.Run("uniform", func(b *testing.B) { run(b, nil) })
 	b.Run("incast", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			cfg := base()
-			cfg.Seed = int64(i + 1)
-			cfg.Traffic[0].Pattern = IncastPattern(0)
-			mustRun(b, cfg)
-		}
+		run(b, func(cfg *SimConfig) { cfg.Traffic[0].Pattern = IncastPattern(0) })
 	})
 }
 

@@ -1,0 +1,262 @@
+// Command benchjson runs the repo's benchmark suite and records the
+// results as a machine-readable BENCH_*.json snapshot, so performance can
+// be tracked PR over PR instead of living in scrollback.
+//
+// Usage:
+//
+//	benchjson [-bench regex] [-benchtime 3x] [-out BENCH.json] [-pr N] [pkgs...]
+//	benchjson -compare OLD.json NEW.json
+//
+// The default mode shells out to `go test -bench -benchmem`, parses the
+// standard benchmark output (including custom b.ReportMetric units such
+// as events/s and ns/RPC), and writes a JSON document. The -compare mode
+// loads two snapshots and prints a per-benchmark diff table with ratios,
+// which is what `make bench-compare` uses.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+
+	"aequitas/internal/stats"
+)
+
+// Benchmark is one benchmark's measured result.
+type Benchmark struct {
+	// Name is the full benchmark name including sub-benchmark path, with
+	// the -GOMAXPROCS suffix stripped (e.g. "BenchmarkRun/uniform").
+	Name string `json:"name"`
+	// Pkg is the Go package the benchmark lives in.
+	Pkg string `json:"pkg"`
+	// Iterations is the b.N the result was averaged over.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BytesPerOp, AllocsPerOp are the standard Go benchmark
+	// quantities. The suite always runs with -benchmem, so a zero
+	// BytesPerOp/AllocsPerOp is a real measurement (the allocation-free
+	// hot paths), not a missing one.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric values keyed by unit, e.g.
+	// "events/s", "packets/s", "ns/RPC", "msgs/s".
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the top-level BENCH_*.json document.
+type Snapshot struct {
+	// PR tags which stacked PR produced the snapshot.
+	PR int `json:"pr,omitempty"`
+	// Go and CPU record the measurement environment.
+	Go  string `json:"go"`
+	CPU string `json:"cpu,omitempty"`
+	// Benchtime is the -benchtime the suite ran with.
+	Benchtime  string      `json:"benchtime"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Baseline, when present, holds reference numbers measured before
+	// this PR's changes (same machine, same benchtime) so the snapshot
+	// is self-contained evidence of the delta.
+	Baseline []Benchmark `json:"baseline,omitempty"`
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", "BenchmarkRun|BenchmarkSimLoop|BenchmarkWFQDequeue|BenchmarkTransportSend", "benchmark regex passed to go test")
+		benchtime = flag.String("benchtime", "1s", "benchtime passed to go test")
+		out       = flag.String("out", "", "output file (default stdout)")
+		pr        = flag.Int("pr", 0, "PR number to tag the snapshot with")
+		compare   = flag.Bool("compare", false, "compare two snapshot files instead of running benchmarks")
+	)
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatalf("usage: benchjson -compare OLD.json NEW.json")
+		}
+		if err := compareFiles(flag.Arg(0), flag.Arg(1)); err != nil {
+			fatalf("compare: %v", err)
+		}
+		return
+	}
+
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{".", "./internal/sim", "./internal/wfq", "./internal/transport"}
+	}
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, "-benchmem"}
+	args = append(args, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	os.Stdout.Write(raw)
+	if err != nil {
+		fatalf("go test -bench: %v", err)
+	}
+
+	snap := parse(string(raw))
+	snap.PR = *pr
+	snap.Go = runtime.Version()
+	snap.Benchtime = *benchtime
+
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := writeMerged(*out, buf, snap); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(snap.Benchmarks))
+}
+
+// writeMerged writes the snapshot to path, preserving an existing file's
+// Baseline section (the pre-PR numbers are measured once and must survive
+// re-runs of bench-save).
+func writeMerged(path string, buf []byte, snap Snapshot) error {
+	if old, err := os.ReadFile(path); err == nil {
+		var prev Snapshot
+		if json.Unmarshal(old, &prev) == nil && len(prev.Baseline) > 0 {
+			snap.Baseline = prev.Baseline
+			var merr error
+			buf, merr = json.MarshalIndent(snap, "", "  ")
+			if merr != nil {
+				return merr
+			}
+			buf = append(buf, '\n')
+		}
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// parse extracts benchmark results from `go test -bench` output. The
+// format is line-oriented: "pkg: <import path>" announces a package, and
+// each result line is "BenchmarkName-P  N  v1 unit1  v2 unit2 ...".
+func parse(out string) Snapshot {
+	var snap Snapshot
+	pkg := ""
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			snap.CPU = rest
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		b := Benchmark{Name: name, Pkg: pkg, Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		snap.Benchmarks = append(snap.Benchmarks, b)
+	}
+	return snap
+}
+
+// compareFiles prints a diff table of two snapshots: old vs new ns/op and
+// allocs/op with speedup ratios, one row per benchmark present in either.
+func compareFiles(oldPath, newPath string) error {
+	load := func(path string) (map[string]Benchmark, error) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		m := make(map[string]Benchmark, len(snap.Benchmarks))
+		for _, b := range snap.Benchmarks {
+			m[b.Name] = b
+		}
+		return m, nil
+	}
+	oldB, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newB, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(oldB)+len(newB))
+	seen := make(map[string]bool)
+	for n := range oldB {
+		names, seen[n] = append(names, n), true
+	}
+	for n := range newB {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	tb := stats.NewTable("benchmark", "old ns/op", "new ns/op", "speedup", "old allocs", "new allocs")
+	for _, n := range names {
+		o, haveOld := oldB[n]
+		nw, haveNew := newB[n]
+		row := []any{n, "-", "-", "-", "-", "-"}
+		if haveOld {
+			row[1] = o.NsPerOp
+			row[4] = o.AllocsPerOp
+		}
+		if haveNew {
+			row[2] = nw.NsPerOp
+			row[5] = nw.AllocsPerOp
+		}
+		if haveOld && haveNew && nw.NsPerOp > 0 {
+			row[3] = fmt.Sprintf("%.2fx", o.NsPerOp/nw.NsPerOp)
+		}
+		tb.AddRow(row...)
+	}
+	tb.Write(os.Stdout)
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -65,7 +65,7 @@ func (k Kind) IsLink() bool { return k <= LinkLoss }
 // Event is one scheduled fault.
 type Event struct {
 	// At is the event's simulated-time offset from the start of the run.
-	At sim.Duration
+	At   sim.Duration
 	Kind Kind
 	// Link names the target egress link for link events. The special form
 	// "host:N" addresses both of host N's access links (its uplink and

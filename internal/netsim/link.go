@@ -75,11 +75,61 @@ type Link struct {
 	// cost, like Trace.
 	Attr  *obs.Attributor
 	Audit *obs.Auditor
+
+	// tx is the reusable serialisation-done event: a link serialises at
+	// most one packet at a time, so a single node suffices and the transmit
+	// path schedules no closures. Arrival events overlap (propagation is
+	// pipelined), so they come from freeArr, a per-link free list.
+	tx      txDoneEvent
+	freeArr []*arrivalEvent
+}
+
+// txDoneEvent fires when the transmitter finishes serialising l.tx's
+// packet: release the transmitter, start the packet's propagation, and pull
+// the next packet from the scheduler.
+type txDoneEvent struct {
+	l *Link
+	p *Packet
+}
+
+func (t *txDoneEvent) Run(s *sim.Simulator) {
+	l, p := t.l, t.p
+	t.p = nil
+	l.busy = false
+	a := l.allocArrival()
+	a.p = p
+	s.After(l.Prop, a)
+	l.kick(s)
+}
+
+// arrivalEvent delivers a packet to the link's far end after propagation.
+type arrivalEvent struct {
+	l *Link
+	p *Packet
+}
+
+func (a *arrivalEvent) Run(s *sim.Simulator) {
+	l, p := a.l, a.p
+	a.p = nil
+	l.freeArr = append(l.freeArr, a)
+	l.dst.HandlePacket(s, p)
+}
+
+func (l *Link) allocArrival() *arrivalEvent {
+	if k := len(l.freeArr); k > 0 {
+		a := l.freeArr[k-1]
+		l.freeArr[k-1] = nil
+		l.freeArr = l.freeArr[:k-1]
+		return a
+	}
+	return &arrivalEvent{l: l}
 }
 
 // NewLink creates a link delivering packets to dst.
 func NewLink(name string, rate sim.Rate, prop sim.Duration, sched wfq.Scheduler, dst Handler) *Link {
-	return &Link{Name: name, Rate: rate, Prop: prop, Sched: sched, dst: dst}
+	l := &Link{Name: name, Rate: rate, Prop: prop, Sched: sched, dst: dst}
+	l.tx.l = l
+	return l
 }
 
 // Send enqueues p for transmission, applying the scheduler's drop policy.
@@ -139,15 +189,11 @@ func (l *Link) kick(s *sim.Simulator) {
 	l.Stats.BusyTime += tx
 	l.Stats.TxPackets++
 	l.Stats.TxBytes += int64(p.Size)
-	s.AfterFunc(tx, func(s *sim.Simulator) {
-		l.busy = false
-		// Arrival after propagation; serialisation of the next packet
-		// overlaps with this packet's flight time.
-		s.AfterFunc(l.Prop, func(s *sim.Simulator) {
-			l.dst.HandlePacket(s, p)
-		})
-		l.kick(s)
-	})
+	// Arrival is scheduled from the tx-done event after propagation;
+	// serialisation of the next packet overlaps with this packet's flight
+	// time.
+	l.tx.p = p
+	s.After(tx, &l.tx)
 }
 
 // SetDown flips the link's fault state. Going down freezes the egress

@@ -70,6 +70,33 @@ type Network struct {
 
 	// byName indexes links for fault-injection targeting; built lazily.
 	byName map[string]*Link
+
+	// pktFree recycles Packet structs through the transport's send/ack
+	// path. Each simulation is single-threaded and owns its Network, so no
+	// synchronisation is needed; steady-state packet traffic then allocates
+	// nothing. Packets that never reach a FreePacket call (drops, packets
+	// consumed by baseline receivers) simply fall to the garbage collector.
+	pktFree []*Packet
+}
+
+// AllocPacket returns a zeroed packet, reusing a recycled one when
+// available. Callers fill the fields they need; all fields start at their
+// zero values.
+func (n *Network) AllocPacket() *Packet {
+	if k := len(n.pktFree); k > 0 {
+		p := n.pktFree[k-1]
+		n.pktFree[k-1] = nil
+		n.pktFree = n.pktFree[:k-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// FreePacket recycles p. The caller must hold the only live reference: p is
+// zeroed and handed to the next AllocPacket.
+func (n *Network) FreePacket(p *Packet) {
+	*p = Packet{}
+	n.pktFree = append(n.pktFree, p)
 }
 
 // Host is an end host: an uplink into the switch and a receive handler.

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"math/rand"
 )
 
@@ -53,33 +52,84 @@ func (h Handle) Pending() bool {
 	return h.s != nil && h.s.gen == h.gen && !h.s.cancel && h.s.index >= 0
 }
 
-type eventHeap []*scheduled
+// heapNode caches a scheduled node's sort key inline so sift comparisons
+// read only the heap's own backing array — no pointer chase per compare —
+// while the *scheduled node carries the event payload and cancel state.
+type heapNode struct {
+	at  Time
+	seq uint64
+	sc  *scheduled
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+// eventHeap is a binary min-heap ordered by (at, seq). It is monomorphic —
+// the sift loops compare keys directly — so scheduling and firing events
+// involves no interface dispatch and no `any` boxing, unlike
+// container/heap. (at, seq) is a total order because seq is unique, so the
+// pop order is identical to the container/heap implementation it replaced.
+type eventHeap []heapNode
+
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// push appends sc and sifts it up.
+func (h *eventHeap) push(sc *scheduled) {
+	sc.index = len(*h)
+	*h = append(*h, heapNode{sc.at, sc.seq, sc})
+	h.up(sc.index)
 }
-func (h *eventHeap) Push(x any) {
-	s := x.(*scheduled)
-	s.index = len(*h)
-	*h = append(*h, s)
-}
-func (h *eventHeap) Pop() any {
+
+// pop removes and returns the minimum node.
+func (h *eventHeap) pop() *scheduled {
 	old := *h
-	n := len(old)
-	s := old[n-1]
-	old[n-1] = nil
-	s.index = -1
-	*h = old[:n-1]
-	return s
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	old[0].sc.index = 0
+	sc := old[n].sc
+	old[n] = heapNode{}
+	*h = old[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	sc.index = -1
+	return sc
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		h[i].sc.index = i
+		h[parent].sc.index = parent
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		h[i].sc.index = i
+		h[least].sc.index = least
+		i = least
+	}
 }
 
 // Simulator is a single-threaded discrete-event simulation. The zero value
@@ -124,7 +174,7 @@ func (s *Simulator) At(t Time, ev Event) Handle {
 		sc = &scheduled{at: t, seq: s.seq, ev: ev}
 	}
 	s.seq++
-	heap.Push(&s.events, sc)
+	s.events.push(sc)
 	return Handle{sc, sc.gen}
 }
 
@@ -158,7 +208,7 @@ func (s *Simulator) Pending() int { return len(s.events) }
 // queue is empty.
 func (s *Simulator) Step() bool {
 	for len(s.events) > 0 {
-		sc := heap.Pop(&s.events).(*scheduled)
+		sc := s.events.pop()
 		if sc.cancel {
 			s.recycle(sc)
 			continue
@@ -185,8 +235,8 @@ func (s *Simulator) RunUntil(end Time) {
 	for len(s.events) > 0 {
 		// Peek without popping.
 		next := s.events[0]
-		if next.cancel {
-			s.recycle(heap.Pop(&s.events).(*scheduled))
+		if next.sc.cancel {
+			s.recycle(s.events.pop())
 			continue
 		}
 		if next.at > end {

@@ -123,6 +123,49 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+// TestRunUntilBoundary: RunUntil(end) is inclusive — an event scheduled
+// exactly at end fires, and one at end+1 stays queued.
+func TestRunUntilBoundary(t *testing.T) {
+	s := New(1)
+	var fired []Time
+	for _, at := range []Time{25, 26} {
+		at := at
+		s.AtFunc(at, func(*Simulator) { fired = append(fired, at) })
+	}
+	s.RunUntil(25)
+	if len(fired) != 1 || fired[0] != 25 {
+		t.Errorf("fired %v, want exactly the event at end=25", fired)
+	}
+	if s.Now() != 25 {
+		t.Errorf("Now() = %v, want 25", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending() = %d, want the end+1 event still queued", s.Pending())
+	}
+}
+
+// TestRunUntilDrainsCancelledHeadPastEnd: a cancelled event at the head
+// of the queue is discarded by RunUntil even when its timestamp is past
+// end, so the queue does not accumulate dead nodes across epochs.
+func TestRunUntilDrainsCancelledHeadPastEnd(t *testing.T) {
+	s := New(1)
+	h := s.AtFunc(50, func(*Simulator) { t.Error("cancelled event ran") })
+	live := false
+	s.AtFunc(60, func(*Simulator) { live = true })
+	h.Cancel()
+	s.RunUntil(20)
+	if s.Now() != 20 {
+		t.Errorf("Now() = %v, want 20", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending() = %d, want cancelled head drained and live event kept", s.Pending())
+	}
+	s.Run()
+	if !live {
+		t.Error("live event past end never ran")
+	}
+}
+
 func TestRunUntilSkipsCancelled(t *testing.T) {
 	s := New(1)
 	h := s.AtFunc(10, func(*Simulator) { t.Fatal("cancelled event ran") })
@@ -348,6 +391,43 @@ func TestRunUntilOnlyCancelled(t *testing.T) {
 	}
 	if len(s.free) != len(hs) {
 		t.Errorf("free list has %d nodes, want %d", len(s.free), len(hs))
+	}
+}
+
+// TestHeapOrderRandom stress-tests the monomorphic event heap: a random
+// mix of schedules and cancellations must fire in strict (at, seq) order.
+func TestHeapOrderRandom(t *testing.T) {
+	s := New(99)
+	rng := s.Rand()
+	type key struct {
+		at  Time
+		seq int
+	}
+	var fired []key
+	var handles []Handle
+	for i := 0; i < 5000; i++ {
+		i := i
+		at := Time(rng.Intn(1000))
+		handles = append(handles, s.AtFunc(at, func(*Simulator) {
+			fired = append(fired, key{at, i})
+		}))
+	}
+	cancelled := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		j := rng.Intn(len(handles))
+		if handles[j].Cancel() {
+			cancelled[j] = true
+		}
+	}
+	s.Run()
+	if want := 5000 - len(cancelled); len(fired) != want {
+		t.Fatalf("fired %d events, want %d", len(fired), want)
+	}
+	for i := 1; i < len(fired); i++ {
+		a, b := fired[i-1], fired[i]
+		if a.at > b.at || (a.at == b.at && a.seq > b.seq) {
+			t.Fatalf("out of order at %d: %v then %v", i, a, b)
+		}
 	}
 }
 

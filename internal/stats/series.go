@@ -46,9 +46,15 @@ func (s *Series) At(t, def float64) float64 {
 }
 
 // After returns the sub-series with t ≥ start, sharing backing arrays.
+// The slices are capped with full-slice expressions so that appending to
+// the sub-series reallocates instead of overwriting the parent's points.
 func (s *Series) After(start float64) Series {
 	i := sort.SearchFloat64s(s.T, start)
-	return Series{Name: s.Name, T: s.T[i:], V: s.V[i:]}
+	return Series{
+		Name: s.Name,
+		T:    s.T[i:len(s.T):len(s.T)],
+		V:    s.V[i:len(s.V):len(s.V)],
+	}
 }
 
 // MeanValue returns the time-weighted mean of the series over its span,
@@ -102,6 +108,13 @@ func (s *Series) Downsample(maxPoints int) Series {
 		return out
 	}
 	out := Series{Name: s.Name}
+	if maxPoints == 1 {
+		// A single slot keeps the first point; the i*(n-1)/(maxPoints-1)
+		// spacing below would divide by zero.
+		out.T = append(out.T, s.T[0])
+		out.V = append(out.V, s.V[0])
+		return out
+	}
 	for i := 0; i < maxPoints; i++ {
 		idx := i * (n - 1) / (maxPoints - 1)
 		out.T = append(out.T, s.T[idx])

@@ -258,6 +258,52 @@ func TestSeriesAfterAndDownsample(t *testing.T) {
 	}
 }
 
+// TestSeriesDownsampleTinyBudgets pins the maxPoints edge cases:
+// maxPoints=1 must not divide by zero (it keeps the first point),
+// maxPoints=2 keeps exactly first+last, and maxPoints<=0 means "no
+// limit" and copies the whole series.
+func TestSeriesDownsampleTinyBudgets(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		s.Append(float64(i), float64(10*i))
+	}
+	one := s.Downsample(1)
+	if one.Len() != 1 || one.T[0] != 0 || one.V[0] != 0 {
+		t.Errorf("Downsample(1) = T %v V %v, want first point only", one.T, one.V)
+	}
+	two := s.Downsample(2)
+	if two.Len() != 2 || two.T[0] != 0 || two.T[1] != 9 {
+		t.Errorf("Downsample(2) = %v, want first and last", two.T)
+	}
+	all := s.Downsample(0)
+	if all.Len() != 10 {
+		t.Errorf("Downsample(0) len = %d, want full copy", all.Len())
+	}
+	var empty Series
+	if got := empty.Downsample(1); got.Len() != 0 {
+		t.Errorf("empty Downsample(1) len = %d, want 0", got.Len())
+	}
+}
+
+// TestSeriesAfterNoAliasing verifies that appending to an After()
+// sub-series cannot overwrite the parent's points: the sub-series
+// slices are capacity-capped, so growth reallocates.
+func TestSeriesAfterNoAliasing(t *testing.T) {
+	var s Series
+	for i := 0; i < 5; i++ {
+		s.Append(float64(i), float64(i))
+	}
+	tail := s.After(2)
+	s.Append(5, 5)
+	tail.Append(100, -1)
+	if s.T[5] != 5 || s.V[5] != 5 {
+		t.Errorf("parent point clobbered by sub-series append: T[5]=%v V[5]=%v", s.T[5], s.V[5])
+	}
+	if tail.Len() != 4 || tail.T[3] != 100 {
+		t.Errorf("sub-series append lost: %v", tail.T)
+	}
+}
+
 func TestTable(t *testing.T) {
 	tb := NewTable("name", "value")
 	tb.AddRow("alpha", 0.123456)

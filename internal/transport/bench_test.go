@@ -1,0 +1,54 @@
+package transport
+
+import (
+	"testing"
+
+	"aequitas/internal/netsim"
+	"aequitas/internal/qos"
+	"aequitas/internal/sim"
+	"aequitas/internal/wfq"
+)
+
+// BenchmarkTransportSend measures the full send path for one message:
+// packetisation, window pacing, switch traversal, delivery, and the
+// cumulative-ack return path, over a two-host network. Each iteration
+// delivers one 16 KB message, so ns/op is the end-to-end transport cost
+// per message and allocs/op exposes any per-packet garbage on the
+// send/ack path.
+func BenchmarkTransportSend(b *testing.B) {
+	net, err := netsim.New(netsim.Config{
+		Hosts: 2,
+		SwitchSched: func() wfq.Scheduler {
+			return wfq.NewWFQ([]float64{8, 4, 1}, 2<<20)
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{NewCC: func() CC { return SwiftDefaults(10 * sim.Microsecond) }}
+	eps := []*Endpoint{
+		NewEndpoint(net, net.Host(0), cfg),
+		NewEndpoint(net, net.Host(1), cfg),
+	}
+	s := sim.New(1)
+	const msgBytes = 16 * 1024
+	completed := 0
+	msg := Message{Class: qos.High, Bytes: msgBytes,
+		OnComplete: func(*sim.Simulator, *Message) { completed++ }}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := msg
+		m.ID = uint64(i + 1)
+		m.Dst = 1
+		eps[0].Send(s, &m)
+		s.Run()
+	}
+	b.StopTimer()
+	if completed != b.N {
+		b.Fatalf("completed %d messages, want %d", completed, b.N)
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "msgs/s")
+	}
+}

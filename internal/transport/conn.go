@@ -139,7 +139,7 @@ func (e *Endpoint) Send(s *sim.Simulator, m *Message) {
 	m.start = c.writeEnd
 	m.end = m.start + m.Bytes
 	c.writeEnd = m.end
-	c.msgs = append(c.msgs, m)
+	c.pushMsg(m)
 	e.Stats.MsgsSent++
 	c.trySend(s)
 }
@@ -167,6 +167,8 @@ func (e *Endpoint) conn(peer int, class qos.Class) *conn {
 			srtt:  e.cfg.InitialRTT,
 			gen:   e.gen,
 		}
+		c.rtoEv.c = c
+		c.paceEv.c = c
 		e.conns[k] = c
 	}
 	return c
@@ -209,7 +211,7 @@ func (e *Endpoint) ResetPeer(s *sim.Simulator, peer int) {
 	var failed []*Message
 	for _, k := range keys {
 		c := e.conns[k]
-		failed = append(failed, c.msgs...)
+		failed = append(failed, c.pending()...)
 		c.teardown()
 		delete(e.conns, k)
 	}
@@ -258,18 +260,23 @@ func (e *Endpoint) MetricsSampler() obs.Sampler {
 	}
 }
 
-// HandlePacket implements netsim.Handler.
+// HandlePacket implements netsim.Handler. The endpoint is the terminal
+// consumer of every packet delivered to it, so the packet is recycled into
+// the network's pool once processed; nothing on the receive path may retain
+// it past this call.
 func (e *Endpoint) HandlePacket(s *sim.Simulator, p *Packet) {
 	if e.down {
+		e.net.FreePacket(p)
 		return
 	}
 	if p.Ack {
 		if c, ok := e.conns[connKey{p.Src, p.Class}]; ok {
 			c.onAck(s, p)
 		}
-		return
+	} else {
+		e.onData(s, p)
 	}
-	e.onData(s, p)
+	e.net.FreePacket(p)
 }
 
 // Packet aliases the netsim packet type for the package's public surface.
@@ -282,10 +289,16 @@ type conn struct {
 	class qos.Class
 	cc    CC
 
-	msgs     []*Message // incomplete messages, FIFO by stream offset
-	writeEnd int64      // total bytes queued to the stream
-	cumAck   int64      // cumulative acknowledged bytes
-	nextSend int64      // next byte offset to (re)transmit
+	// msgs[msgHead:] is the FIFO of incomplete messages by stream offset.
+	// Completion advances msgHead instead of reslicing, and pushMsg
+	// compacts the spent prefix in place, so the backing array is reused
+	// rather than reallocated every time the slice front wraps past its
+	// capacity.
+	msgs     []*Message
+	msgHead  int
+	writeEnd int64 // total bytes queued to the stream
+	cumAck   int64 // cumulative acknowledged bytes
+	nextSend int64 // next byte offset to (re)transmit
 
 	srtt    sim.Duration
 	rttvar  sim.Duration
@@ -299,11 +312,50 @@ type conn struct {
 	rtoTimer    sim.Handle
 	paceTimer   sim.Handle
 	nextAllowed sim.Time // pacing gate for sub-packet windows
+	// rtoAt is the logical retransmission deadline (0 = disarmed). Acks
+	// move it forward without touching the scheduled timer; when the timer
+	// fires early it re-arms itself at rtoAt. This keeps RTO maintenance to
+	// one event-queue node per connection instead of a cancel+insert per
+	// ack, which would bloat the event heap with dead nodes.
+	rtoAt sim.Time
 
 	// stalled/stallFrom track an open pacing-gate stall for latency
 	// attribution; maintained only when cfg.Attr is set.
 	stalled   bool
 	stallFrom sim.Time
+
+	// rtoEv/paceEv are the connection's reusable timer events, so arming a
+	// timer schedules no closure. Each timer has at most one pending
+	// instance (armRTO and schedulePace check Pending first).
+	rtoEv  rtoEvent
+	paceEv paceEvent
+}
+
+// rtoEvent and paceEvent adapt the connection's timer callbacks to
+// sim.Event without per-arm closure allocations.
+type rtoEvent struct{ c *conn }
+
+func (e *rtoEvent) Run(s *sim.Simulator) { e.c.onRTO(s) }
+
+type paceEvent struct{ c *conn }
+
+func (e *paceEvent) Run(s *sim.Simulator) { e.c.trySend(s) }
+
+// pending returns the incomplete-message FIFO.
+func (c *conn) pending() []*Message { return c.msgs[c.msgHead:] }
+
+// pushMsg appends m, first compacting the spent prefix when the backing
+// array is full so steady-state message turnover reuses it.
+func (c *conn) pushMsg(m *Message) {
+	if len(c.msgs) == cap(c.msgs) && c.msgHead > 0 {
+		n := copy(c.msgs, c.msgs[c.msgHead:])
+		for i := n; i < len(c.msgs); i++ {
+			c.msgs[i] = nil
+		}
+		c.msgs = c.msgs[:n]
+		c.msgHead = 0
+	}
+	c.msgs = append(c.msgs, m)
 }
 
 // windowBytes converts the CC window to bytes.
@@ -356,15 +408,14 @@ func (c *conn) emit(s *sim.Simulator) {
 			payload = rem
 		}
 	}
-	p := &Packet{
-		Dst:     c.peer,
-		Class:   c.class,
-		Size:    int(payload) + netsim.HeaderBytes,
-		Seq:     c.nextSend,
-		Payload: int(payload),
-		SentAt:  s.Now(),
-		Gen:     c.gen,
-	}
+	p := c.ep.net.AllocPacket()
+	p.Dst = c.peer
+	p.Class = c.class
+	p.Size = int(payload) + netsim.HeaderBytes
+	p.Seq = c.nextSend
+	p.Payload = int(payload)
+	p.SentAt = s.Now()
+	p.Gen = c.gen
 	if m != nil {
 		p.MsgID = m.ID
 		p.Urg = m.end - c.nextSend // remaining bytes: SRPT urgency
@@ -400,7 +451,7 @@ func (c *conn) emit(s *sim.Simulator) {
 
 // messageAt returns the incomplete message covering stream offset off.
 func (c *conn) messageAt(off int64) *Message {
-	for _, m := range c.msgs {
+	for _, m := range c.pending() {
 		if off < m.end {
 			if off >= m.start {
 				return m
@@ -419,7 +470,7 @@ func (c *conn) schedulePace(s *sim.Simulator) {
 	if delay < 0 {
 		delay = 0
 	}
-	c.paceTimer = s.AfterFunc(delay, func(s *sim.Simulator) { c.trySend(s) })
+	c.paceTimer = s.After(delay, &c.paceEv)
 }
 
 // teardown cancels the connection's timers; the caller discards it. No
@@ -428,7 +479,9 @@ func (c *conn) schedulePace(s *sim.Simulator) {
 func (c *conn) teardown() {
 	c.rtoTimer.Cancel()
 	c.paceTimer.Cancel()
+	c.rtoAt = 0
 	c.msgs = nil
+	c.msgHead = 0
 }
 
 // onAck processes a cumulative acknowledgement.
@@ -456,19 +509,28 @@ func (c *conn) onAck(s *sim.Simulator, p *Packet) {
 	c.cc.OnAck(s.Now(), rtt, ackedPkts)
 
 	// Complete messages fully covered by the cumulative ack.
-	for len(c.msgs) > 0 && c.msgs[0].end <= c.cumAck {
-		m := c.msgs[0]
-		c.msgs[0] = nil
-		c.msgs = c.msgs[1:]
+	for c.msgHead < len(c.msgs) && c.msgs[c.msgHead].end <= c.cumAck {
+		m := c.msgs[c.msgHead]
+		c.msgs[c.msgHead] = nil
+		c.msgHead++
 		c.ep.Stats.MsgsCompleted++
 		if m.OnComplete != nil {
 			m.OnComplete(s, m)
 		}
 	}
+	if c.msgHead == len(c.msgs) {
+		// Queue drained: rewind so the next pushMsg appends at the front
+		// of the backing array.
+		c.msgs = c.msgs[:0]
+		c.msgHead = 0
+	}
 
-	c.rtoTimer.Cancel()
 	if c.inflight() > 0 {
-		c.armRTO(s)
+		// Push the logical deadline out; the pending timer re-arms itself
+		// on its next (now spurious) fire.
+		c.rtoAt = s.Now() + c.rto()
+	} else {
+		c.rtoAt = 0
 	}
 	c.trySend(s)
 }
@@ -503,18 +565,31 @@ func (c *conn) rto() sim.Duration {
 }
 
 func (c *conn) armRTO(s *sim.Simulator) {
-	if c.rtoTimer.Pending() {
-		return
+	if c.rtoAt != 0 {
+		return // already armed
 	}
-	c.rtoTimer = s.AfterFunc(c.rto(), func(s *sim.Simulator) { c.onRTO(s) })
+	c.rtoAt = s.Now() + c.rto()
+	if !c.rtoTimer.Pending() {
+		c.rtoTimer = s.At(c.rtoAt, &c.rtoEv)
+	}
 }
 
 // onRTO implements go-back-N recovery: rewind to the cumulative ack and
-// retransmit.
+// retransmit. Fires at the scheduled timer time, which may be earlier than
+// the logical deadline rtoAt when acks extended it meanwhile; in that case
+// the timer re-arms itself and nothing times out.
 func (c *conn) onRTO(s *sim.Simulator) {
-	if c.inflight() <= 0 {
+	if c.rtoAt == 0 || c.inflight() <= 0 {
+		// Disarmed, or nothing outstanding: drop the logical deadline too,
+		// so the next emit arms a fresh timer.
+		c.rtoAt = 0
 		return
 	}
+	if s.Now() < c.rtoAt {
+		c.rtoTimer = s.At(c.rtoAt, &c.rtoEv)
+		return
+	}
+	c.rtoAt = 0
 	c.ep.Stats.RTOFires++
 	c.ep.Stats.Retransmits++
 	c.backoff++
@@ -569,15 +644,14 @@ func (e *Endpoint) onData(s *sim.Simulator, p *Packet) {
 	default:
 		// Duplicate of already-received data; re-ack.
 	}
-	ack := &Packet{
-		Dst:    p.Src,
-		Class:  p.Class,
-		Size:   netsim.AckBytes,
-		Ack:    true,
-		AckSeq: r.cumRecv,
-		SentAt: p.SentAt, // echo for RTT measurement
-		MsgID:  p.MsgID,
-		Gen:    p.Gen, // echo the epoch so the sender can reject stale acks
-	}
+	ack := e.net.AllocPacket()
+	ack.Dst = p.Src
+	ack.Class = p.Class
+	ack.Size = netsim.AckBytes
+	ack.Ack = true
+	ack.AckSeq = r.cumRecv
+	ack.SentAt = p.SentAt // echo for RTT measurement
+	ack.MsgID = p.MsgID
+	ack.Gen = p.Gen // echo the epoch so the sender can reject stale acks
 	e.host.Send(s, ack)
 }

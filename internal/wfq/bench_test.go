@@ -1,0 +1,32 @@
+package wfq
+
+import (
+	"testing"
+)
+
+// BenchmarkWFQDequeue measures the per-packet cost of one egress port's
+// scheduling decision: an enqueue plus a dequeue against a WFQ held at a
+// steady backlog across three classes. This is the inner loop every
+// switch port runs once per transmitted packet.
+func BenchmarkWFQDequeue(b *testing.B) {
+	w := NewWFQ([]float64{8, 4, 1}, 0)
+	items := make([]testItem, 64*3)
+	for i := range items {
+		items[i] = testItem{size: 1500, class: i % 3}
+	}
+	for i := range items {
+		w.Enqueue(&items[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := w.Dequeue()
+		if it == nil {
+			b.Fatal("scheduler drained")
+		}
+		w.Enqueue(it)
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "packets/s")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // validateWeights panics unless every class weight is a positive finite
@@ -55,30 +56,54 @@ type Scheduler interface {
 	BytesFor(class int) int
 }
 
-// fifoQueue is a simple ring-buffer-free FIFO of items with byte
-// accounting.
+// fifoQueue is a FIFO of items with byte accounting, backed by a
+// power-of-two ring buffer so steady-state enqueue/dequeue cycles never
+// allocate (a head-sliced Go slice would lose front capacity and force
+// append to reallocate on every wrap).
 type fifoQueue struct {
-	items []Item
+	items []Item // ring storage; len(items) is the capacity, a power of two
+	head  int
+	n     int
 	bytes int
 }
 
 func (q *fifoQueue) push(it Item) {
-	q.items = append(q.items, it)
+	if q.n == len(q.items) {
+		q.grow()
+	}
+	q.items[(q.head+q.n)&(len(q.items)-1)] = it
+	q.n++
 	q.bytes += it.SizeBytes()
 }
 
+func (q *fifoQueue) front() Item { return q.items[q.head] }
+
 func (q *fifoQueue) pop() Item {
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		return nil
 	}
-	it := q.items[0]
-	q.items[0] = nil
-	q.items = q.items[1:]
+	it := q.items[q.head]
+	q.items[q.head] = nil
+	q.head = (q.head + 1) & (len(q.items) - 1)
+	q.n--
 	q.bytes -= it.SizeBytes()
 	return it
 }
 
-func (q *fifoQueue) len() int { return len(q.items) }
+func (q *fifoQueue) grow() {
+	newCap := 2 * len(q.items)
+	if newCap == 0 {
+		newCap = 8
+	}
+	grown := make([]Item, newCap)
+	for i := 0; i < q.n; i++ {
+		grown[i] = q.items[(q.head+i)&(len(q.items)-1)]
+	}
+	q.items = grown
+	q.head = 0
+}
+
+func (q *fifoQueue) len() int { return q.n }
 
 // WFQ is a self-clocked fair queueing (SCFQ) scheduler: each arriving
 // packet receives a virtual finish tag F = max(F_prev(class), V) + L/φ and
@@ -95,6 +120,11 @@ type WFQ struct {
 	queues []taggedQueue
 	qBytes int
 	qItems int
+	// active is a bitmask of backlogged class queues (bit c set when
+	// queues[c] is non-empty), so Dequeue visits only classes with work
+	// instead of scanning every configured class. Maintained only when the
+	// class count fits a word; wider configurations fall back to a scan.
+	active uint64
 }
 
 type taggedItem struct {
@@ -102,9 +132,46 @@ type taggedItem struct {
 	finish float64
 }
 
+// taggedQueue is a FIFO of tagged items backed by a power-of-two ring
+// buffer; see fifoQueue for why a plain head-sliced slice is not used.
 type taggedQueue struct {
 	items []taggedItem
+	head  int
+	n     int
 	bytes int
+}
+
+func (q *taggedQueue) push(ti taggedItem) {
+	if q.n == len(q.items) {
+		q.grow()
+	}
+	q.items[(q.head+q.n)&(len(q.items)-1)] = ti
+	q.n++
+	q.bytes += ti.it.SizeBytes()
+}
+
+func (q *taggedQueue) front() *taggedItem { return &q.items[q.head] }
+
+func (q *taggedQueue) pop() taggedItem {
+	ti := q.items[q.head]
+	q.items[q.head] = taggedItem{}
+	q.head = (q.head + 1) & (len(q.items) - 1)
+	q.n--
+	q.bytes -= ti.it.SizeBytes()
+	return ti
+}
+
+func (q *taggedQueue) grow() {
+	newCap := 2 * len(q.items)
+	if newCap == 0 {
+		newCap = 8
+	}
+	grown := make([]taggedItem, newCap)
+	for i := 0; i < q.n; i++ {
+		grown[i] = q.items[(q.head+i)&(len(q.items)-1)]
+	}
+	q.items = grown
+	q.head = 0
 }
 
 // NewWFQ returns a WFQ over len(weights) classes. perClassBytes bounds
@@ -137,8 +204,10 @@ func (w *WFQ) Enqueue(it Item) []Item {
 	}
 	finish := start + float64(it.SizeBytes())/w.weights[c]
 	w.lastF[c] = finish
-	q.items = append(q.items, taggedItem{it, finish})
-	q.bytes += it.SizeBytes()
+	q.push(taggedItem{it, finish})
+	if c < 64 {
+		w.active |= 1 << uint(c)
+	}
 	w.qBytes += it.SizeBytes()
 	w.qItems++
 	return nil
@@ -149,14 +218,23 @@ func (w *WFQ) Enqueue(it Item) []Item {
 func (w *WFQ) Dequeue() Item {
 	best := -1
 	var bestF float64
-	for c := range w.queues {
-		q := &w.queues[c]
-		if len(q.items) == 0 {
-			continue
+	if len(w.queues) <= 64 {
+		// Visit only backlogged classes via the active mask.
+		for m := w.active; m != 0; m &= m - 1 {
+			c := bits.TrailingZeros64(m)
+			if f := w.queues[c].front().finish; best < 0 || f < bestF {
+				best, bestF = c, f
+			}
 		}
-		if best < 0 || q.items[0].finish < bestF {
-			best = c
-			bestF = q.items[0].finish
+	} else {
+		for c := range w.queues {
+			q := &w.queues[c]
+			if q.n == 0 {
+				continue
+			}
+			if f := q.front().finish; best < 0 || f < bestF {
+				best, bestF = c, f
+			}
 		}
 	}
 	if best < 0 {
@@ -169,10 +247,10 @@ func (w *WFQ) Dequeue() Item {
 		return nil
 	}
 	q := &w.queues[best]
-	ti := q.items[0]
-	q.items[0] = taggedItem{}
-	q.items = q.items[1:]
-	q.bytes -= ti.it.SizeBytes()
+	ti := q.pop()
+	if q.n == 0 && best < 64 {
+		w.active &^= 1 << uint(best)
+	}
 	w.qBytes -= ti.it.SizeBytes()
 	w.qItems--
 	w.virt = ti.finish
@@ -254,7 +332,7 @@ func (d *DWRR) Dequeue() Item {
 			scanned++
 			continue
 		}
-		head := q.items[0]
+		head := q.front()
 		if d.deficit[c] >= head.SizeBytes() {
 			d.deficit[c] -= head.SizeBytes()
 			it := q.pop()

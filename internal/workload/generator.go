@@ -144,6 +144,31 @@ type Generator struct {
 	stopped bool
 	// Offered counts bytes offered per class (input mix accounting).
 	Offered *qos.MixCounter
+
+	// events holds one reusable arrival event per class. Each class's
+	// stream has at most one scheduled continuation at a time (the chain is
+	// sequential), so re-arming the same node keeps the arrival process
+	// allocation-free.
+	events []genEvent
+}
+
+// genEvent is the per-class arrival-stream continuation: issue an RPC when
+// the scheduled point is a real arrival (fire), then draw the next one.
+// Burst- and shape-clipping wakeups re-arm it with fire unset.
+type genEvent struct {
+	g        *Generator
+	classIdx int
+	fire     bool
+}
+
+func (e *genEvent) Run(s *sim.Simulator) {
+	if e.g.stopped {
+		return
+	}
+	if e.fire {
+		e.g.issue(s, e.classIdx)
+	}
+	e.g.scheduleNext(s, e.classIdx)
 }
 
 // NewGenerator validates the spec and builds a generator.
@@ -197,6 +222,10 @@ func (g *Generator) Start(s *sim.Simulator) {
 		return
 	}
 	g.running = true
+	g.events = make([]genEvent, len(g.spec.Classes))
+	for i := range g.events {
+		g.events[i] = genEvent{g: g, classIdx: i}
+	}
 	for i := range g.spec.Classes {
 		g.scheduleNext(s, i)
 	}
@@ -257,7 +286,7 @@ func (g *Generator) scheduleNext(s *sim.Simulator, classIdx int) {
 			if until <= s.Now() || until == sim.MaxTime {
 				return
 			}
-			s.AtFunc(until, func(s *sim.Simulator) { g.scheduleNext(s, classIdx) })
+			g.rearm(s, classIdx, until, false)
 			return
 		}
 		if f != 1 {
@@ -275,7 +304,7 @@ func (g *Generator) scheduleNext(s *sim.Simulator, classIdx int) {
 	// draw at the next burst (memorylessness makes this exact for
 	// Poisson; for Periodic it preserves the per-burst count).
 	if active, nextBurst := g.burstWindow(next); !active {
-		s.AtFunc(nextBurst, func(s *sim.Simulator) { g.scheduleNext(s, classIdx) })
+		g.rearm(s, classIdx, nextBurst, false)
 		return
 	}
 	// Same clipping for shape off-phases: an arrival drawn in an on-phase
@@ -285,17 +314,18 @@ func (g *Generator) scheduleNext(s *sim.Simulator, classIdx int) {
 			if until <= next || until == sim.MaxTime {
 				return
 			}
-			s.AtFunc(until, func(s *sim.Simulator) { g.scheduleNext(s, classIdx) })
+			g.rearm(s, classIdx, until, false)
 			return
 		}
 	}
-	s.AtFunc(next, func(s *sim.Simulator) {
-		if g.stopped {
-			return
-		}
-		g.issue(s, classIdx)
-		g.scheduleNext(s, classIdx)
-	})
+	g.rearm(s, classIdx, next, true)
+}
+
+// rearm schedules the class's reusable continuation event at t.
+func (g *Generator) rearm(s *sim.Simulator, classIdx int, t sim.Time, fire bool) {
+	e := &g.events[classIdx]
+	e.fire = fire
+	s.At(t, e)
 }
 
 func (g *Generator) issue(s *sim.Simulator, classIdx int) {

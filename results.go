@@ -354,6 +354,14 @@ type Results struct {
 	// Terminated counts RPCs abandoned by deadline-based baselines.
 	Terminated int64
 
+	// EventsProcessed is the total number of discrete-event-simulator
+	// events the run fired; PacketsDelivered counts packets transmitted on
+	// last-hop downlinks. Both cover the whole run (warmup and drain
+	// included) and exist for the bench harness's events/sec and
+	// packets/sec throughput metrics.
+	EventsProcessed  int64
+	PacketsDelivered int64
+
 	// GoodputFraction is completed payload bytes over offered payload
 	// bytes in the measurement window (Figure 22's network utilisation),
 	// clamped to 1 for reporting. RawGoodputRatio is the same ratio

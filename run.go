@@ -63,6 +63,9 @@ func Run(cfg SimConfig) (*Results, error) {
 	}
 	res := st.col.results(st.cfg, st.net)
 	res.Terminated = st.system.Terminated()
+	res.EventsProcessed = int64(st.s.Processed)
+	pkts, _ := st.net.TotalDelivered()
+	res.PacketsDelivered = pkts
 	if st.attr != nil {
 		res.Attribution = attributionSummary(st.attr)
 	}
