@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-save bench-compare figures trace-check chaos-check
+.PHONY: all build test race vet check bench bench-save bench-compare figures trace-check chaos-check export-check
 
 # BENCH is the tracked benchmark snapshot for this PR; bump the number
 # each PR so the trajectory stays reviewable in-tree (see EXPERIMENTS.md,
 # "Performance").
-BENCH ?= BENCH_6.json
+BENCH ?= BENCH_7.json
 
 all: build
 
@@ -25,19 +25,30 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: vet build race trace-check chaos-check
+check: vet build race trace-check chaos-check export-check
 
-# trace-check runs a short instrumented simulation and validates the
-# NDJSON lifecycle trace and the metrics CSV against the schemas in
-# internal/obs.
+# trace-check runs a short instrumented simulation and validates every
+# observability artifact against the schemas in internal/obs: the NDJSON
+# lifecycle trace, the metrics CSV (including the -tail windowed
+# quantile columns), and the obsreport JSON joined from all three.
 trace-check: build
 	@mkdir -p out
 	$(GO) run ./cmd/aequitas-sim -hosts 4 -dur 3ms -trace out/trace-check.ndjson \
-	    -metrics out/trace-check.csv > /dev/null
-	$(GO) run ./cmd/tracecheck -metrics out/trace-check.csv out/trace-check.ndjson
+	    -metrics out/trace-check.csv -tail -attribution-csv out/trace-check-attr.csv > /dev/null
+	$(GO) run ./cmd/obsreport -label trace-check -trace out/trace-check.ndjson \
+	    -metrics out/trace-check.csv -attr out/trace-check-attr.csv \
+	    -json out/trace-check-report.json -md out/trace-check-report.md
+	$(GO) run ./cmd/tracecheck -metrics out/trace-check.csv \
+	    -report out/trace-check-report.json out/trace-check.ndjson
 	$(GO) run ./cmd/aequitas-sim -hosts 4 -dur 3ms -faults flapcrash -rpc-timeout 300us \
 	    -trace out/trace-check-faults.ndjson > /dev/null
 	$(GO) run ./cmd/tracecheck out/trace-check-faults.ndjson
+
+# export-check is the live-telemetry smoke: a short run published into an
+# httptest server, with /metrics parsed as Prometheus text format and
+# /snapshot as schema-tagged JSON.
+export-check:
+	$(GO) test -run 'TestExportSmoke|TestExportDisabledUntouched' -count=1 .
 
 # chaos-check is the seeded fault-injection smoke: a link flap plus a host
 # crash/restart under the race detector, exercising blackholes, timeouts,
@@ -46,16 +57,17 @@ chaos-check:
 	$(GO) test -race -run Chaos -timeout 10m .
 
 # bench runs the tracked benchmark families (end-to-end Run, raw sim
-# loop, WFQ dequeue, transport send) with full iterations and memory
-# stats; `make bench` is the quick human-readable form.
+# loop, WFQ dequeue, transport send, histogram record/quantile, /metrics
+# render) with full iterations and memory stats; `make bench` is the
+# quick human-readable form.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkRun|BenchmarkSimLoop|BenchmarkWFQDequeue|BenchmarkTransportSend' \
-	    -benchmem . ./internal/sim ./internal/wfq ./internal/transport
+	$(GO) test -run '^$$' -bench 'BenchmarkRun|BenchmarkSimLoop|BenchmarkWFQDequeue|BenchmarkTransportSend|BenchmarkHist|BenchmarkMetricsRender' \
+	    -benchmem . ./internal/sim ./internal/wfq ./internal/transport ./internal/stats ./internal/obs
 
 # bench-save records the same suite into $(BENCH) via cmd/benchjson,
 # preserving any existing baseline section in the file.
 bench-save:
-	$(GO) run ./cmd/benchjson -pr 6 -out $(BENCH)
+	$(GO) run ./cmd/benchjson -pr 7 -out $(BENCH)
 
 # bench-compare diffs two snapshots: make bench-compare OLD=a.json NEW=b.json
 OLD ?= $(BENCH)

@@ -20,7 +20,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -64,10 +68,26 @@ func (o options) progressFn() func(aequitas.Progress) {
 	}
 }
 
+// live is the shared exporter behind -http; when set, every sweep run
+// publishes snapshots into it, labelled "<figure>[<config index>]".
+var live *obs.Exporter
+
+// liveLabel is the figure id currently running, for snapshot labels.
+var liveLabel string
+
 // runAll fans the independent simulations of one figure across the worker
 // pool and returns results in input order. Figure output is identical for
-// any -parallel value; only wall-clock time changes.
+// any -parallel value; only wall-clock time changes. With -http the runs
+// additionally stream snapshots to the live exporter (concurrent runs
+// interleave their publishes; each snapshot is self-consistent and
+// carries its run's label).
 func runAll(o options, cfgs ...aequitas.SimConfig) ([]*aequitas.Results, error) {
+	if live != nil {
+		for i := range cfgs {
+			cfgs[i].Obs.Export = live
+			cfgs[i].Obs.ExportLabel = fmt.Sprintf("%s[%d]", liveLabel, i)
+		}
+	}
 	return aequitas.RunMany(cfgs, aequitas.ParallelOptions{Workers: o.workers, OnProgress: o.progressFn()})
 }
 
@@ -118,6 +138,8 @@ func main() {
 		progress = flag.Bool("progress", false, "report live per-run sweep progress on stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile covering the figure runs to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file after the figure runs")
+		outDir   = flag.String("out", "out", "also write each figure's output to <dir>/fig<id>_output.txt (plus figures_output.txt for -fig all); empty disables")
+		httpAddr = flag.String("http", "", "serve live /metrics (Prometheus), /snapshot (JSON) and /debug/pprof on this address while sweep figures run")
 	)
 	flag.Parse()
 
@@ -154,22 +176,102 @@ func main() {
 		return
 	}
 
+	if *httpAddr != "" {
+		live = obs.NewExporter()
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-http %s: %v\n", *httpAddr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serving /metrics, /snapshot, /debug/pprof on http://%s\n", ln.Addr())
+		go http.Serve(ln, live.Handler())
+	}
+
+	var combined *os.File
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "-out %s: %v\n", *outDir, err)
+			os.Exit(1)
+		}
+		if *fig == "all" {
+			var err error
+			combined, err = os.Create(filepath.Join(*outDir, "figures_output.txt"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-out: %v\n", err)
+				os.Exit(1)
+			}
+			defer combined.Close()
+		}
+	}
+
 	o := options{nodes: *nodes, big: *big, dur: *dur, long: *long, seed: *seed, workers: *parallel, progress: *progress}
 	ran := false
 	for _, f := range figures {
 		if *fig == "all" || f.id == *fig {
 			ran = true
-			fmt.Printf("=== %s: %s ===\n", f.id, f.desc)
-			start := time.Now()
-			if err := f.run(o); err != nil {
+			liveLabel = f.id
+			var perFig *os.File
+			if *outDir != "" {
+				var err error
+				perFig, err = os.Create(filepath.Join(*outDir, "fig"+f.id+"_output.txt"))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "-out: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			err := teeStdout(func() error {
+				fmt.Printf("=== %s: %s ===\n", f.id, f.desc)
+				start := time.Now()
+				if err := f.run(o); err != nil {
+					return err
+				}
+				fmt.Printf("--- %s done in %v ---\n\n", f.id, time.Since(start).Round(time.Millisecond))
+				return nil
+			}, perFig, combined)
+			if perFig != nil {
+				perFig.Close()
+			}
+			if err != nil {
 				fmt.Fprintf(os.Stderr, "figure %s: %v\n", f.id, err)
 				os.Exit(1)
 			}
-			fmt.Printf("--- %s done in %v ---\n\n", f.id, time.Since(start).Round(time.Millisecond))
 		}
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown figure %q; use -list\n", *fig)
 		os.Exit(2)
 	}
+}
+
+// teeStdout runs fn with os.Stdout duplicated into the given files (nils
+// skipped). It restores os.Stdout and waits for the copier to drain
+// before returning, so per-figure files are complete when closed. With no
+// files, fn runs undisturbed.
+func teeStdout(fn func() error, files ...*os.File) error {
+	ws := []io.Writer{os.Stdout}
+	for _, f := range files {
+		if f != nil {
+			ws = append(ws, f)
+		}
+	}
+	if len(ws) == 1 {
+		return fn()
+	}
+	r, w, err := os.Pipe()
+	if err != nil {
+		return err
+	}
+	real := os.Stdout
+	os.Stdout = w
+	done := make(chan struct{})
+	mw := io.MultiWriter(ws...)
+	go func() {
+		io.Copy(mw, r)
+		close(done)
+	}()
+	ferr := fn()
+	w.Close()
+	<-done
+	os.Stdout = real
+	return ferr
 }

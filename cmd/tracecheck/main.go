@@ -1,7 +1,9 @@
 // Command tracecheck validates observability output produced by the
 // simulator: NDJSON lifecycle traces (aequitas-sim -trace,
-// SimConfig.Obs.TraceNDJSON) and wide-format metrics CSVs
-// (aequitas-sim -metrics, SimConfig.Obs.MetricsCSV).
+// SimConfig.Obs.TraceNDJSON), wide-format metrics CSVs
+// (aequitas-sim -metrics, SimConfig.Obs.MetricsCSV) — including the
+// windowed tail-quantile columns added by -tail — and obsreport JSON
+// documents (cmd/obsreport -json).
 //
 // NDJSON lines are checked against the schema in internal/obs — known
 // kind, required fields present and correctly typed, timestamps
@@ -12,7 +14,7 @@
 //
 // Usage:
 //
-//	tracecheck [-metrics metrics.csv ...] [trace.ndjson ...]
+//	tracecheck [-metrics metrics.csv ...] [-report report.json ...] [trace.ndjson ...]
 //
 // `make trace-check` runs a short instrumented simulation and feeds the
 // results through this command.
@@ -37,14 +39,15 @@ func (m *multiFlag) Set(v string) error {
 }
 
 func main() {
-	var metrics multiFlag
+	var metrics, reports multiFlag
 	flag.Var(&metrics, "metrics", "metrics CSV to validate (repeatable)")
+	flag.Var(&reports, "report", "obsreport JSON to validate against the aequitas.obsreport/v1 schema (repeatable)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-metrics metrics.csv ...] [trace.ndjson ...]")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-metrics metrics.csv ...] [-report report.json ...] [trace.ndjson ...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if len(metrics) == 0 && flag.NArg() == 0 {
+	if len(metrics) == 0 && len(reports) == 0 && flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -71,6 +74,25 @@ func main() {
 	}
 	for _, path := range metrics {
 		check(path, "rows", func(f *os.File) (int, error) { return obs.ValidateMetricsCSV(f, obs.MetricFamilies) })
+	}
+	for _, path := range reports {
+		check(path, "sections", func(f *os.File) (int, error) {
+			rep, err := obs.ValidateReportJSON(f)
+			if err != nil {
+				return 0, err
+			}
+			n := 0
+			if rep.Trace != nil {
+				n++
+			}
+			if rep.Metrics != nil {
+				n++
+			}
+			if rep.Attribution != nil {
+				n++
+			}
+			return n, nil
+		})
 	}
 	if failed {
 		os.Exit(1)

@@ -6,6 +6,7 @@ import (
 	"aequitas/internal/core"
 	"aequitas/internal/faults"
 	"aequitas/internal/netsim"
+	"aequitas/internal/obs"
 	"aequitas/internal/qos"
 	"aequitas/internal/rpc"
 	"aequitas/internal/sim"
@@ -62,9 +63,15 @@ type collector struct {
 
 	rnlRun  map[qos.Class]*stats.Sample
 	rnlPrio map[qos.Priority]*stats.Sample
-	// nextSampleSeed derives deterministic per-series seeds for bounded
-	// (reservoir) RNL samples, keyed by creation order.
-	nextSampleSeed int64
+
+	// tails is the windowed tail time-series tracker (nil unless
+	// ObsConfig.TailSeries); it sees every completion, warmup included,
+	// matching the registry's sample-from-t=0 convention.
+	tails *obs.TailTracker
+	// expRNL holds cumulative per-run-class RNL histograms for the live
+	// exporter (nil unless ObsConfig.Export). Like tails, it sees every
+	// completion from t=0.
+	expRNL map[qos.Class]*stats.Hist
 
 	issued, completed, downgraded, dropped int64
 	// SLO accounting by priority: issued vs met, in bytes and counts.
@@ -204,6 +211,15 @@ func (c *collector) onAdmit(s *sim.Simulator, requested qos.Class, d rpc.Decisio
 func (c *collector) inWindow(t sim.Time) bool { return t >= c.warm && t <= c.end }
 
 func (c *collector) onComplete(s *sim.Simulator, r *rpc.RPC) {
+	c.tails.Observe(r.Dst, int(r.QoSRun), r.RNL.Micros())
+	if c.expRNL != nil {
+		h, ok := c.expRNL[r.QoSRun]
+		if !ok {
+			h = stats.NewHist()
+			c.expRNL[r.QoSRun] = h
+		}
+		h.Record(r.RNL.Micros())
+	}
 	if !c.inWindow(r.IssueTime) {
 		return
 	}
@@ -258,16 +274,17 @@ func sampleFor[K comparable](m map[K]*stats.Sample, k K, mk func() *stats.Sample
 }
 
 // newSample builds one RNL series accumulator: exact by default, or a
-// bounded reservoir when cfg.MaxRNLSamples is set. Reservoir seeds derive
-// deterministically from the run seed and series creation order, so a
-// given config produces identical Results regardless of what else runs in
-// the process.
+// bounded log-linear histogram when cfg.MaxRNLSamples is set. The
+// histogram replaces the former uniform reservoir: Sum/Mean/N/Min/Max
+// stay exact over the whole stream while quantiles carry a deterministic
+// ≤1% relative-error bound at any stream length — the reservoir's
+// quantile error instead grew with how much it had to subsample. No RNG
+// is involved, so bounded runs are deterministic by construction.
 func (c *collector) newSample() *stats.Sample {
 	if c.cfg.MaxRNLSamples <= 0 {
 		return &stats.Sample{}
 	}
-	c.nextSampleSeed++
-	return stats.NewBoundedSample(c.cfg.MaxRNLSamples, c.cfg.Seed+c.nextSampleSeed*0x9E3779B9)
+	return stats.NewHistSample()
 }
 
 // sample records probe and outstanding data points.

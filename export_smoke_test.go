@@ -1,0 +1,150 @@
+package aequitas
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"aequitas/internal/obs"
+)
+
+// TestExportSmoke is the live-endpoint smoke test wired into make check:
+// a short instrumented run publishes into an Exporter served over
+// httptest, then /metrics must parse as Prometheus text format with the
+// expected series, /snapshot as schema-tagged JSON, and the pprof mux
+// must respond.
+func TestExportSmoke(t *testing.T) {
+	exp := obs.NewExporter()
+	srv := httptest.NewServer(exp.Handler())
+	defer srv.Close()
+
+	// Before any publish the endpoints must refuse cleanly, not panic.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("pre-publish /metrics status = %d, want 503", resp.StatusCode)
+	}
+
+	cfg := obsTestConfig(51)
+	cfg.Obs = ObsConfig{Export: exp, ExportLabel: "smoke"}
+	cfg.Probes = []Probe{{Src: 0, Dst: 1, Class: 0}}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) []byte {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return body
+	}
+
+	// /metrics: strict Prometheus text-format parse plus the series the
+	// run must have produced.
+	prom := get("/metrics")
+	n, err := obs.ValidatePromText(bytes.NewReader(prom))
+	if err != nil {
+		t.Fatalf("/metrics not valid Prometheus text: %v\n%s", err, prom)
+	}
+	if n < 10 {
+		t.Errorf("/metrics has only %d samples", n)
+	}
+	for _, want := range []string{
+		"aequitas_sim_time_seconds",
+		"aequitas_rpcs_issued_total",
+		"aequitas_rpcs_completed_total",
+		"aequitas_rnl_us_bucket",
+		`le="+Inf"`,
+		`aequitas_gauge{name="goodput.fraction"}`,
+		`aequitas_gauge{name="p_admit.s0.d1.q0"}`,
+		`aequitas_gauge{name="q.`,
+	} {
+		if !bytes.Contains(prom, []byte(want)) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// /snapshot: schema-tagged JSON mirroring the same state.
+	var snap struct {
+		Schema   string  `json:"schema"`
+		Label    string  `json:"label"`
+		SimTimeS float64 `json:"sim_time_s"`
+		Final    bool    `json:"final"`
+		Counters []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		} `json:"counters"`
+		Hists []struct {
+			Name  string `json:"name"`
+			Count int64  `json:"count"`
+		} `json:"hists"`
+	}
+	if err := json.Unmarshal(get("/snapshot"), &snap); err != nil {
+		t.Fatalf("/snapshot not JSON: %v", err)
+	}
+	if snap.Schema != obs.SnapshotSchema {
+		t.Errorf("snapshot schema = %q, want %q", snap.Schema, obs.SnapshotSchema)
+	}
+	if snap.Label != "smoke" || !snap.Final || snap.SimTimeS <= 0 {
+		t.Errorf("final snapshot = label %q final %v t %v", snap.Label, snap.Final, snap.SimTimeS)
+	}
+	var completed float64
+	for _, c := range snap.Counters {
+		if c.Name == "rpcs_completed_total" {
+			completed = c.Value
+		}
+	}
+	if completed == 0 {
+		t.Error("snapshot counters missing rpcs_completed_total")
+	}
+	var histN int64
+	for _, h := range snap.Hists {
+		if h.Name == "rnl_us" {
+			histN += h.Count
+		}
+	}
+	if histN == 0 {
+		t.Error("snapshot has no rnl_us histogram observations")
+	}
+
+	// pprof mux responds (index page).
+	if body := get("/debug/pprof/"); !bytes.Contains(body, []byte("pprof")) {
+		t.Error("/debug/pprof/ served no pprof index")
+	}
+}
+
+// TestExportDisabledUntouched: with no exporter configured the run takes
+// the exact event path of a plain run — Results are deeply equal, which
+// is what keeps TestGoldenDeterminism's pins valid.
+func TestExportDisabledUntouched(t *testing.T) {
+	a, err := Run(obsTestConfig(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := obsTestConfig(61)
+	cfg.Obs = ObsConfig{} // explicitly zero
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EventsProcessed != b.EventsProcessed || a.Completed != b.Completed {
+		t.Errorf("zero ObsConfig changed the run: events %d vs %d, completed %d vs %d",
+			a.EventsProcessed, b.EventsProcessed, a.Completed, b.Completed)
+	}
+}

@@ -1,0 +1,403 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"aequitas/internal/stats"
+)
+
+// SnapshotSchema versions the /snapshot JSON document.
+const SnapshotSchema = "aequitas.snapshot/v1"
+
+// Snapshot is one published view of a running (or finished) simulation:
+// monotone counters, point-in-time gauges, and latency histograms. It is
+// immutable once published — the simulation builds a fresh Snapshot per
+// pump tick and HTTP handlers render whichever one is latest, so the hot
+// path never blocks on a reader.
+type Snapshot struct {
+	Schema   string         `json:"schema"`
+	Label    string         `json:"label,omitempty"`
+	SimTimeS float64        `json:"sim_time_s"`
+	Final    bool           `json:"final,omitempty"`
+	Counters []NamedValue   `json:"counters,omitempty"`
+	Gauges   []NamedValue   `json:"gauges,omitempty"`
+	Hists    []HistSnapshot `json:"hists,omitempty"`
+}
+
+// NamedValue is one counter or gauge sample. Counter names must be
+// Prometheus-safe ([a-z0-9_]); gauge names keep the registry's dotted
+// convention and are exported as the "name" label of aequitas_gauge.
+type NamedValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistSnapshot is a frozen histogram: cumulative bucket counts over
+// finite upper bounds plus exact count/sum. Name must be
+// Prometheus-safe; the optional label pair distinguishes series of one
+// metric (e.g. class="QoSh").
+type HistSnapshot struct {
+	Name     string       `json:"name"`
+	LabelKey string       `json:"label_key,omitempty"`
+	LabelVal string       `json:"label_val,omitempty"`
+	Count    int64        `json:"count"`
+	Sum      float64      `json:"sum"`
+	Buckets  []HistBucket `json:"buckets,omitempty"`
+}
+
+// HistBucket is one cumulative bucket: observations ≤ Upper.
+type HistBucket struct {
+	Upper float64 `json:"upper"`
+	Count int64   `json:"count"`
+}
+
+// SnapHist freezes a stats.Hist into a HistSnapshot. The overflow
+// bucket's infinite bound is clamped to the exact observed maximum, so
+// the snapshot is JSON-safe; the Prometheus renderer supplies the
+// trailing le="+Inf" series from Count.
+func SnapHist(name, labelKey, labelVal string, h *stats.Hist) HistSnapshot {
+	hs := HistSnapshot{Name: name, LabelKey: labelKey, LabelVal: labelVal}
+	if h == nil {
+		return hs
+	}
+	hs.Count = h.N()
+	hs.Sum = h.Sum()
+	var cum int64
+	h.Buckets(func(upper float64, count int64) {
+		cum += count
+		if math.IsInf(upper, 1) {
+			upper = h.Max()
+		}
+		hs.Buckets = append(hs.Buckets, HistBucket{Upper: upper, Count: cum})
+	})
+	return hs
+}
+
+// Exporter publishes snapshots from a simulation loop and serves them
+// over HTTP. Publication is a pointer swap under a mutex; readers render
+// from the snapshot they grabbed, so a slow scraper never stalls the
+// simulation and the simulation never tears a scrape.
+type Exporter struct {
+	mu   sync.RWMutex
+	snap *Snapshot
+}
+
+// NewExporter returns an Exporter with no snapshot yet.
+func NewExporter() *Exporter { return &Exporter{} }
+
+// Publish makes s the snapshot served to subsequent readers. The caller
+// must not mutate s afterwards.
+func (e *Exporter) Publish(s *Snapshot) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.snap = s
+	e.mu.Unlock()
+}
+
+// Snapshot returns the latest published snapshot, or nil.
+func (e *Exporter) Snapshot() *Snapshot {
+	if e == nil {
+		return nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.snap
+}
+
+// Handler returns the export mux: Prometheus text on /metrics, the raw
+// snapshot JSON on /snapshot, and the standard pprof endpoints under
+// /debug/pprof/.
+func (e *Exporter) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s := e.Snapshot()
+		if s == nil {
+			http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProm(w, s)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		s := e.Snapshot()
+		if s == nil {
+			http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// promPrefix namespaces every exported metric.
+const promPrefix = "aequitas_"
+
+// WriteProm renders a snapshot in the Prometheus text exposition format
+// (version 0.0.4): counters as <prefix><name>, gauges as
+// aequitas_gauge{name="<dotted name>"}, histograms with cumulative
+// _bucket{le=...} series ending in le="+Inf", plus _sum and _count.
+func WriteProm(w io.Writer, s *Snapshot) error {
+	bw := bufio.NewWriterSize(w, 1<<15)
+	fmt.Fprintf(bw, "# TYPE %ssim_time_seconds gauge\n%ssim_time_seconds %s\n",
+		promPrefix, promPrefix, promFloat(s.SimTimeS))
+	for _, c := range s.Counters {
+		name := promPrefix + promSanitize(c.Name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %s\n", name, name, promFloat(c.Value))
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintf(bw, "# TYPE %sgauge gauge\n", promPrefix)
+		for _, g := range s.Gauges {
+			fmt.Fprintf(bw, "%sgauge{name=%q} %s\n", promPrefix, g.Name, promFloat(g.Value))
+		}
+	}
+	lastHist := ""
+	for _, h := range s.Hists {
+		name := promPrefix + promSanitize(h.Name)
+		if name != lastHist {
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+			lastHist = name
+		}
+		label := func(le string) string {
+			if h.LabelKey == "" {
+				if le == "" {
+					return ""
+				}
+				return `{le="` + le + `"}`
+			}
+			l := h.LabelKey + `="` + h.LabelVal + `"`
+			if le == "" {
+				return "{" + l + "}"
+			}
+			return "{" + l + `,le="` + le + `"}`
+		}
+		for _, b := range h.Buckets {
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", name, label(promFloat(b.Upper)), b.Count)
+		}
+		fmt.Fprintf(bw, "%s_bucket%s %d\n", name, label("+Inf"), h.Count)
+		fmt.Fprintf(bw, "%s_sum%s %s\n", name, label(""), promFloat(h.Sum))
+		fmt.Fprintf(bw, "%s_count%s %d\n", name, label(""), h.Count)
+	}
+	return bw.Flush()
+}
+
+// promFloat formats a value the way Prometheus parsers expect.
+func promFloat(v float64) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promSanitize maps a metric name onto the Prometheus charset
+// [a-zA-Z_][a-zA-Z0-9_]*.
+func promSanitize(name string) string {
+	ok := true
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if !(c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || (i > 0 && c >= '0' && c <= '9')) {
+			ok = false
+			break
+		}
+	}
+	if ok && name != "" {
+		return name
+	}
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || (i > 0 && c >= '0' && c <= '9') {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// ValidatePromText checks a Prometheus text-format exposition: every
+// non-comment line is `name[{labels}] value`, names are legal, values
+// parse, every sampled metric carries a preceding # TYPE line, histogram
+// bucket series are cumulative and end with le="+Inf" matching _count.
+// It returns the number of sample lines.
+func ValidatePromText(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	typed := make(map[string]string)
+	type histState struct {
+		lastCum int64
+		infSeen bool
+		infCum  int64
+		count   int64
+		hasCnt  bool
+	}
+	hists := make(map[string]*histState) // keyed by metric + non-le labels
+	samples := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := splitPromSample(line)
+		if err != nil {
+			return samples, fmt.Errorf("obs: prom text: line %d: %v", lineNo, err)
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return samples, fmt.Errorf("obs: prom text: line %d: bad value %q", lineNo, value)
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name && typed[trimmed] == "histogram" {
+				base = trimmed
+				break
+			}
+		}
+		if typed[base] == "" {
+			return samples, fmt.Errorf("obs: prom text: line %d: %s has no preceding # TYPE", lineNo, name)
+		}
+		if typed[base] == "histogram" {
+			le, rest := extractLE(labels)
+			key := base + "|" + rest
+			st, ok := hists[key]
+			if !ok {
+				st = &histState{}
+				hists[key] = st
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if le == "" {
+					return samples, fmt.Errorf("obs: prom text: line %d: bucket without le label", lineNo)
+				}
+				cum := int64(v)
+				if st.infSeen {
+					return samples, fmt.Errorf("obs: prom text: line %d: bucket after le=\"+Inf\" for %s", lineNo, key)
+				}
+				if cum < st.lastCum {
+					return samples, fmt.Errorf("obs: prom text: line %d: bucket counts not cumulative for %s (%d after %d)",
+						lineNo, key, cum, st.lastCum)
+				}
+				st.lastCum = cum
+				if le == "+Inf" {
+					st.infSeen = true
+					st.infCum = cum
+				}
+			case strings.HasSuffix(name, "_count"):
+				st.count = int64(v)
+				st.hasCnt = true
+			}
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	for key, st := range hists {
+		if !st.infSeen {
+			return samples, fmt.Errorf("obs: prom text: histogram %s missing le=\"+Inf\" bucket", key)
+		}
+		if st.hasCnt && st.count != st.infCum {
+			return samples, fmt.Errorf("obs: prom text: histogram %s _count %d != +Inf bucket %d", key, st.count, st.infCum)
+		}
+	}
+	return samples, nil
+}
+
+// splitPromSample parses `name[{labels}] value` (no timestamp support —
+// the simulator never emits one).
+func splitPromSample(line string) (name, labels, value string, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return "", "", "", fmt.Errorf("unterminated label set")
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", "", "", fmt.Errorf("no value")
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp+1:])
+	}
+	if name == "" || !promNameOK(name) {
+		return "", "", "", fmt.Errorf("bad metric name %q", name)
+	}
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return "", "", "", fmt.Errorf("bad sample %q", line)
+	}
+	return name, labels, rest, nil
+}
+
+// promNameOK reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promNameOK(name string) bool {
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '_' || c == ':' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+		case i > 0 && c >= '0' && c <= '9':
+		default:
+			return false
+		}
+	}
+	return len(name) > 0
+}
+
+// extractLE splits a label set into the le value and the remaining
+// labels, sorted so grouping keys are stable.
+func extractLE(labels string) (le, rest string) {
+	if labels == "" {
+		return "", ""
+	}
+	var others []string
+	for _, part := range strings.Split(labels, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			others = append(others, part)
+			continue
+		}
+		v = strings.Trim(v, `"`)
+		if k == "le" {
+			le = v
+		} else {
+			others = append(others, part)
+		}
+	}
+	sort.Strings(others)
+	return le, strings.Join(others, ",")
+}

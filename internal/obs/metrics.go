@@ -72,6 +72,20 @@ func (r *Registry) Value(i int, name string) float64 {
 	return r.rows[i][idx]
 }
 
+// LatestGauges calls f for every column holding a value in the most
+// recent sample row, in column order. No rows yet → no calls.
+func (r *Registry) LatestGauges(f func(name string, v float64)) {
+	if r == nil || len(r.rows) == 0 {
+		return
+	}
+	row := r.rows[len(r.rows)-1]
+	for j := 0; j < len(row) && j < len(r.cols); j++ {
+		if !math.IsNaN(row[j]) {
+			f(r.cols[j], row[j])
+		}
+	}
+}
+
 // Sample runs every sampler and appends one row at now.
 func (r *Registry) Sample(now sim.Time) {
 	if r == nil {
@@ -100,17 +114,55 @@ func (r *Registry) Sample(now sim.Time) {
 
 // MetricFamilies lists the metric-name prefixes emitted by the built-in
 // samplers (per-port queues and drops, admission state, transport
-// connection state). ValidateMetricsCSV callers use it to reject columns
-// no registered sampler could have produced.
-var MetricFamilies = []string{"q.", "drop.", "padmit.", "incwin_us.", "cwnd.", "srtt_us."}
+// connection state, windowed tail quantiles). ValidateMetricsCSV callers
+// use it to reject columns no registered sampler could have produced.
+var MetricFamilies = []string{"q.", "drop.", "padmit.", "incwin_us.", "cwnd.", "srtt_us.", "tail."}
+
+// tailQuantileSuffixes are the per-channel tail columns in ascending
+// quantile order; ValidateMetricsCSV checks each row's values are
+// non-decreasing across them.
+var tailQuantileSuffixes = []string{".p50_us", ".p90_us", ".p99_us", ".p999_us"}
+
+// tailGroups maps header columns onto per-channel quantile column-index
+// groups: for each "tail.<chan>" base present, the 1-based field indices
+// of its p50/p90/p99/p99.9 columns (-1 where a column is absent).
+func tailGroups(header []string) [][]int {
+	byBase := make(map[string][]int)
+	var order []string
+	for i, name := range header {
+		if !strings.HasPrefix(name, "tail.") {
+			continue
+		}
+		for qi, suf := range tailQuantileSuffixes {
+			if strings.HasSuffix(name, suf) {
+				base := strings.TrimSuffix(name, suf)
+				g, ok := byBase[base]
+				if !ok {
+					g = []int{-1, -1, -1, -1}
+					byBase[base] = g
+					order = append(order, base)
+				}
+				g[qi] = i
+				break
+			}
+		}
+	}
+	groups := make([][]int, 0, len(order))
+	for _, base := range order {
+		groups = append(groups, byBase[base])
+	}
+	return groups
+}
 
 // ValidateMetricsCSV checks a wide-format metrics CSV as written by
 // Registry.WriteCSV: the header starts with t_s followed by unique,
 // non-empty column names (each matching one of the given family prefixes
 // when families is non-nil), every row has the header's field count,
 // t_s is a finite, non-decreasing float, and every other cell is empty or
-// a finite float. It returns the number of data rows. Errors name the
-// physical line number and the offending column.
+// a finite float. Windowed tail columns get one extra structural check:
+// within each "tail.<chan>" channel, a row's present quantile cells must
+// be non-decreasing from p50 to p99.9. It returns the number of data
+// rows. Errors name the physical line number and the offending column.
 func ValidateMetricsCSV(r io.Reader, families []string) (int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
@@ -138,6 +190,7 @@ func ValidateMetricsCSV(r io.Reader, families []string) (int, error) {
 			return 0, fmt.Errorf("obs: metrics csv: line 1: column %d: name %q matches no known metric family", col, name)
 		}
 	}
+	tails := tailGroups(header)
 	rows := 0
 	lineNo := 1
 	lastT := math.Inf(-1)
@@ -166,6 +219,21 @@ func ValidateMetricsCSV(r io.Reader, families []string) (int, error) {
 			v, err := strconv.ParseFloat(cell, 64)
 			if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
 				return rows, fmt.Errorf("obs: metrics csv: line %d: column %q: not a finite float: %q", lineNo, header[i+1], cell)
+			}
+		}
+		for _, g := range tails {
+			prev := math.Inf(-1)
+			prevIdx := -1
+			for _, idx := range g {
+				if idx < 0 || fields[idx] == "" {
+					continue
+				}
+				v, _ := strconv.ParseFloat(fields[idx], 64)
+				if v < prev {
+					return rows, fmt.Errorf("obs: metrics csv: line %d: column %q: tail quantile %g below %q's %g",
+						lineNo, header[idx], v, header[prevIdx], prev)
+				}
+				prev, prevIdx = v, idx
 			}
 		}
 		rows++

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// reportTrace builds a tiny but schema-shaped NDJSON trace: n issued
+// RPCs, each admitted and completed with a class-dependent RNL.
+func reportTrace(n int) string {
+	var b strings.Builder
+	ts := 0.0
+	for i := 0; i < n; i++ {
+		class := i % 2
+		rnl := 10.0 + float64(i)
+		if class == 1 {
+			rnl *= 20
+		}
+		fmt.Fprintf(&b, `{"ts_us":%.1f,"kind":"issue","rpc":%d,"src":0,"dst":1,"prio":"PC","class":%d,"bytes":4096}`+"\n", ts, i, class)
+		ts += 0.5
+		fmt.Fprintf(&b, `{"ts_us":%.1f,"kind":"admit","rpc":%d,"src":0,"dst":1,"class":%d,"decision":"admit","p_admit":1}`+"\n", ts, i, class)
+		ts += rnl
+		fmt.Fprintf(&b, `{"ts_us":%.1f,"kind":"complete","rpc":%d,"src":0,"dst":1,"class":%d,"bytes":4096,"rnl_us":%.1f}`+"\n", ts, i, class, rnl)
+	}
+	return b.String()
+}
+
+const reportMetricsCSV = "t_s,q.sw0.q0,tail.d1.q0.p50_us,tail.d1.q0.p99_us\n" +
+	"0.000100000,2,15,30\n" +
+	"0.000200000,3,,\n" +
+	"0.000300000,1,12,40\n"
+
+const reportAttrCSV = "rpc,src,dst,class,issue_s,admit_us,sender_us,transport_us,pacing_us,nic_us,switch_us,wire_us,rnl_us\n" +
+	"1,0,1,0,0.001,1,2,3,0,0.5,1.5,2,10\n" +
+	"2,0,1,0,0.002,2,3,4,0,0.5,2.5,2,14\n" +
+	"3,0,1,1,0.003,0,1,9,1,0.5,6.5,2,20\n"
+
+// TestBuildReportEndToEnd: all three sections populated, internally
+// consistent, and round-trippable through JSON + the validator, with a
+// renderable markdown form.
+func TestBuildReportEndToEnd(t *testing.T) {
+	rep, err := BuildReport("unit",
+		strings.NewReader(reportTrace(40)),
+		strings.NewReader(reportMetricsCSV),
+		strings.NewReader(reportAttrCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace == nil || rep.Metrics == nil || rep.Attribution == nil {
+		t.Fatal("missing sections")
+	}
+	if rep.Trace.Events != 120 || rep.Trace.Kinds["complete"] != 40 {
+		t.Errorf("trace events/completes = %d/%d", rep.Trace.Events, rep.Trace.Kinds["complete"])
+	}
+	if rep.Trace.RNL.N != 40 || len(rep.Trace.RNLByClass) != 2 {
+		t.Errorf("rnl n = %d, classes = %d", rep.Trace.RNL.N, len(rep.Trace.RNLByClass))
+	}
+	if q0, q1 := rep.Trace.RNLByClass["q0"], rep.Trace.RNLByClass["q1"]; q0.MeanUS >= q1.MeanUS {
+		t.Errorf("class means not separated: q0 %v, q1 %v", q0.MeanUS, q1.MeanUS)
+	}
+	if rep.Metrics.Rows != 3 || rep.Metrics.Columns != 3 {
+		t.Errorf("metrics shape = %dx%d", rep.Metrics.Rows, rep.Metrics.Columns)
+	}
+	if rep.Metrics.Families["tail"] != 2 || rep.Metrics.Families["q"] != 1 {
+		t.Errorf("families = %v", rep.Metrics.Families)
+	}
+	var tailSeries *SeriesSummary
+	for i := range rep.Metrics.Series {
+		if rep.Metrics.Series[i].Name == "tail.d1.q0.p50_us" {
+			tailSeries = &rep.Metrics.Series[i]
+		}
+	}
+	if tailSeries == nil || tailSeries.N != 2 || tailSeries.Last != 12 || tailSeries.Max != 15 {
+		t.Errorf("tail series summary = %+v", tailSeries)
+	}
+	if rep.Attribution.N != 3 || len(rep.Attribution.Classes) != 2 {
+		t.Errorf("attribution = %+v", rep.Attribution)
+	}
+	if m := rep.Attribution.Classes[0].MeanUS["admit_us"]; m != 1.5 {
+		t.Errorf("q0 mean admit = %v, want 1.5", m)
+	}
+
+	var js strings.Builder
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ValidateReportJSON(strings.NewReader(js.String()))
+	if err != nil {
+		t.Fatalf("round-tripped report invalid: %v", err)
+	}
+	if back.Trace.Events != rep.Trace.Events {
+		t.Error("JSON round trip lost data")
+	}
+
+	var md strings.Builder
+	if err := rep.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# Run report: unit", "## Lifecycle trace", "## Metrics time series", "## Latency attribution", "| q1 |"} {
+		if !strings.Contains(md.String(), want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}
+
+// TestValidateReportJSONRejects: schema tag, kind-sum, quantile
+// monotonicity, and series-consistency defects are all caught.
+func TestValidateReportJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"wrong schema": `{"schema":"nope/v1","trace":{"events":0,"kinds":{},"end_us":0,"rnl_us":{"n":0}}}`,
+		"no sections":  `{"schema":"aequitas.obsreport/v1"}`,
+		"kind sum":     `{"schema":"aequitas.obsreport/v1","trace":{"events":5,"kinds":{"issue":1},"end_us":1,"rnl_us":{"n":0}}}`,
+		"quantiles": `{"schema":"aequitas.obsreport/v1","trace":{"events":1,"kinds":{"complete":1},"end_us":1,` +
+			`"rnl_us":{"n":1,"mean_us":5,"p50_us":9,"p90_us":5,"p99_us":9,"p999_us":9,"max_us":9}}}`,
+		"series": `{"schema":"aequitas.obsreport/v1","metrics":{"rows":1,"columns":1,"start_s":0,"end_s":1,` +
+			`"series":[{"name":"x","n":1,"mean":9,"min":1,"max":2,"last":1}]}}`,
+		"attr sum": `{"schema":"aequitas.obsreport/v1","attribution":{"n":5,"classes":[{"class":"q0","n":2,"mean_us":{}}]}}`,
+	}
+	for name, doc := range cases {
+		if _, err := ValidateReportJSON(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestDiffReports: identical reports diff to all-zero pct; a perturbed
+// metric surfaces first with the right delta; one-sided metrics are
+// marked rather than dropped.
+func TestDiffReports(t *testing.T) {
+	build := func(n int, metrics string) *Report {
+		rep, err := BuildReport(fmt.Sprintf("run%d", n),
+			strings.NewReader(reportTrace(40)), strings.NewReader(metrics), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a := build(1, reportMetricsCSV)
+	same := DiffReports(a, build(2, reportMetricsCSV))
+	for _, r := range same.Rows {
+		if r.Pct != 0 {
+			t.Errorf("identical inputs: %s pct = %v", r.Metric, r.Pct)
+		}
+	}
+
+	perturbed := strings.Replace(reportMetricsCSV, "0.000300000,1,12,40", "0.000300000,1,12,80", 1)
+	extra := strings.Replace(perturbed, ",q.sw0.q0,", ",q.sw9.q0,", 1)
+	d := DiffReports(a, build(3, extra))
+	if len(d.Rows) == 0 {
+		t.Fatal("no diff rows")
+	}
+	byName := map[string]DiffRow{}
+	for _, r := range d.Rows {
+		byName[r.Metric] = r
+	}
+	p99 := byName["metrics.tail.d1.q0.p99_us.max"]
+	if p99.A == nil || *p99.A != 40 || p99.B == nil || *p99.B != 80 || p99.Delta != 40 || p99.Pct != 100 {
+		t.Errorf("perturbed metric row = %+v", p99)
+	}
+	// Genuine movements lead; one-sided sentinel rows trail.
+	if d.Rows[0].Pct >= 1e9 || math.Abs(d.Rows[0].Pct) < math.Abs(p99.Pct) {
+		t.Errorf("rows not sorted by movement: first = %+v", d.Rows[0])
+	}
+	var js strings.Builder
+	if err := d.WriteJSON(&js); err != nil {
+		t.Fatalf("diff with one-sided metrics not JSON-marshalable: %v", err)
+	}
+	if byName["metrics.q.sw9.q0.mean"].Pct != 1e9 {
+		t.Errorf("b-only metric not flagged: %+v", byName["metrics.q.sw9.q0.mean"])
+	}
+	if byName["metrics.q.sw0.q0.mean"].Pct != 1e9 {
+		t.Errorf("a-only metric not flagged: %+v", byName["metrics.q.sw0.q0.mean"])
+	}
+
+	var md strings.Builder
+	if err := d.WriteMarkdown(&md, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "# Run diff: run1 vs run3") {
+		t.Errorf("diff markdown header wrong:\n%s", md.String())
+	}
+}

@@ -28,7 +28,26 @@ type Sample struct {
 	// limit > 0 switches Add to reservoir replacement once len(xs) == limit.
 	limit int
 	rng   *rand.Rand
+	// hist, when set, replaces retained observations entirely: order
+	// statistics come from the log-linear histogram (bounded error at any
+	// stream length) while Sum/Mean/N/Min/Max stay exact.
+	hist *Hist
 }
+
+// NewHistSample returns a Sample backed by a log-linear histogram instead
+// of retained observations: memory is fixed at construction, Sum, Mean, N,
+// Min and Max are exact over the whole stream, and quantiles carry a
+// deterministic ≤1/(2·64) ≈ 0.78% relative error bound — unlike a
+// reservoir, whose quantile error grows unboundedly likely with stream
+// length. Identical insertion sequences yield identical state, preserving
+// run-to-run determinism (no RNG is involved at all).
+func NewHistSample() *Sample {
+	return &Sample{hist: NewHist()}
+}
+
+// Hist returns the histogram backing this sample, or nil for exact and
+// reservoir samples.
+func (s *Sample) Hist() *Hist { return s.hist }
 
 // NewBoundedSample returns a Sample that retains at most limit observations
 // via uniform reservoir sampling (Vitter's Algorithm R) seeded with seed.
@@ -45,6 +64,10 @@ func NewBoundedSample(limit int, seed int64) *Sample {
 func (s *Sample) Add(x float64) {
 	s.seen++
 	s.sum += x
+	if s.hist != nil {
+		s.hist.Record(x)
+		return
+	}
 	if s.limit > 0 && len(s.xs) >= s.limit {
 		if j := s.rng.Int63n(s.seen); j < int64(s.limit) {
 			s.xs[j] = x
@@ -68,7 +91,8 @@ func (s *Sample) AddAll(xs []float64) {
 func (s *Sample) N() int { return int(s.seen) }
 
 // Retained reports the number of observations currently held (equal to N
-// unless the sample is bounded).
+// unless the sample is bounded; zero for histogram-backed samples, which
+// hold only bucket counts).
 func (s *Sample) Retained() int { return len(s.xs) }
 
 // Sum reports the sum of all observations.
@@ -92,8 +116,12 @@ func (s *Sample) sort() {
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) using the nearest-rank
 // method, or NaN if the sample is empty. Quantile(0.999) is the paper's
-// "99.9th-p".
+// "99.9th-p". Histogram-backed samples answer with bounded (≤1%) relative
+// error instead of an exact order statistic.
 func (s *Sample) Quantile(q float64) float64 {
+	if s.hist != nil {
+		return s.hist.Quantile(q)
+	}
 	if len(s.xs) == 0 {
 		return math.NaN()
 	}
@@ -121,6 +149,9 @@ func (s *Sample) Max() float64 { return s.Quantile(1) }
 
 // StdDev returns the population standard deviation, or NaN if empty.
 func (s *Sample) StdDev() float64 {
+	if s.hist != nil {
+		return s.hist.StdDev()
+	}
 	n := len(s.xs)
 	if n == 0 {
 		return math.NaN()
@@ -135,16 +166,24 @@ func (s *Sample) StdDev() float64 {
 }
 
 // Values returns a copy of the observations in insertion-independent
-// (sorted) order.
+// (sorted) order. Histogram-backed samples retain no observations and
+// return nil.
 func (s *Sample) Values() []float64 {
+	if s.hist != nil {
+		return nil
+	}
 	s.sort()
 	out := make([]float64, len(s.xs))
 	copy(out, s.xs)
 	return out
 }
 
-// CountAbove reports how many observations exceed x.
+// CountAbove reports how many observations exceed x (bucket-granular for
+// histogram-backed samples).
 func (s *Sample) CountAbove(x float64) int {
+	if s.hist != nil {
+		return int(s.hist.CountAbove(x))
+	}
 	s.sort()
 	return len(s.xs) - sort.SearchFloat64s(s.xs, math.Nextafter(x, math.Inf(1)))
 }
@@ -152,6 +191,12 @@ func (s *Sample) CountAbove(x float64) int {
 // FractionWithin reports the fraction of observations ≤ x (an empirical
 // CDF evaluation), or NaN if empty.
 func (s *Sample) FractionWithin(x float64) float64 {
+	if s.hist != nil {
+		if s.hist.N() == 0 {
+			return math.NaN()
+		}
+		return 1 - float64(s.hist.CountAbove(x))/float64(s.hist.N())
+	}
 	if len(s.xs) == 0 {
 		return math.NaN()
 	}
@@ -161,6 +206,9 @@ func (s *Sample) FractionWithin(x float64) float64 {
 // CDF returns (value, cumulative-fraction) points suitable for plotting,
 // thinned to at most maxPoints.
 func (s *Sample) CDF(maxPoints int) []Point {
+	if s.hist != nil {
+		return s.hist.CDF(maxPoints)
+	}
 	s.sort()
 	n := len(s.xs)
 	if n == 0 {

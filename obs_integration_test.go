@@ -3,6 +3,7 @@ package aequitas
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"runtime"
 	"strings"
 	"testing"
@@ -172,6 +173,102 @@ func TestObsDeterministicUnderParallel(t *testing.T) {
 		}
 		if serialN[i] == "" || serialM[i] == "" {
 			t.Errorf("config %d: empty observability output", i)
+		}
+	}
+}
+
+// TestTailSeries: with ObsConfig.TailSeries the metrics CSV carries
+// windowed per-(dst,class) tail columns that pass the strict validator
+// (family membership plus per-row quantile monotonicity), and enabling
+// them does not perturb the built-in columns.
+func TestTailSeries(t *testing.T) {
+	var plain, tailed bytes.Buffer
+	cfg := obsTestConfig(31)
+	cfg.Obs = ObsConfig{MetricsCSV: &plain}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg = obsTestConfig(31)
+	cfg.Obs = ObsConfig{MetricsCSV: &tailed, TailSeries: true}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	rows, err := obs.ValidateMetricsCSV(bytes.NewReader(tailed.Bytes()), obs.MetricFamilies)
+	if err != nil {
+		t.Fatalf("tail metrics CSV invalid: %v", err)
+	}
+	if rows < 10 {
+		t.Errorf("metrics rows = %d, want >= 10", rows)
+	}
+	header := strings.SplitN(tailed.String(), "\n", 2)[0]
+	for _, suffix := range []string{".n", ".p50_us", ".p90_us", ".p99_us", ".p999_us"} {
+		if !strings.Contains(header, ",tail.d") || !strings.Contains(header, suffix) {
+			t.Errorf("header missing tail %s columns: %q", suffix, header)
+		}
+	}
+
+	// The tail sampler registers last, so every built-in column keeps its
+	// position and values; the plain run's columns must be a prefix of the
+	// tailed run's.
+	plainHeader := strings.SplitN(plain.String(), "\n", 2)[0]
+	if !strings.HasPrefix(header, plainHeader) {
+		t.Errorf("tail columns reordered built-in columns:\nplain:  %q\ntailed: %q",
+			plainHeader, header)
+	}
+
+	// Window counts across the whole run cover at least the completed RPCs
+	// (tails observe from t=0, completions are window-gated, so >= holds).
+	var sumN float64
+	cols := strings.Split(header, ",")
+	lines := strings.Split(strings.TrimSpace(tailed.String()), "\n")[1:]
+	for _, line := range lines {
+		fields := strings.Split(line, ",")
+		for i, c := range cols {
+			if strings.HasPrefix(c, "tail.") && strings.HasSuffix(c, ".n") && i < len(fields) && fields[i] != "" {
+				var v float64
+				if _, err := fmt.Sscanf(fields[i], "%g", &v); err == nil {
+					sumN += v
+				}
+			}
+		}
+	}
+	if sumN == 0 {
+		t.Error("tail windows observed no completions")
+	}
+}
+
+// TestTailSeriesDeterministicAcrossWorkers pins the acceptance criterion:
+// the windowed-percentile CSV is byte-identical for a fixed SimConfig at
+// 1, 4, and 8 sweep workers.
+func TestTailSeriesDeterministicAcrossWorkers(t *testing.T) {
+	const n = 3
+	sweep := func(workers int) []string {
+		ms := make([]bytes.Buffer, n)
+		_, err := Sweep(n, func(i int) SimConfig {
+			cfg := obsTestConfig(int64(41 + i))
+			cfg.Obs = ObsConfig{MetricsCSV: &ms[i], TailSeries: true}
+			return cfg
+		}, ParallelOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, n)
+		for i := range ms {
+			out[i] = ms[i].String()
+		}
+		return out
+	}
+	base := sweep(1)
+	for _, workers := range []int{4, 8} {
+		got := sweep(workers)
+		for i := 0; i < n; i++ {
+			if got[i] != base[i] {
+				t.Errorf("config %d: tail metrics CSV differs between 1 and %d workers", i, workers)
+			}
+			if base[i] == "" || !strings.Contains(base[i], "tail.d") {
+				t.Errorf("config %d: no tail columns in output", i)
+			}
 		}
 	}
 }

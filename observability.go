@@ -34,6 +34,28 @@ type ObsConfig struct {
 	// transport connections) to these host ids; nil samples every host.
 	// Per-port queue metrics are always network-wide.
 	MetricsHosts []int
+	// Export, when set, streams live snapshots of the run into the given
+	// exporter on every metrics tick: lifecycle counters, registry
+	// gauges, per-probe admit probability, and per-class RNL histograms.
+	// Serve them with Export.Handler() (/metrics Prometheus text,
+	// /snapshot JSON, /debug/pprof). The snapshot pump is an ordinary
+	// simulator event, so enabling export changes event interleaving like
+	// any other sampler would, but publishes never block on HTTP readers
+	// and the per-completion hot path stays allocation-free. Disabled
+	// (nil), the run's event stream is untouched. One exporter may be
+	// shared across sequential runs (cmd/figures does); runs executing
+	// concurrently should use separate exporters.
+	Export *obs.Exporter
+	// ExportLabel names the run in exported snapshots (e.g. the figure
+	// or sweep-point name). Defaults to the system name.
+	ExportLabel string
+	// TailSeries adds a windowed tail time-series to the metrics CSV:
+	// per (destination, run-class) channel, each registry tick emits the
+	// window's completed-RPC count and RNL p50/p90/p99/p99.9
+	// ("tail.d<dst>.q<class>.{n,p50_us,p90_us,p99_us,p999_us}" columns)
+	// from a log-linear histogram that resets every window. Requires
+	// MetricsCSV; the window length is MetricsEvery.
+	TailSeries bool
 
 	// Attribution enables per-RPC latency decomposition: every completed
 	// RPC's RNL is split into admission, sender-host queueing, transport
@@ -75,7 +97,8 @@ func (o *ObsConfig) attributionOn() bool {
 
 // enabled reports whether any observability output is requested.
 func (o *ObsConfig) enabled() bool {
-	return o.TraceNDJSON != nil || o.TraceChrome != nil || o.MetricsCSV != nil || o.attributionOn()
+	return o.TraceNDJSON != nil || o.TraceChrome != nil || o.MetricsCSV != nil ||
+		o.Export != nil || o.attributionOn()
 }
 
 // tracer returns the run's tracer, or nil when tracing is off.
@@ -87,9 +110,10 @@ func (o *ObsConfig) tracer() *obs.Tracer {
 }
 
 // registry returns the run's metrics registry, or nil when metrics are
-// off.
+// off. Live export also needs the registry: its snapshot gauges are the
+// registry's latest sample row.
 func (o *ObsConfig) registry() *obs.Registry {
-	if o.MetricsCSV == nil {
+	if o.MetricsCSV == nil && o.Export == nil {
 		return nil
 	}
 	return obs.NewRegistry()

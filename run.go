@@ -8,9 +8,11 @@ import (
 	"aequitas/internal/faults"
 	"aequitas/internal/netsim"
 	"aequitas/internal/obs"
+	"aequitas/internal/qos"
 	"aequitas/internal/rpc"
 	"aequitas/internal/scenario"
 	"aequitas/internal/sim"
+	"aequitas/internal/stats"
 	"aequitas/internal/transport"
 	"aequitas/internal/workload"
 )
@@ -27,6 +29,7 @@ type runState struct {
 	net      *netsim.Network
 	tracer   *obs.Tracer
 	registry *obs.Registry
+	tails    *obs.TailTracker
 	attr     *obs.Attributor
 	audit    *obs.Auditor
 
@@ -108,6 +111,13 @@ func buildFabric(st *runState) error {
 	st.registry = cfg.Obs.registry()
 	if st.tracer != nil {
 		net.SetTracer(st.tracer)
+	}
+	if cfg.Obs.TailSeries && st.registry != nil {
+		st.tails = obs.NewTailTracker()
+		st.col.tails = st.tails
+	}
+	if cfg.Obs.Export != nil {
+		st.col.expRNL = make(map[qos.Class]*stats.Hist)
 	}
 
 	// Auditor first (the attributor feeds it per-RPC fabric queueing),
@@ -322,6 +332,11 @@ func buildSamplers(st *runState) error {
 				registry.Register(st.env.Endpoints[i].MetricsSampler())
 			}
 		}
+		// Tail time-series last, so its columns append after the built-in
+		// samplers' and enabling it never reorders existing columns.
+		if st.tails != nil {
+			registry.Register(st.tails.Sampler())
+		}
 		interval := sim.FromStd(cfg.Obs.MetricsEvery)
 		if interval <= 0 {
 			interval = sim.FromStd(100 * time.Microsecond)
@@ -334,6 +349,24 @@ func buildSamplers(st *runState) error {
 			}
 		}
 		s.AtFunc(0, mtick)
+	}
+
+	// Live-export pump: publish a fresh snapshot on the same cadence as
+	// the metrics registry (and scheduled after it, so each snapshot's
+	// gauges are the row just sampled).
+	if exp := cfg.Obs.Export; exp != nil {
+		interval := sim.FromStd(cfg.Obs.MetricsEvery)
+		if interval <= 0 {
+			interval = sim.FromStd(100 * time.Microsecond)
+		}
+		var etick func(*sim.Simulator)
+		etick = func(s *sim.Simulator) {
+			exp.Publish(st.snapshot(s.Now(), false))
+			if s.Now() < end {
+				s.AfterFunc(interval, etick)
+			}
+		}
+		s.AtFunc(0, etick)
 	}
 
 	// Probe and outstanding sampling.
@@ -381,10 +414,15 @@ func runAndDrain(st *runState) error {
 			}
 		}
 	}
-	if st.registry != nil {
+	if st.registry != nil && cfg.Obs.MetricsCSV != nil {
 		if err := st.registry.WriteCSV(cfg.Obs.MetricsCSV); err != nil {
 			return fmt.Errorf("aequitas: metrics csv: %w", err)
 		}
+	}
+	// Final snapshot after the drain, so a lingering /metrics endpoint
+	// serves the finished run's totals.
+	if cfg.Obs.Export != nil {
+		cfg.Obs.Export.Publish(st.snapshot(s.Now(), true))
 	}
 	if w := cfg.Obs.AttributionCSV; w != nil {
 		if err := st.attr.WriteCSV(w); err != nil {
