@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-save bench-compare figures trace-check chaos-check export-check
+.PHONY: all build test race vet check bench bench-save bench-compare figures trace-check chaos-check export-check serve-check
 
 # BENCH is the tracked benchmark snapshot for this PR; bump the number
 # each PR so the trajectory stays reviewable in-tree (see EXPERIMENTS.md,
 # "Performance").
-BENCH ?= BENCH_7.json
+BENCH ?= BENCH_8.json
 
 all: build
 
@@ -25,7 +25,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: vet build race trace-check chaos-check export-check
+check: vet build race trace-check chaos-check export-check serve-check
 
 # trace-check runs a short instrumented simulation and validates every
 # observability artifact against the schemas in internal/obs: the NDJSON
@@ -56,18 +56,25 @@ export-check:
 chaos-check:
 	$(GO) test -race -run Chaos -timeout 10m .
 
+# serve-check is the live serving smoke: mixed-class HTTP load through the
+# serve.Admission middleware on the wall clock must produce downgrades
+# under an unmeetable SLO, and the live /metrics endpoint must emit valid
+# Prometheus text.
+serve-check:
+	$(GO) test -race -run 'TestServeOverloadSmoke|TestServeConcurrent' -count=1 -timeout 10m ./serve
+
 # bench runs the tracked benchmark families (end-to-end Run, raw sim
 # loop, WFQ dequeue, transport send, histogram record/quantile, /metrics
 # render) with full iterations and memory stats; `make bench` is the
 # quick human-readable form.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkRun|BenchmarkSimLoop|BenchmarkWFQDequeue|BenchmarkTransportSend|BenchmarkHist|BenchmarkMetricsRender' \
-	    -benchmem . ./internal/sim ./internal/wfq ./internal/transport ./internal/stats ./internal/obs
+	$(GO) test -run '^$$' -bench 'BenchmarkRun|BenchmarkSimLoop|BenchmarkWFQDequeue|BenchmarkTransportSend|BenchmarkHist|BenchmarkMetricsRender|BenchmarkAdmitDecision|BenchmarkObserve|BenchmarkServeMiddleware' \
+	    -benchmem . ./internal/sim ./internal/wfq ./internal/transport ./internal/stats ./internal/obs ./internal/core ./serve
 
 # bench-save records the same suite into $(BENCH) via cmd/benchjson,
 # preserving any existing baseline section in the file.
 bench-save:
-	$(GO) run ./cmd/benchjson -pr 7 -out $(BENCH)
+	$(GO) run ./cmd/benchjson -pr 8 -out $(BENCH)
 
 # bench-compare diffs two snapshots: make bench-compare OLD=a.json NEW=b.json
 OLD ?= $(BENCH)

@@ -1,0 +1,170 @@
+// Command aequitas-serve demonstrates the admission controller serving
+// live traffic: a demo HTTP server whose handlers run behind the
+// serve.Admission middleware, and a load-generating client that drives a
+// mixed-class workload at it and reports what the controller did.
+//
+// Server (terminal 1):
+//
+//	aequitas-serve -mode server -addr :8080 -work 300us -slo 200us
+//
+// Load (terminal 2):
+//
+//	aequitas-serve -mode client -url http://localhost:8080 -conc 16 -duration 10s
+//
+// While the load runs, live metrics are on the server:
+//
+//	curl -s localhost:8080/metrics   # Prometheus text, padmit gauges
+//	curl -s localhost:8080/snapshot  # JSON document
+//
+// With -work above -slo the handler can never meet the SLO, so the admit
+// probability falls and the client sees X-Aequitas-Downgraded responses —
+// Algorithm 1 converging on the wall clock.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aequitas"
+	"aequitas/serve"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "server", "server | client")
+		addr     = flag.String("addr", ":8080", "server listen address")
+		work     = flag.Duration("work", 300*time.Microsecond, "server: simulated handler work per request")
+		slo      = flag.Duration("slo", 200*time.Microsecond, "server: latency SLO for the highest class (medium gets 2x)")
+		reject   = flag.Bool("reject", false, "server: reject downgraded requests with 503 instead of serving them")
+		url      = flag.String("url", "http://localhost:8080", "client: target server")
+		conc     = flag.Int("conc", 16, "client: concurrent workers")
+		duration = flag.Duration("duration", 10*time.Second, "client: run length")
+	)
+	flag.Parse()
+	switch *mode {
+	case "server":
+		runServer(*addr, *work, *slo, *reject)
+	case "client":
+		runClient(*url, *conc, *duration)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -mode %q (want server or client)\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func runServer(addr string, work, slo time.Duration, reject bool) {
+	ctl, err := aequitas.NewController(aequitas.ControllerConfig{
+		SLOs: []aequitas.SLO{
+			{Target: slo},
+			{Target: 2 * slo},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	adm, err := serve.New(serve.Config{Controller: ctl, RejectDowngraded: reject})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Simulated downstream work; scavenger-class requests run the
+		// same code, they just ride a lower network priority in a real
+		// deployment.
+		time.Sleep(work)
+		v, _ := serve.FromContext(r.Context())
+		fmt.Fprintf(w, "ok class=%v downgraded=%v\n", v.Class, v.Downgraded)
+	})
+
+	mux := http.NewServeMux()
+	metrics := adm.Handler()
+	mux.Handle("/metrics", metrics)
+	mux.Handle("/snapshot", metrics)
+	mux.Handle("/debug/pprof/", metrics)
+	mux.Handle("/", adm.Middleware(handler))
+
+	go func() {
+		t := time.NewTicker(2 * time.Second)
+		defer t.Stop()
+		for range t.C {
+			s := ctl.Stats()
+			log.Printf("ctl: admitted=%d downgraded=%d slo_met=%d slo_miss=%d",
+				s.Admitted, s.Downgraded, s.SLOMet, s.SLOMisses)
+		}
+	}()
+
+	log.Printf("serving on %s (work=%v, SLO=%v/%v, reject=%v)", addr, work, slo, 2*slo, reject)
+	log.Fatal(http.ListenAndServe(addr, mux))
+}
+
+// clientStats aggregates one load run.
+type clientStats struct {
+	sent, downgraded, rejected, errors atomic.Int64
+	mu                                 sync.Mutex
+	latencies                          []time.Duration
+}
+
+func runClient(url string, conc int, duration time.Duration) {
+	var cs clientStats
+	classes := []string{"QoSh", "QoSh", "QoSm", "QoSl"} // 2:1:1 mix
+	deadline := time.Now().Add(duration)
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				req, err := http.NewRequest("GET", url+"/demo", nil)
+				if err != nil {
+					cs.errors.Add(1)
+					continue
+				}
+				req.Header.Set(serve.HeaderClass, classes[(w+i)%len(classes)])
+				start := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					cs.errors.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				elapsed := time.Since(start)
+				cs.sent.Add(1)
+				switch {
+				case resp.StatusCode == http.StatusServiceUnavailable:
+					cs.rejected.Add(1)
+				case resp.Header.Get(serve.HeaderDowngraded) == "1":
+					cs.downgraded.Add(1)
+				}
+				cs.mu.Lock()
+				cs.latencies = append(cs.latencies, elapsed)
+				cs.mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	sent := cs.sent.Load()
+	fmt.Printf("sent=%d downgraded=%d rejected=%d errors=%d (%.1f req/s)\n",
+		sent, cs.downgraded.Load(), cs.rejected.Load(), cs.errors.Load(),
+		float64(sent)/duration.Seconds())
+	if len(cs.latencies) > 0 {
+		sort.Slice(cs.latencies, func(i, j int) bool { return cs.latencies[i] < cs.latencies[j] })
+		pct := func(p float64) time.Duration {
+			i := int(p / 100 * float64(len(cs.latencies)-1))
+			return cs.latencies[i]
+		}
+		fmt.Printf("latency: p50=%v p90=%v p99=%v max=%v\n",
+			pct(50), pct(90), pct(99), cs.latencies[len(cs.latencies)-1])
+	}
+}

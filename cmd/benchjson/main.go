@@ -67,7 +67,7 @@ type Snapshot struct {
 
 func main() {
 	var (
-		bench     = flag.String("bench", "BenchmarkRun|BenchmarkSimLoop|BenchmarkWFQDequeue|BenchmarkTransportSend|BenchmarkHist|BenchmarkMetricsRender", "benchmark regex passed to go test")
+		bench     = flag.String("bench", "BenchmarkRun|BenchmarkSimLoop|BenchmarkWFQDequeue|BenchmarkTransportSend|BenchmarkHist|BenchmarkMetricsRender|BenchmarkAdmitDecision|BenchmarkObserve|BenchmarkServeMiddleware", "benchmark regex passed to go test")
 		benchtime = flag.String("benchtime", "1s", "benchtime passed to go test")
 		out       = flag.String("out", "", "output file (default stdout)")
 		pr        = flag.Int("pr", 0, "PR number to tag the snapshot with")
@@ -87,7 +87,7 @@ func main() {
 
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
-		pkgs = []string{".", "./internal/sim", "./internal/wfq", "./internal/transport", "./internal/stats", "./internal/obs"}
+		pkgs = []string{".", "./internal/sim", "./internal/wfq", "./internal/transport", "./internal/stats", "./internal/obs", "./internal/core", "./serve"}
 	}
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, "-benchmem"}
 	args = append(args, pkgs...)

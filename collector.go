@@ -15,20 +15,23 @@ import (
 )
 
 // countingAdmitter wraps the real admitter to record input and admitted
-// byte mixes at issue time, within the measurement window.
+// byte mixes at issue time, within the measurement window. It keeps a
+// reference to the run's simulator for window gating: the Admitter
+// interface itself is time-source-free.
 type countingAdmitter struct {
+	s     *sim.Simulator
 	inner rpc.Admitter
 	col   *collector
 }
 
-func (ca *countingAdmitter) Admit(s *sim.Simulator, dst int, requested qos.Class, sizeMTUs int64) rpc.Decision {
-	d := ca.inner.Admit(s, dst, requested, sizeMTUs)
-	ca.col.onAdmit(s, requested, d, sizeMTUs)
+func (ca *countingAdmitter) Admit(dst int, requested qos.Class, sizeMTUs int64) rpc.Decision {
+	d := ca.inner.Admit(dst, requested, sizeMTUs)
+	ca.col.onAdmit(ca.s, requested, d, sizeMTUs)
 	return d
 }
 
-func (ca *countingAdmitter) Observe(s *sim.Simulator, dst int, run qos.Class, rnl sim.Duration, sizeMTUs int64) {
-	ca.inner.Observe(s, dst, run, rnl, sizeMTUs)
+func (ca *countingAdmitter) Observe(dst int, run qos.Class, rnl sim.Duration, sizeMTUs int64) {
+	ca.inner.Observe(dst, run, rnl, sizeMTUs)
 }
 
 // Reset forwards a crash-induced state wipe to the wrapped admitter when

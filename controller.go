@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aequitas/internal/core"
@@ -72,10 +73,13 @@ type ControllerConfig struct {
 	// Floor is the admit probability's lower bound, preventing
 	// starvation (default 0.01).
 	Floor float64
-	// Now supplies timestamps (default time.Now), injectable for tests.
+	// Now supplies timestamps, injectable for tests. When nil and Seed is
+	// zero the controller runs on a lock-free monotonic wall clock — the
+	// live serving configuration.
 	Now func() time.Time
-	// Seed seeds the probabilistic admission draw; 0 uses a fixed
-	// default.
+	// Seed seeds the probabilistic admission draw for deterministic
+	// embeddings. Setting Seed (or Now) serialises draws behind a mutex;
+	// leave both zero on serving paths.
 	Seed int64
 }
 
@@ -89,19 +93,55 @@ type Decision struct {
 	Downgraded bool
 }
 
+// ControllerStats is a point-in-time snapshot of an AdmissionController's
+// cumulative decision and observation counters.
+type ControllerStats struct {
+	Admitted   int64
+	Downgraded int64
+	Dropped    int64
+	SLOMisses  int64
+	SLOMet     int64
+}
+
 // AdmissionController is the Aequitas algorithm packaged for a real RPC
-// stack: one instance per sending process. It is safe for concurrent use.
+// stack: one instance per sending process. It is safe for concurrent use:
+// Admit is lock-free on the hot path (an atomic peer-table load plus the
+// core controller's sharded state), and Observe serialises only on the
+// single (peer, class) channel it updates.
 //
 // Usage per RPC: call Admit with the destination and the requested class,
 // issue the RPC on the returned class (e.g. via the DSCP field), and on
 // completion call Observe with the measured RPC network latency.
 type AdmissionController struct {
-	mu    sync.Mutex
 	inner *core.Controller
-	rng   *rand.Rand
+	mu    sync.Mutex // guards peer-table inserts
+	peers atomic.Pointer[peerTable]
+}
+
+// peerTable interns peer names to dense destination IDs. It is immutable;
+// inserts replace the whole table copy-on-write so readers never lock.
+type peerTable struct {
+	ids   map[string]int
+	names []string
+}
+
+// lockedClock adapts an injected timestamp source and seeded RNG to
+// core.Clock for deterministic embeddings. Draws serialise on a mutex —
+// fine for tests, wrong for serving (use the default wall clock there).
+type lockedClock struct {
 	now   func() time.Time
 	epoch time.Time
-	peers map[string]int
+	mu    sync.Mutex
+	rng   *rand.Rand
+}
+
+func (c *lockedClock) Now() sim.Time { return sim.FromStd(c.now().Sub(c.epoch)) }
+
+func (c *lockedClock) Float64() float64 {
+	c.mu.Lock()
+	v := c.rng.Float64()
+	c.mu.Unlock()
+	return v
 }
 
 // NewController validates cfg and builds a controller.
@@ -134,61 +174,93 @@ func NewController(cfg ControllerConfig) (*AdmissionController, error) {
 			cc.TargetPercentiles[i] = 99.9
 		}
 	}
-	inner, err := core.New(cc)
+	var clk core.Clock
+	if cfg.Now != nil || cfg.Seed != 0 {
+		now := cfg.Now
+		if now == nil {
+			now = time.Now
+		}
+		seed := cfg.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		clk = &lockedClock{now: now, epoch: now(), rng: rand.New(rand.NewSource(seed))}
+	}
+	inner, err := core.NewWithClock(cc, clk)
 	if err != nil {
 		return nil, err
 	}
-	now := cfg.Now
-	if now == nil {
-		now = time.Now
-	}
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	return &AdmissionController{
-		inner: inner,
-		rng:   rand.New(rand.NewSource(seed)),
-		now:   now,
-		epoch: now(),
-		peers: make(map[string]int),
-	}, nil
+	c := &AdmissionController{inner: inner}
+	c.peers.Store(&peerTable{ids: map[string]int{}})
+	return c, nil
 }
 
+// peerID interns peer, lock-free when the peer has been seen before.
 func (c *AdmissionController) peerID(peer string) int {
-	id, ok := c.peers[peer]
-	if !ok {
-		id = len(c.peers)
-		c.peers[peer] = id
+	if id, ok := c.peers.Load().ids[peer]; ok {
+		return id
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.peers.Load()
+	if id, ok := old.ids[peer]; ok {
+		return id
+	}
+	next := &peerTable{
+		ids:   make(map[string]int, len(old.ids)+1),
+		names: make([]string, len(old.names), len(old.names)+1),
+	}
+	for k, v := range old.ids {
+		next.ids[k] = v
+	}
+	copy(next.names, old.names)
+	id := len(next.names)
+	next.ids[peer] = id
+	next.names = append(next.names, peer)
+	c.peers.Store(next)
 	return id
-}
-
-func (c *AdmissionController) simNow() sim.Time {
-	return sim.FromStd(c.now().Sub(c.epoch))
 }
 
 // Admit decides the QoS class for an RPC of sizeBytes toward peer that
 // requested the given class.
 func (c *AdmissionController) Admit(peer string, requested Class, sizeBytes int64) Decision {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	d := c.inner.AdmitAt(c.rng.Float64(), c.peerID(peer), requested, netsim.MTUsFor(sizeBytes))
+	d := c.inner.Admit(c.peerID(peer), requested, netsim.MTUsFor(sizeBytes))
 	return Decision{Class: d.Class, Downgraded: d.Downgraded}
 }
 
 // Observe feeds back one completed RPC's measured network latency on the
 // class it actually ran on.
 func (c *AdmissionController) Observe(peer string, ran Class, rnl time.Duration, sizeBytes int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.inner.ObserveAt(c.simNow(), c.peerID(peer), ran, sim.FromStd(rnl), netsim.MTUsFor(sizeBytes))
+	c.inner.Observe(c.peerID(peer), ran, sim.FromStd(rnl), netsim.MTUsFor(sizeBytes))
 }
 
 // AdmitProbability reports the current admit probability toward peer on
 // the given class, for monitoring.
 func (c *AdmissionController) AdmitProbability(peer string, class Class) float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return c.inner.AdmitProbability(c.peerID(peer), class)
+}
+
+// Stats returns an atomic snapshot of the controller's cumulative
+// counters, safe to call while other goroutines admit and observe.
+func (c *AdmissionController) Stats() ControllerStats {
+	s := c.inner.Stats.Load()
+	return ControllerStats{
+		Admitted:   s.Admitted,
+		Downgraded: s.Downgraded,
+		Dropped:    s.Dropped,
+		SLOMisses:  s.SLOMisses,
+		SLOMet:     s.SLOMet,
+	}
+}
+
+// ForEachProbability visits every (peer, class) admission channel in
+// deterministic order with its current admit probability — the live
+// metrics surface.
+func (c *AdmissionController) ForEachProbability(f func(peer string, class Class, pAdmit float64)) {
+	names := c.peers.Load().names
+	c.inner.ForEachState(c.inner.Clock().Now(), func(dst int, class qos.Class, p float64, _ sim.Duration) {
+		if dst >= 0 && dst < len(names) {
+			f(names[dst], class, p)
+		}
+	})
 }

@@ -8,7 +8,11 @@
 //
 //   - AdmissionController: the Aequitas algorithm (Algorithm 1) packaged
 //     for embedding in a real RPC stack. Feed it completed-RPC latency
-//     measurements and ask it, per RPC, which QoS class to use.
+//     measurements and ask it, per RPC, which QoS class to use. It is
+//     safe for concurrent use — admission decisions are lock-free — and
+//     the aequitas/serve subpackage wraps it as ready-made net/http
+//     middleware and a gRPC-style unary interceptor with live /metrics
+//     (see cmd/aequitas-serve for a runnable demo).
 //
 //   - Simulation: a packet-level datacenter simulator (WFQ switches,
 //     Swift congestion control, an RPC layer) that reproduces the paper's

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync/atomic"
+	"time"
+
+	"aequitas/internal/sim"
+)
+
+// Clock is the controller's time-and-randomness source. Decoupling the
+// algorithm from the simulator is what lets the same Controller serve
+// live traffic: in a simulation the clock is the event loop's virtual
+// time and seeded RNG, in a real process it is the monotonic wall clock
+// and a scalable uniform source.
+//
+// Now supplies timestamps for the additive-increase window; Float64
+// supplies the uniform draw behind each probabilistic admit (Algorithm 1
+// line 7). Implementations used with a concurrent Controller must be
+// safe for concurrent use.
+type Clock interface {
+	Now() sim.Time
+	Float64() float64
+}
+
+// SimClock adapts a discrete-event simulator as a Clock: virtual time
+// and the simulator's deterministic RNG stream. It is single-threaded by
+// construction, like the simulator itself, and draws exactly one RNG
+// value per Float64 call so the sim's draw sequence is byte-identical to
+// the pre-Clock controller.
+type SimClock struct {
+	S *sim.Simulator
+}
+
+// Now implements Clock.
+func (c SimClock) Now() sim.Time { return c.S.Now() }
+
+// Float64 implements Clock.
+func (c SimClock) Float64() float64 { return c.S.Rand().Float64() }
+
+// WallClock is the serving-mode Clock: monotonic wall time relative to
+// the clock's creation, and math/rand/v2's lock-free per-thread uniform
+// source. Both methods are safe for concurrent use and allocation-free,
+// so the admit fast path scales across cores.
+type WallClock struct {
+	epoch time.Time
+}
+
+// NewWallClock returns a WallClock whose zero time is now.
+func NewWallClock() *WallClock { return &WallClock{epoch: time.Now()} }
+
+// Now implements Clock. time.Since reads the monotonic clock, so
+// admission windows are immune to wall-time steps (NTP, manual resets).
+func (w *WallClock) Now() sim.Time { return sim.FromStd(time.Since(w.epoch)) }
+
+// Float64 implements Clock via the runtime's per-thread random source:
+// no lock, no allocation, safe under arbitrary concurrency.
+func (w *WallClock) Float64() float64 { return rand.Float64() }
+
+// ManualClock is a hand-advanced Clock for tests: a settable time and a
+// settable draw value. It is safe for concurrent use.
+type ManualClock struct {
+	t    atomic.Int64
+	draw atomic.Uint64
+}
+
+// SetNow moves the clock to t.
+func (m *ManualClock) SetNow(t sim.Time) { m.t.Store(int64(t)) }
+
+// SetDraw fixes the value every Float64 call returns.
+func (m *ManualClock) SetDraw(d float64) { m.draw.Store(math.Float64bits(d)) }
+
+// Now implements Clock.
+func (m *ManualClock) Now() sim.Time { return sim.Time(m.t.Load()) }
+
+// Float64 implements Clock.
+func (m *ManualClock) Float64() float64 { return math.Float64frombits(m.draw.Load()) }

@@ -8,11 +8,22 @@
 // algorithm with no coordination; fairness and convergence to the
 // SLO-compliant QoS-mix are emergent properties of the AIMD dynamics
 // (§5.1, §6.5).
+//
+// The Controller is safe for concurrent use and its time source is
+// pluggable (see Clock): under a SimClock it reproduces the simulator's
+// deterministic single-threaded behaviour bit for bit, under a WallClock
+// it serves live traffic from many goroutines. Admission state is sharded
+// by (destination, class) with the admit probability read atomically, so
+// the Admit fast path takes no locks and performs no allocations;
+// Observe's AIMD update serialises per channel only.
 package core
 
 import (
 	"fmt"
-	"sort"
+	"math"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"aequitas/internal/obs"
 	"aequitas/internal/qos"
@@ -110,7 +121,9 @@ func (c Config) incrementWindow(k int) sim.Duration {
 	return sim.Duration(float64(c.LatencyTargets[k]) * 100 / (100 - pctl))
 }
 
-// Stats counts controller activity.
+// Stats counts controller activity. The fields are updated with atomic
+// adds; concurrent readers should use Load, single-threaded readers (the
+// simulator, post-run assertions) may read the fields directly.
 type Stats struct {
 	Admitted   int64
 	Downgraded int64
@@ -119,36 +132,101 @@ type Stats struct {
 	SLOMet     int64
 }
 
-// Controller is the per-host admission controller. It implements
-// rpc.Admitter.
-type Controller struct {
-	cfg    Config
-	lowest qos.Class
-	state  map[stateKey]*classState
-	Stats  Stats
+// Load returns an atomic snapshot of the counters, safe to call while
+// other goroutines are admitting and observing.
+func (s *Stats) Load() Stats {
+	return Stats{
+		Admitted:   atomic.LoadInt64(&s.Admitted),
+		Downgraded: atomic.LoadInt64(&s.Downgraded),
+		Dropped:    atomic.LoadInt64(&s.Dropped),
+		SLOMisses:  atomic.LoadInt64(&s.SLOMisses),
+		SLOMet:     atomic.LoadInt64(&s.SLOMet),
+	}
 }
+
+// stateShards is the number of (dst, class) shard buckets. A power of
+// two so the shard index is a mask; 64 keeps cross-core insert
+// contention negligible without bloating an idle controller.
+const stateShards = 64
 
 type stateKey struct {
 	dst   int
 	class qos.Class
 }
 
+// shardIndex spreads (dst, class) keys over the shards. Fibonacci
+// hashing on the combined key: cheap, and adjacent destinations land on
+// different shards.
+func shardIndex(dst int, class qos.Class) int {
+	h := (uint64(dst)<<6 + uint64(class)) * 0x9E3779B97F4A7C15
+	return int(h >> (64 - 6)) // log2(stateShards) top bits
+}
+
+type stateMap = map[stateKey]*classState
+
+// stateShard holds one bucket of admission channels. Lookups are
+// lock-free: the map is immutable and replaced copy-on-write under mu
+// when a new (dst, class) channel first appears, so the admit fast path
+// is one atomic pointer load plus a map read.
+type stateShard struct {
+	m  atomic.Pointer[stateMap]
+	mu sync.Mutex // guards copy-on-write inserts and Reset
+	_  [40]byte   // pad to a cache line so shard headers don't false-share
+}
+
+// classState is one (dst, class) admission channel. The admit
+// probability lives in p as float64 bits so Admit can read it with a
+// single atomic load; mu serialises the AIMD read-modify-write and the
+// increment-window fields.
 type classState struct {
-	pAdmit        float64
+	p  atomic.Uint64
+	mu sync.Mutex
+
 	lastIncrease  sim.Time
 	everIncreased bool
 }
 
-// New builds a Controller; the configuration must validate.
+func (st *classState) load() float64      { return math.Float64frombits(st.p.Load()) }
+func (st *classState) store(pNew float64) { st.p.Store(math.Float64bits(pNew)) }
+
+// Controller is the per-host admission controller. It implements
+// rpc.Admitter and is safe for concurrent use when its Clock is.
+type Controller struct {
+	cfg    Config
+	lowest qos.Class
+	clock  Clock
+	// windows[k] is the precomputed additive-increase window per class.
+	windows []sim.Duration
+	shards  [stateShards]stateShard
+	Stats   Stats
+}
+
+// New builds a Controller on the monotonic wall clock — the live serving
+// configuration. The configuration must validate.
 func New(cfg Config) (*Controller, error) {
+	return NewWithClock(cfg, nil)
+}
+
+// NewWithClock builds a Controller on an explicit time source. A nil
+// clock defaults to a fresh WallClock. Simulations pass a SimClock so
+// admission draws come from the simulator's deterministic RNG stream.
+func NewWithClock(cfg Config, clk Clock) (*Controller, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Controller{
-		cfg:    cfg,
-		lowest: qos.Class(cfg.Levels - 1),
-		state:  make(map[stateKey]*classState),
-	}, nil
+	if clk == nil {
+		clk = NewWallClock()
+	}
+	ct := &Controller{
+		cfg:     cfg,
+		lowest:  qos.Class(cfg.Levels - 1),
+		clock:   clk,
+		windows: make([]sim.Duration, cfg.Levels),
+	}
+	for k := 0; k < cfg.Levels-1; k++ {
+		ct.windows[k] = cfg.incrementWindow(k)
+	}
+	return ct, nil
 }
 
 // MustNew is New for static configurations.
@@ -163,21 +241,58 @@ func MustNew(cfg Config) *Controller {
 // Config returns the controller's configuration.
 func (ct *Controller) Config() Config { return ct.cfg }
 
+// Clock returns the controller's time source.
+func (ct *Controller) Clock() Clock { return ct.clock }
+
 // Reset discards all learned admission state, returning every channel to
 // its initial p_admit of 1 — the state loss a host crash implies
 // (Algorithm 1 keeps its state in sender memory only). Cumulative Stats
 // are kept; they describe the whole run.
 func (ct *Controller) Reset() {
-	clear(ct.state)
+	for i := range ct.shards {
+		sh := &ct.shards[i]
+		sh.mu.Lock()
+		sh.m.Store(nil)
+		sh.mu.Unlock()
+	}
 }
 
+// classState returns the channel state for (dst, class), creating it at
+// p_admit = 1 on first touch (Algorithm 1 line 3). The hit path is
+// lock-free.
 func (ct *Controller) classState(dst int, class qos.Class) *classState {
+	sh := &ct.shards[shardIndex(dst, class)]
 	k := stateKey{dst, class}
-	st, ok := ct.state[k]
-	if !ok {
-		st = &classState{pAdmit: 1} // Algorithm 1 line 3
-		ct.state[k] = st
+	if m := sh.m.Load(); m != nil {
+		if st, ok := (*m)[k]; ok {
+			return st
+		}
 	}
+	return sh.create(k)
+}
+
+// create inserts a fresh channel via copy-on-write so concurrent readers
+// never see a map mid-mutation.
+func (sh *stateShard) create(k stateKey) *classState {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old := sh.m.Load()
+	if old != nil {
+		if st, ok := (*old)[k]; ok {
+			return st
+		}
+	}
+	next := make(stateMap, 1)
+	if old != nil {
+		next = make(stateMap, len(*old)+1)
+		for kk, vv := range *old {
+			next[kk] = vv
+		}
+	}
+	st := &classState{}
+	st.store(1) // Algorithm 1 line 3
+	next[k] = st
+	sh.m.Store(&next)
 	return st
 }
 
@@ -187,7 +302,43 @@ func (ct *Controller) AdmitProbability(dst int, class qos.Class) float64 {
 	if class >= ct.lowest {
 		return 1
 	}
-	return ct.classState(dst, class).pAdmit
+	return ct.classState(dst, class).load()
+}
+
+// forEachKeySorted appends every live channel key to buf (reused across
+// calls) and returns it sorted by (dst, class) — the deterministic
+// iteration order every reporting surface shares.
+func (ct *Controller) forEachKeySorted(buf []stateKey) []stateKey {
+	buf = buf[:0]
+	for i := range ct.shards {
+		if m := ct.shards[i].m.Load(); m != nil {
+			for k := range *m {
+				buf = append(buf, k)
+			}
+		}
+	}
+	slices.SortFunc(buf, func(a, b stateKey) int {
+		if a.dst != b.dst {
+			return a.dst - b.dst
+		}
+		return int(a.class) - int(b.class)
+	})
+	return buf
+}
+
+// stateAt reads one channel's probability and remaining
+// additive-increase window at now, taking the channel lock so the pair
+// is consistent under concurrent Observes.
+func (ct *Controller) stateAt(st *classState, class qos.Class, now sim.Time) (p float64, rem sim.Duration) {
+	st.mu.Lock()
+	p = st.load()
+	if st.everIncreased {
+		if open := st.lastIncrease + ct.windows[class]; open > now {
+			rem = open - now
+		}
+	}
+	st.mu.Unlock()
+	return p, rem
 }
 
 // ForEachState visits every (dst, class) admission state in deterministic
@@ -195,78 +346,80 @@ func (ct *Controller) AdmitProbability(dst int, class qos.Class) float64 {
 // the additive-increase window reopens at now (zero when the window is
 // already open or no increase has happened yet).
 func (ct *Controller) ForEachState(now sim.Time, f func(dst int, class qos.Class, pAdmit float64, windowRemaining sim.Duration)) {
-	keys := make([]stateKey, 0, len(ct.state))
-	for k := range ct.state {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].dst != keys[j].dst {
-			return keys[i].dst < keys[j].dst
-		}
-		return keys[i].class < keys[j].class
-	})
-	for _, k := range keys {
-		st := ct.state[k]
-		var rem sim.Duration
-		if st.everIncreased {
-			if open := st.lastIncrease + ct.cfg.incrementWindow(int(k.class)); open > now {
-				rem = open - now
-			}
-		}
-		f(k.dst, k.class, st.pAdmit, rem)
+	for _, k := range ct.forEachKeySorted(nil) {
+		st := ct.classState(k.dst, k.class)
+		p, rem := ct.stateAt(st, k.class, now)
+		f(k.dst, k.class, p, rem)
 	}
 }
 
 // MetricsSampler returns an obs.Sampler exposing this controller's
 // per-(dst, class) admit probability and additive-increase window
 // remainder; host identifies the controller's sending host in metric
-// names.
+// names. Metric keys are built once per (host, dst, class) and cached,
+// so steady-state sampling performs no allocations; the returned sampler
+// is not safe for concurrent use (each registry tick owns it).
 func (ct *Controller) MetricsSampler(host int) obs.Sampler {
+	type keyPair struct{ padmit, incwin string }
+	names := make(map[stateKey]keyPair)
+	var scratch []stateKey
 	return func(now sim.Time, emit func(string, float64)) {
-		ct.ForEachState(now, func(dst int, class qos.Class, p float64, rem sim.Duration) {
-			key := fmt.Sprintf("h%d.d%d.q%d", host, dst, int(class))
-			emit("padmit."+key, p)
-			emit("incwin_us."+key, rem.Micros())
-		})
+		scratch = ct.forEachKeySorted(scratch)
+		for _, k := range scratch {
+			kp, ok := names[k]
+			if !ok {
+				suffix := fmt.Sprintf("h%d.d%d.q%d", host, k.dst, int(k.class))
+				kp = keyPair{padmit: "padmit." + suffix, incwin: "incwin_us." + suffix}
+				names[k] = kp
+			}
+			st := ct.classState(k.dst, k.class)
+			p, rem := ct.stateAt(st, k.class, now)
+			emit(kp.padmit, p)
+			emit(kp.incwin, rem.Micros())
+		}
 	}
 }
 
 // Admit implements rpc.Admitter — Algorithm 1 lines 5-12. RPCs requesting
-// the lowest class are always admitted (it has no SLO to protect).
-func (ct *Controller) Admit(s *sim.Simulator, dst int, requested qos.Class, sizeMTUs int64) rpc.Decision {
-	return ct.AdmitAt(s.Rand().Float64(), dst, requested, sizeMTUs)
+// the lowest class are always admitted (it has no SLO to protect). The
+// fast path is one uniform draw, one lock-free state lookup, and one
+// atomic probability load: no locks, no allocations.
+func (ct *Controller) Admit(dst int, requested qos.Class, sizeMTUs int64) rpc.Decision {
+	// Draw before the class check so the clock's draw sequence matches
+	// the pre-Clock controller exactly (one draw per Admit call).
+	return ct.AdmitAt(ct.clock.Float64(), dst, requested, sizeMTUs)
 }
 
 // AdmitAt is Admit with the uniform random draw supplied by the caller,
-// for use outside the simulator (e.g. embedding the controller in a real
-// RPC stack).
+// for callers that manage their own draw sequence (e.g. a seeded
+// deterministic embedding).
 func (ct *Controller) AdmitAt(draw float64, dst int, requested qos.Class, _ int64) rpc.Decision {
 	if requested >= ct.lowest || requested < 0 {
-		ct.Stats.Admitted++
+		atomic.AddInt64(&ct.Stats.Admitted, 1)
 		return rpc.Decision{Class: ct.lowest}
 	}
 	st := ct.classState(dst, requested)
-	if draw <= st.pAdmit {
-		ct.Stats.Admitted++
+	if draw <= st.load() {
+		atomic.AddInt64(&ct.Stats.Admitted, 1)
 		return rpc.Decision{Class: requested}
 	}
 	if ct.cfg.DropInsteadOfDowngrade {
-		ct.Stats.Dropped++
+		atomic.AddInt64(&ct.Stats.Dropped, 1)
 		return rpc.Decision{Drop: true}
 	}
-	ct.Stats.Downgraded++
+	atomic.AddInt64(&ct.Stats.Downgraded, 1)
 	return rpc.Decision{Class: ct.lowest, Downgraded: true}
 }
 
 // Observe implements rpc.Admitter — Algorithm 1 lines 13-20. rnl is the
 // measured RPC network latency of a completed RPC of sizeMTUs that ran on
-// class run toward dst.
-func (ct *Controller) Observe(s *sim.Simulator, dst int, run qos.Class, rnl sim.Duration, sizeMTUs int64) {
-	ct.ObserveAt(s.Now(), dst, run, rnl, sizeMTUs)
+// class run toward dst, timestamped by the controller's clock.
+func (ct *Controller) Observe(dst int, run qos.Class, rnl sim.Duration, sizeMTUs int64) {
+	ct.ObserveAt(ct.clock.Now(), dst, run, rnl, sizeMTUs)
 }
 
-// ObserveAt is Observe with an explicit timestamp, for use outside the
-// simulator.
+// ObserveAt is Observe with an explicit timestamp, for callers that
+// manage their own time base.
 func (ct *Controller) ObserveAt(now sim.Time, dst int, run qos.Class, rnl sim.Duration, sizeMTUs int64) {
 	if run >= ct.lowest || run < 0 {
 		return // the scavenger class has no SLO and no admit probability
@@ -278,19 +431,23 @@ func (ct *Controller) ObserveAt(now sim.Time, dst int, run qos.Class, rnl sim.Du
 	target := ct.cfg.LatencyTargets[run]
 	// Algorithm 1 line 15: per-MTU normalised comparison.
 	if rnl/sim.Duration(sizeMTUs) < target {
-		ct.Stats.SLOMet++
-		window := ct.cfg.incrementWindow(int(run))
+		atomic.AddInt64(&ct.Stats.SLOMet, 1)
+		window := ct.windows[run]
+		st.mu.Lock()
 		if ct.cfg.NoIncrementWindow || !st.everIncreased || now-st.lastIncrease > window {
-			st.pAdmit = min(st.pAdmit+ct.cfg.Alpha, 1)
+			st.store(min(st.load()+ct.cfg.Alpha, 1))
 			st.lastIncrease = now
 			st.everIncreased = true
 		}
+		st.mu.Unlock()
 		return
 	}
-	ct.Stats.SLOMisses++
+	atomic.AddInt64(&ct.Stats.SLOMisses, 1)
 	dec := ct.cfg.Beta
 	if !ct.cfg.NoSizeScaledMD {
 		dec *= float64(sizeMTUs)
 	}
-	st.pAdmit = max(st.pAdmit-dec, ct.cfg.Floor)
+	st.mu.Lock()
+	st.store(max(st.load()-dec, ct.cfg.Floor))
+	st.mu.Unlock()
 }

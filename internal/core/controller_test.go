@@ -11,9 +11,16 @@ import (
 
 func target() sim.Duration { return 2 * sim.Microsecond }
 
-func newCtl(t *testing.T) *Controller {
+// newCtlSim binds a default controller to the simulator's clock and RNG so
+// tests drive virtual time explicitly and draws are deterministic per seed.
+func newCtlSim(t *testing.T, s *sim.Simulator) *Controller {
 	t.Helper()
-	c, err := New(Defaults3(target(), 2*target()))
+	return newCtlCfg(t, Defaults3(target(), 2*target()), s)
+}
+
+func newCtlCfg(t *testing.T, cfg Config, s *sim.Simulator) *Controller {
+	t.Helper()
+	c, err := NewWithClock(cfg, SimClock{S: s})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +71,7 @@ func TestIncrementWindow(t *testing.T) {
 }
 
 func TestInitialAdmitProbabilityIsOne(t *testing.T) {
-	ct := newCtl(t)
+	ct := newCtlSim(t, sim.New(1))
 	if got := ct.AdmitProbability(5, qos.High); got != 1 {
 		t.Errorf("initial p_admit = %v, want 1", got)
 	}
@@ -75,10 +82,9 @@ func TestInitialAdmitProbabilityIsOne(t *testing.T) {
 }
 
 func TestAdmitAtFullProbability(t *testing.T) {
-	ct := newCtl(t)
-	s := sim.New(1)
+	ct := newCtlSim(t, sim.New(1))
 	for i := 0; i < 100; i++ {
-		d := ct.Admit(s, 1, qos.High, 1)
+		d := ct.Admit(1, qos.High, 1)
 		if d.Downgraded || d.Drop || d.Class != qos.High {
 			t.Fatalf("RPC downgraded at p_admit = 1: %+v", d)
 		}
@@ -86,10 +92,9 @@ func TestAdmitAtFullProbability(t *testing.T) {
 }
 
 func TestLowestClassAlwaysAdmitted(t *testing.T) {
-	ct := newCtl(t)
-	s := sim.New(1)
+	ct := newCtlSim(t, sim.New(1))
 	for i := 0; i < 100; i++ {
-		d := ct.Admit(s, 1, qos.Low, 1)
+		d := ct.Admit(1, qos.Low, 1)
 		if d.Downgraded || d.Drop || d.Class != qos.Low {
 			t.Fatalf("lowest-class RPC not admitted: %+v", d)
 		}
@@ -97,10 +102,9 @@ func TestLowestClassAlwaysAdmitted(t *testing.T) {
 }
 
 func TestMultiplicativeDecreaseOnMiss(t *testing.T) {
-	ct := newCtl(t)
-	s := sim.New(1)
+	ct := newCtlSim(t, sim.New(1))
 	// One SLO miss of a 10-MTU RPC decreases p by β×10.
-	ct.Observe(s, 1, qos.High, 100*target(), 10)
+	ct.Observe(1, qos.High, 100*target(), 10)
 	want := 1 - 0.01*10
 	if got := ct.AdmitProbability(1, qos.High); math.Abs(got-want) > 1e-12 {
 		t.Errorf("p_admit = %v, want %v", got, want)
@@ -113,11 +117,11 @@ func TestMultiplicativeDecreaseOnMiss(t *testing.T) {
 func TestSizeMissEquivalence(t *testing.T) {
 	// An SLO miss on a 10-MTU RPC must decrease p_admit exactly as much
 	// as ten misses on 1-MTU RPCs (§5.1).
-	a, b := newCtl(t), newCtl(t)
 	s := sim.New(1)
-	a.Observe(s, 1, qos.High, 100*target(), 10)
+	a, b := newCtlSim(t, s), newCtlSim(t, s)
+	a.Observe(1, qos.High, 100*target(), 10)
 	for i := 0; i < 10; i++ {
-		b.Observe(s, 1, qos.High, 100*target(), 1)
+		b.Observe(1, qos.High, 100*target(), 1)
 	}
 	if pa, pb := a.AdmitProbability(1, qos.High), b.AdmitProbability(1, qos.High); math.Abs(pa-pb) > 1e-12 {
 		t.Errorf("10-MTU miss %v != 10×1-MTU miss %v", pa, pb)
@@ -125,31 +129,30 @@ func TestSizeMissEquivalence(t *testing.T) {
 }
 
 func TestNormalizedTargetScalesWithSize(t *testing.T) {
-	ct := newCtl(t)
-	s := sim.New(1)
+	ct := newCtlSim(t, sim.New(1))
 	// 10 MTUs with latency 15×target: per-MTU latency 1.5×target → miss.
-	ct.Observe(s, 1, qos.High, 15*target(), 10)
+	ct.Observe(1, qos.High, 15*target(), 10)
 	if ct.Stats.SLOMisses != 1 {
 		t.Error("per-MTU normalisation failed: large RPC over per-MTU target not a miss")
 	}
 	// 10 MTUs with latency 5×target: per-MTU latency 0.5×target → met.
-	ct.Observe(s, 1, qos.High, 5*target(), 10)
+	ct.Observe(1, qos.High, 5*target(), 10)
 	if ct.Stats.SLOMet != 1 {
 		t.Error("per-MTU normalisation failed: large RPC under scaled target flagged as miss")
 	}
 }
 
 func TestAdditiveIncreaseOncePerWindow(t *testing.T) {
-	ct := newCtl(t)
 	s := sim.New(1)
+	ct := newCtlSim(t, s)
 	// Drive p down first.
 	for i := 0; i < 30; i++ {
-		ct.Observe(s, 1, qos.High, 100*target(), 1)
+		ct.Observe(1, qos.High, 100*target(), 1)
 	}
 	p0 := ct.AdmitProbability(1, qos.High)
 	// Many compliant completions at the same instant: only one increase.
 	for i := 0; i < 50; i++ {
-		ct.Observe(s, 1, qos.High, target()/2, 1)
+		ct.Observe(1, qos.High, target()/2, 1)
 	}
 	p1 := ct.AdmitProbability(1, qos.High)
 	if math.Abs(p1-(p0+0.01)) > 1e-12 {
@@ -157,8 +160,8 @@ func TestAdditiveIncreaseOncePerWindow(t *testing.T) {
 	}
 	// After the window passes, another increase is allowed.
 	window := ct.Config().incrementWindow(0)
-	s.AtFunc(s.Now()+window+1, func(s *sim.Simulator) {
-		ct.Observe(s, 1, qos.High, target()/2, 1)
+	s.AtFunc(s.Now()+window+1, func(*sim.Simulator) {
+		ct.Observe(1, qos.High, target()/2, 1)
 	})
 	s.Run()
 	if got := ct.AdmitProbability(1, qos.High); math.Abs(got-(p1+0.01)) > 1e-12 {
@@ -169,14 +172,13 @@ func TestAdditiveIncreaseOncePerWindow(t *testing.T) {
 func TestNoIncrementWindowAblation(t *testing.T) {
 	cfg := Defaults3(target(), 2*target())
 	cfg.NoIncrementWindow = true
-	ct := MustNew(cfg)
-	s := sim.New(1)
+	ct := newCtlCfg(t, cfg, sim.New(1))
 	for i := 0; i < 30; i++ {
-		ct.Observe(s, 1, qos.High, 100*target(), 1)
+		ct.Observe(1, qos.High, 100*target(), 1)
 	}
 	p0 := ct.AdmitProbability(1, qos.High)
 	for i := 0; i < 10; i++ {
-		ct.Observe(s, 1, qos.High, target()/2, 1)
+		ct.Observe(1, qos.High, target()/2, 1)
 	}
 	if got := ct.AdmitProbability(1, qos.High); math.Abs(got-(p0+0.1)) > 1e-9 {
 		t.Errorf("ablation: p = %v, want %v (increase every completion)", got, p0+0.1)
@@ -186,19 +188,17 @@ func TestNoIncrementWindowAblation(t *testing.T) {
 func TestNoSizeScaledMDAblation(t *testing.T) {
 	cfg := Defaults3(target(), 2*target())
 	cfg.NoSizeScaledMD = true
-	ct := MustNew(cfg)
-	s := sim.New(1)
-	ct.Observe(s, 1, qos.High, 100*target(), 10)
+	ct := newCtlCfg(t, cfg, sim.New(1))
+	ct.Observe(1, qos.High, 100*target(), 10)
 	if got := ct.AdmitProbability(1, qos.High); math.Abs(got-0.99) > 1e-12 {
 		t.Errorf("ablation: p = %v, want 0.99 (constant β)", got)
 	}
 }
 
 func TestFloorPreventsStarvation(t *testing.T) {
-	ct := newCtl(t)
-	s := sim.New(1)
+	ct := newCtlSim(t, sim.New(1))
 	for i := 0; i < 10000; i++ {
-		ct.Observe(s, 1, qos.High, 100*target(), 64)
+		ct.Observe(1, qos.High, 100*target(), 64)
 	}
 	if got := ct.AdmitProbability(1, qos.High); got != ct.Config().Floor {
 		t.Errorf("p_admit = %v, want floor %v", got, ct.Config().Floor)
@@ -208,14 +208,13 @@ func TestFloorPreventsStarvation(t *testing.T) {
 func TestDowngradeGoesToLowestClass(t *testing.T) {
 	cfg := Defaults3(target(), 2*target())
 	cfg.Floor = 0.0
-	ct := MustNew(cfg)
-	s := sim.New(1)
+	ct := newCtlCfg(t, cfg, sim.New(1))
 	for i := 0; i < 1000; i++ {
-		ct.Observe(s, 1, qos.Medium, 100*target(), 10)
+		ct.Observe(1, qos.Medium, 100*target(), 10)
 	}
 	downgrades := 0
 	for i := 0; i < 100; i++ {
-		d := ct.Admit(s, 1, qos.Medium, 1)
+		d := ct.Admit(1, qos.Medium, 1)
 		if d.Downgraded {
 			downgrades++
 			if d.Class != qos.Low {
@@ -232,14 +231,13 @@ func TestDropAblation(t *testing.T) {
 	cfg := Defaults3(target(), 2*target())
 	cfg.DropInsteadOfDowngrade = true
 	cfg.Floor = 0
-	ct := MustNew(cfg)
-	s := sim.New(1)
+	ct := newCtlCfg(t, cfg, sim.New(1))
 	for i := 0; i < 1000; i++ {
-		ct.Observe(s, 1, qos.High, 100*target(), 10)
+		ct.Observe(1, qos.High, 100*target(), 10)
 	}
 	drops := 0
 	for i := 0; i < 100; i++ {
-		if d := ct.Admit(s, 1, qos.High, 1); d.Drop {
+		if d := ct.Admit(1, qos.High, 1); d.Drop {
 			drops++
 		}
 	}
@@ -252,9 +250,8 @@ func TestDropAblation(t *testing.T) {
 }
 
 func TestPerDestinationIndependence(t *testing.T) {
-	ct := newCtl(t)
-	s := sim.New(1)
-	ct.Observe(s, 1, qos.High, 100*target(), 10)
+	ct := newCtlSim(t, sim.New(1))
+	ct.Observe(1, qos.High, 100*target(), 10)
 	if got := ct.AdmitProbability(2, qos.High); got != 1 {
 		t.Errorf("dst 2 affected by dst 1 misses: p = %v", got)
 	}
@@ -264,18 +261,16 @@ func TestPerDestinationIndependence(t *testing.T) {
 }
 
 func TestPerClassIndependence(t *testing.T) {
-	ct := newCtl(t)
-	s := sim.New(1)
-	ct.Observe(s, 1, qos.High, 100*target(), 10)
+	ct := newCtlSim(t, sim.New(1))
+	ct.Observe(1, qos.High, 100*target(), 10)
 	if got := ct.AdmitProbability(1, qos.Medium); got != 1 {
 		t.Errorf("QoSm affected by QoSh misses: p = %v", got)
 	}
 }
 
 func TestScavengerObservationsIgnored(t *testing.T) {
-	ct := newCtl(t)
-	s := sim.New(1)
-	ct.Observe(s, 1, qos.Low, 1000*target(), 10)
+	ct := newCtlSim(t, sim.New(1))
+	ct.Observe(1, qos.Low, 1000*target(), 10)
 	if ct.Stats.SLOMisses != 0 {
 		t.Error("scavenger-class latency counted as SLO miss")
 	}
@@ -285,15 +280,18 @@ func TestScavengerObservationsIgnored(t *testing.T) {
 // observation sequences.
 func TestPAdmitBoundsProperty(t *testing.T) {
 	f := func(events []uint16) bool {
-		ct := MustNew(Defaults3(target(), 2*target()))
 		s := sim.New(3)
+		ct, err := NewWithClock(Defaults3(target(), 2*target()), SimClock{S: s})
+		if err != nil {
+			panic(err)
+		}
 		now := sim.Time(0)
 		for _, e := range events {
 			now += sim.Time(e) * sim.Microsecond
-			s.AtFunc(now, func(s *sim.Simulator) {
+			s.AtFunc(now, func(*sim.Simulator) {
 				lat := sim.Duration(e%4000) * sim.Nanosecond
 				size := int64(e%20) + 1
-				ct.Observe(s, int(e%3), qos.Class(e%2), lat, size)
+				ct.Observe(int(e%3), qos.Class(e%2), lat, size)
 			})
 		}
 		s.Run()
@@ -314,11 +312,10 @@ func TestPAdmitBoundsProperty(t *testing.T) {
 
 // Property: the admitted fraction over many trials tracks p_admit.
 func TestAdmitFractionTracksProbability(t *testing.T) {
-	ct := newCtl(t)
-	s := sim.New(7)
+	ct := newCtlSim(t, sim.New(7))
 	// Drive p to ~0.6.
 	for i := 0; i < 40; i++ {
-		ct.Observe(s, 1, qos.High, 100*target(), 1)
+		ct.Observe(1, qos.High, 100*target(), 1)
 	}
 	p := ct.AdmitProbability(1, qos.High)
 	if math.Abs(p-0.6) > 1e-9 {
@@ -327,7 +324,7 @@ func TestAdmitFractionTracksProbability(t *testing.T) {
 	admitted := 0
 	const trials = 20000
 	for i := 0; i < trials; i++ {
-		if d := ct.Admit(s, 1, qos.High, 1); !d.Downgraded {
+		if d := ct.Admit(1, qos.High, 1); !d.Downgraded {
 			admitted++
 		}
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"aequitas/internal/qos"
 	"aequitas/internal/rpc"
@@ -24,6 +25,9 @@ import (
 // with token buckets refilled at the granted rate; the sum of grants per
 // class is capped at the class's provisioned capacity so that in-quota
 // traffic stays inside the admissible region by construction.
+//
+// QuotaServer and QuotaClient are safe for concurrent use: Grant/Revoke
+// from a control plane can race with InQuota checks on the serving path.
 type QuotaServer struct {
 	mu sync.Mutex
 	// capacity[class] is the total grantable rate per class in
@@ -110,22 +114,34 @@ func (q *QuotaServer) Remaining(class qos.Class) float64 {
 	return q.capacity[class] - q.granted[class]
 }
 
-// Client returns a host-local quota enforcer for tenant. Clients cache
-// the granted rate at creation; in a real deployment they would refresh
-// periodically — here the grant is read through on each refill, so
-// Grant/Revoke take effect immediately.
+// Client returns a host-local quota enforcer for tenant, timestamped by
+// its own monotonic wall clock. Clients read the granted rate through on
+// each refill, so Grant/Revoke take effect immediately.
 func (q *QuotaServer) Client(tenant string) *QuotaClient {
-	return &QuotaClient{server: q, tenant: tenant, buckets: make(map[qos.Class]*quotaBucket)}
+	return q.ClientWithClock(tenant, nil)
+}
+
+// ClientWithClock is Client with an explicit time source; a nil clock
+// defaults to a fresh WallClock. Simulations pass their SimClock so
+// bucket refills run on virtual time.
+func (q *QuotaServer) ClientWithClock(tenant string, clk Clock) *QuotaClient {
+	if clk == nil {
+		clk = NewWallClock()
+	}
+	return &QuotaClient{server: q, tenant: tenant, clock: clk, buckets: make(map[qos.Class]*quotaBucket)}
 }
 
 // QuotaClient enforces one tenant's quota at one sending host with
-// per-class token buckets.
+// per-class token buckets. It is safe for concurrent use.
 type QuotaClient struct {
-	server  *QuotaServer
-	tenant  string
+	server *QuotaServer
+	tenant string
+	clock  Clock
+
+	mu      sync.Mutex
 	buckets map[qos.Class]*quotaBucket
 	// BurstSeconds bounds token accumulation to rate×BurstSeconds
-	// (default 0.01 s).
+	// (default 0.01 s). Set it before serving begins.
 	BurstSeconds float64
 }
 
@@ -135,12 +151,23 @@ type quotaBucket struct {
 }
 
 // InQuota reports whether bytes on class fit the tenant's remaining
-// tokens at time now, consuming them if so.
-func (c *QuotaClient) InQuota(now sim.Time, class qos.Class, bytes int64) bool {
+// tokens now, consuming them if so.
+func (c *QuotaClient) InQuota(class qos.Class, bytes int64) bool {
+	return c.InQuotaAt(c.clock.Now(), class, bytes)
+}
+
+// InQuotaAt is InQuota with an explicit timestamp, for callers that
+// manage their own time base. Timestamps must not move backwards.
+func (c *QuotaClient) InQuotaAt(now sim.Time, class qos.Class, bytes int64) bool {
+	// The server lock (inside GrantedRate) and the client lock nest
+	// strictly client-outside-server nowhere: GrantedRate is called
+	// before c.mu is taken, so the two locks are never held together.
 	rate := c.server.GrantedRate(c.tenant, class)
 	if rate <= 0 {
 		return false
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	b, ok := c.buckets[class]
 	if !ok {
 		b = &quotaBucket{last: now}
@@ -170,23 +197,26 @@ func (c *QuotaClient) burstSeconds() float64 {
 
 // QuotaAdmitter layers tenant quotas over a Controller: in-quota RPCs are
 // admitted on their requested class unconditionally; out-of-quota RPCs go
-// through the normal probabilistic path. It implements rpc.Admitter.
+// through the normal probabilistic path. It implements rpc.Admitter and
+// shares the Controller's clock for bucket refills.
 type QuotaAdmitter struct {
 	Controller *Controller
 	Client     *QuotaClient
-	// Stats
+	// InQuotaAdmits counts RPCs admitted on the quota bypass; updated
+	// atomically.
 	InQuotaAdmits int64
 }
 
 // Admit implements rpc.Admitter.
-func (qa *QuotaAdmitter) Admit(s *sim.Simulator, dst int, requested qos.Class, sizeMTUs int64) rpc.Decision {
+func (qa *QuotaAdmitter) Admit(dst int, requested qos.Class, sizeMTUs int64) rpc.Decision {
 	bytes := sizeMTUs * 1436
-	if requested < qa.Controller.lowest && qa.Client.InQuota(s.Now(), requested, bytes) {
-		qa.InQuotaAdmits++
-		qa.Controller.Stats.Admitted++
+	if requested >= 0 && requested < qa.Controller.lowest &&
+		qa.Client.InQuotaAt(qa.Controller.clock.Now(), requested, bytes) {
+		atomic.AddInt64(&qa.InQuotaAdmits, 1)
+		atomic.AddInt64(&qa.Controller.Stats.Admitted, 1)
 		return rpc.Decision{Class: requested}
 	}
-	return qa.Controller.Admit(s, dst, requested, sizeMTUs)
+	return qa.Controller.Admit(dst, requested, sizeMTUs)
 }
 
 // AdmitProbability implements rpc.ProbabilityReporter by delegating to
@@ -199,6 +229,6 @@ func (qa *QuotaAdmitter) AdmitProbability(dst int, class qos.Class) float64 {
 // Observe implements rpc.Admitter. In-quota traffic still contributes
 // latency measurements: if the quota was over-provisioned relative to the
 // SLO, the controller must learn it.
-func (qa *QuotaAdmitter) Observe(s *sim.Simulator, dst int, run qos.Class, rnl sim.Duration, sizeMTUs int64) {
-	qa.Controller.Observe(s, dst, run, rnl, sizeMTUs)
+func (qa *QuotaAdmitter) Observe(dst int, run qos.Class, rnl sim.Duration, sizeMTUs int64) {
+	qa.Controller.Observe(dst, run, rnl, sizeMTUs)
 }

@@ -67,18 +67,18 @@ func TestQuotaClientTokens(t *testing.T) {
 	c := q.Client("a")
 	now := sim.Time(0)
 	// Fresh bucket holds one burst: 1e6 × 0.01s = 10 KB.
-	if !c.InQuota(now, qos.High, 10_000) {
+	if !c.InQuotaAt(now, qos.High, 10_000) {
 		t.Fatal("initial burst rejected")
 	}
-	if c.InQuota(now, qos.High, 1_000) {
+	if c.InQuotaAt(now, qos.High, 1_000) {
 		t.Fatal("empty bucket admitted")
 	}
 	// After 5 ms, 5 KB of tokens accrue.
 	now += 5 * sim.Millisecond
-	if !c.InQuota(now, qos.High, 4_000) {
+	if !c.InQuotaAt(now, qos.High, 4_000) {
 		t.Error("refilled tokens rejected")
 	}
-	if c.InQuota(now, qos.High, 4_000) {
+	if c.InQuotaAt(now, qos.High, 4_000) {
 		t.Error("tokens double spent")
 	}
 }
@@ -86,7 +86,7 @@ func TestQuotaClientTokens(t *testing.T) {
 func TestQuotaClientNoGrant(t *testing.T) {
 	q := newServer()
 	c := q.Client("nobody")
-	if c.InQuota(0, qos.High, 1) {
+	if c.InQuotaAt(0, qos.High, 1) {
 		t.Error("tenant without grant admitted")
 	}
 }
@@ -98,10 +98,10 @@ func TestQuotaClientBurstCap(t *testing.T) {
 	}
 	c := q.Client("a")
 	c.BurstSeconds = 0.001 // 1 KB burst
-	if c.InQuota(sim.Time(10*sim.Second), qos.High, 5_000) {
+	if c.InQuotaAt(sim.Time(10*sim.Second), qos.High, 5_000) {
 		t.Error("burst cap not enforced after long idle")
 	}
-	if !c.InQuota(sim.Time(10*sim.Second), qos.High, 900) {
+	if !c.InQuotaAt(sim.Time(10*sim.Second), qos.High, 900) {
 		t.Error("within-burst request rejected")
 	}
 }
@@ -111,15 +111,15 @@ func TestQuotaAdmitterBypassesDraw(t *testing.T) {
 	if err := q.Grant("a", qos.High, 1e9); err != nil {
 		t.Fatal(err)
 	}
-	ctl := MustNew(Defaults3(2*sim.Microsecond, 4*sim.Microsecond))
 	s := sim.New(1)
+	ctl := newCtlCfg(t, Defaults3(2*sim.Microsecond, 4*sim.Microsecond), s)
 	// Crush the admit probability.
 	for i := 0; i < 1000; i++ {
-		ctl.Observe(s, 1, qos.High, sim.Duration(1*sim.Millisecond), 10)
+		ctl.Observe(1, qos.High, sim.Duration(1*sim.Millisecond), 10)
 	}
-	qa := &QuotaAdmitter{Controller: ctl, Client: q.Client("a")}
+	qa := &QuotaAdmitter{Controller: ctl, Client: q.ClientWithClock("a", SimClock{S: s})}
 	// In-quota RPCs are admitted despite p_admit at the floor.
-	d := qa.Admit(s, 1, qos.High, 1)
+	d := qa.Admit(1, qos.High, 1)
 	if d.Downgraded || d.Class != qos.High {
 		t.Fatalf("in-quota RPC not admitted: %+v", d)
 	}
@@ -135,15 +135,15 @@ func TestQuotaAdmitterFallsThroughWhenExhausted(t *testing.T) {
 	}
 	cfg := Defaults3(2*sim.Microsecond, 4*sim.Microsecond)
 	cfg.Floor = 0
-	ctl := MustNew(cfg)
 	s := sim.New(1)
+	ctl := newCtlCfg(t, cfg, s)
 	for i := 0; i < 1000; i++ {
-		ctl.Observe(s, 1, qos.High, sim.Duration(1*sim.Millisecond), 10)
+		ctl.Observe(1, qos.High, sim.Duration(1*sim.Millisecond), 10)
 	}
-	qa := &QuotaAdmitter{Controller: ctl, Client: q.Client("a")}
+	qa := &QuotaAdmitter{Controller: ctl, Client: q.ClientWithClock("a", SimClock{S: s})}
 	downgrades := 0
 	for i := 0; i < 50; i++ {
-		if d := qa.Admit(s, 1, qos.High, 64); d.Downgraded {
+		if d := qa.Admit(1, qos.High, 64); d.Downgraded {
 			downgrades++
 		}
 	}
@@ -154,10 +154,10 @@ func TestQuotaAdmitterFallsThroughWhenExhausted(t *testing.T) {
 
 func TestQuotaAdmitterScavengerPassThrough(t *testing.T) {
 	q := newServer()
-	ctl := MustNew(Defaults3(2*sim.Microsecond, 4*sim.Microsecond))
 	s := sim.New(1)
-	qa := &QuotaAdmitter{Controller: ctl, Client: q.Client("a")}
-	d := qa.Admit(s, 1, qos.Low, 1)
+	ctl := newCtlCfg(t, Defaults3(2*sim.Microsecond, 4*sim.Microsecond), s)
+	qa := &QuotaAdmitter{Controller: ctl, Client: q.ClientWithClock("a", SimClock{S: s})}
+	d := qa.Admit(1, qos.Low, 1)
 	if d.Downgraded || d.Class != qos.Low {
 		t.Errorf("scavenger RPC mishandled: %+v", d)
 	}
@@ -165,10 +165,10 @@ func TestQuotaAdmitterScavengerPassThrough(t *testing.T) {
 
 func TestQuotaAdmitterObservePropagates(t *testing.T) {
 	q := newServer()
-	ctl := MustNew(Defaults3(2*sim.Microsecond, 4*sim.Microsecond))
 	s := sim.New(1)
-	qa := &QuotaAdmitter{Controller: ctl, Client: q.Client("a")}
-	qa.Observe(s, 1, qos.High, sim.Duration(1*sim.Millisecond), 10)
+	ctl := newCtlCfg(t, Defaults3(2*sim.Microsecond, 4*sim.Microsecond), s)
+	qa := &QuotaAdmitter{Controller: ctl, Client: q.ClientWithClock("a", SimClock{S: s})}
+	qa.Observe(1, qos.High, sim.Duration(1*sim.Millisecond), 10)
 	if ctl.Stats.SLOMisses != 1 {
 		t.Error("Observe not propagated to the controller")
 	}

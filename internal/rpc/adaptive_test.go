@@ -16,7 +16,7 @@ type budgetAdmitter struct {
 	total, adm int
 }
 
-func (h *budgetAdmitter) Admit(s *sim.Simulator, _ int, requested qos.Class, _ int64) Decision {
+func (h *budgetAdmitter) Admit(_ int, requested qos.Class, _ int64) Decision {
 	h.total++
 	if requested != qos.High {
 		return Decision{Class: requested}
@@ -28,7 +28,7 @@ func (h *budgetAdmitter) Admit(s *sim.Simulator, _ int, requested qos.Class, _ i
 	return Decision{Class: qos.Low, Downgraded: true}
 }
 
-func (h *budgetAdmitter) Observe(*sim.Simulator, int, qos.Class, sim.Duration, int64) {}
+func (h *budgetAdmitter) Observe(int, qos.Class, sim.Duration, int64) {}
 
 func TestAdaptiveAppReactsToDowngrades(t *testing.T) {
 	_, stacks := setup(t, 2, []Admitter{&budgetAdmitter{budget: 0.4}, PassThrough{}})

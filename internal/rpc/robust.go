@@ -126,7 +126,7 @@ func (st *Stack) attemptDone(s *sim.Simulator, fs *inflightRPC, isHedge bool) {
 	if isHedge {
 		st.Stats.HedgeWins++
 	}
-	st.admitter.Observe(s, r.Dst, r.QoSRun, r.RNL, r.SizeMTUs)
+	st.admitter.Observe(r.Dst, r.QoSRun, r.RNL, r.SizeMTUs)
 	if st.Trace != nil {
 		st.Trace.Complete(s.Now(), r.ID, st.Src, r.Dst, int(r.QoSRun), r.Bytes, r.RNL)
 	}
@@ -151,7 +151,7 @@ func (st *Stack) onTimeout(s *sim.Simulator, fs *inflightRPC) {
 	st.Stats.TimedOut++
 	if fs.retries == 0 {
 		r := fs.r
-		st.admitter.Observe(s, r.Dst, r.QoSRun, s.Now()-r.IssueTime, r.SizeMTUs)
+		st.admitter.Observe(r.Dst, r.QoSRun, s.Now()-r.IssueTime, r.SizeMTUs)
 	}
 	st.retryOrFail(s, fs)
 }

@@ -64,12 +64,17 @@ type Decision struct {
 // Admitter decides, at RPC issue, which QoS class an RPC runs on and
 // learns from completed RPC latency measurements. The Aequitas controller
 // implements this; PassThrough is the no-admission-control baseline.
+//
+// The interface is time-source-free: an admitter that needs timestamps
+// or randomness brings its own clock (the core controller's Clock), so
+// the same implementation serves both the discrete-event simulator and
+// live wall-clock traffic.
 type Admitter interface {
 	// Admit returns the verdict for an RPC of sizeMTUs toward dst.
-	Admit(s *sim.Simulator, dst int, requested qos.Class, sizeMTUs int64) Decision
+	Admit(dst int, requested qos.Class, sizeMTUs int64) Decision
 	// Observe feeds back one completed RPC's measured RNL on the class
 	// it actually ran on.
-	Observe(s *sim.Simulator, dst int, run qos.Class, rnl sim.Duration, sizeMTUs int64)
+	Observe(dst int, run qos.Class, rnl sim.Duration, sizeMTUs int64)
 }
 
 // ProbabilityReporter is implemented by admitters that can report the
@@ -85,12 +90,12 @@ type ProbabilityReporter interface {
 type PassThrough struct{}
 
 // Admit implements Admitter.
-func (PassThrough) Admit(_ *sim.Simulator, _ int, requested qos.Class, _ int64) Decision {
+func (PassThrough) Admit(_ int, requested qos.Class, _ int64) Decision {
 	return Decision{Class: requested}
 }
 
 // Observe implements Admitter.
-func (PassThrough) Observe(*sim.Simulator, int, qos.Class, sim.Duration, int64) {}
+func (PassThrough) Observe(int, qos.Class, sim.Duration, int64) {}
 
 // Stats counts per-stack RPC activity.
 type Stats struct {
@@ -233,7 +238,7 @@ func (st *Stack) Issue(s *sim.Simulator, r *RPC) {
 		st.Trace.Issue(s.Now(), r.ID, st.Src, r.Dst, int(r.Priority), int(r.QoSRequested), r.Bytes)
 	}
 	st.Attr.Issue(s.Now(), st.Src, r.ID)
-	d := st.admitter.Admit(s, r.Dst, r.QoSRequested, r.SizeMTUs)
+	d := st.admitter.Admit(r.Dst, r.QoSRequested, r.SizeMTUs)
 	st.Stats.Issued++
 	if st.Trace != nil || st.RecordPAdmit {
 		r.PAdmit = 1
@@ -279,7 +284,7 @@ func (st *Stack) Issue(s *sim.Simulator, r *RPC) {
 			r.RNL = r.CompleteTime - m.SubmitTime
 			st.outstanding[outKey{r.Dst, r.QoSRun}]--
 			st.Stats.Completed++
-			st.admitter.Observe(s, r.Dst, r.QoSRun, r.RNL, r.SizeMTUs)
+			st.admitter.Observe(r.Dst, r.QoSRun, r.RNL, r.SizeMTUs)
 			if st.Trace != nil {
 				st.Trace.Complete(s.Now(), r.ID, st.Src, r.Dst, int(r.QoSRun), r.Bytes, r.RNL)
 			}

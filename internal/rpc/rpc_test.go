@@ -87,10 +87,10 @@ func TestPriorityMapping(t *testing.T) {
 // downgradeAll demotes every RPC, for testing stack bookkeeping.
 type downgradeAll struct{ observed int }
 
-func (d *downgradeAll) Admit(_ *sim.Simulator, _ int, _ qos.Class, _ int64) Decision {
+func (d *downgradeAll) Admit(_ int, _ qos.Class, _ int64) Decision {
 	return Decision{Class: qos.Low, Downgraded: true}
 }
-func (d *downgradeAll) Observe(_ *sim.Simulator, _ int, _ qos.Class, _ sim.Duration, _ int64) {
+func (d *downgradeAll) Observe(_ int, _ qos.Class, _ sim.Duration, _ int64) {
 	d.observed++
 }
 
@@ -123,8 +123,8 @@ func TestDowngradeBookkeeping(t *testing.T) {
 // dropAll rejects every RPC.
 type dropAll struct{}
 
-func (dropAll) Admit(*sim.Simulator, int, qos.Class, int64) Decision        { return Decision{Drop: true} }
-func (dropAll) Observe(*sim.Simulator, int, qos.Class, sim.Duration, int64) {}
+func (dropAll) Admit(int, qos.Class, int64) Decision        { return Decision{Drop: true} }
+func (dropAll) Observe(int, qos.Class, sim.Duration, int64) {}
 
 func TestDropDecision(t *testing.T) {
 	_, stacks := setup(t, 2, []Admitter{dropAll{}, PassThrough{}})

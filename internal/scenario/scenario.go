@@ -42,6 +42,12 @@ type Env struct {
 	// admission control.
 	Core core.Config
 
+	// Clock is the admission controllers' time-and-randomness source.
+	// The run wires a core.SimClock over its simulator so controller
+	// draws stay on the deterministic RNG stream; a nil Clock falls back
+	// to the wall clock (live embedding).
+	Clock core.Clock
+
 	// Tracer, when non-nil, is attached to every endpoint built through
 	// NewEndpoint.
 	Tracer *obs.Tracer

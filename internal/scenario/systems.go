@@ -56,7 +56,7 @@ func (aequitasSystem) Scheduler(weights []float64, buf int) netsim.SchedulerFact
 
 func (aequitasSystem) Build(*Env) (Instance, error) {
 	return statelessInstance(func(env *Env, i int) (HostStack, error) {
-		ctl, err := core.New(env.Core)
+		ctl, err := core.NewWithClock(env.Core, env.Clock)
 		if err != nil {
 			return HostStack{}, err
 		}

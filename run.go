@@ -163,6 +163,7 @@ func buildHosts(st *runState) error {
 		DisableCC:   cfg.DisableCC,
 		FixedWindow: cfg.FixedWindow,
 		Core:        cfg.coreConfig(),
+		Clock:       core.SimClock{S: st.s},
 		Tracer:      st.tracer,
 		Attr:        st.attr,
 		Endpoints:   make([]*transport.Endpoint, cfg.Hosts),
@@ -183,7 +184,7 @@ func buildHosts(st *runState) error {
 		if hs.Admitter != nil {
 			adm = hs.Admitter
 		}
-		stack := rpc.NewStack(hs.Sender, &countingAdmitter{inner: adm, col: st.col})
+		stack := rpc.NewStack(hs.Sender, &countingAdmitter{s: st.s, inner: adm, col: st.col})
 		stack.Trace = st.tracer
 		stack.Attr = st.attr
 		stack.Src = i

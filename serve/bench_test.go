@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"aequitas"
+)
+
+func benchAdmission(b *testing.B) *Admission {
+	b.Helper()
+	ctl, err := aequitas.NewController(aequitas.ControllerConfig{
+		SLOs: []aequitas.SLO{
+			{Target: 500 * time.Microsecond},
+			{Target: time.Millisecond},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := New(Config{Controller: ctl})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+// nopResponseWriter avoids httptest.ResponseRecorder allocations so the
+// benchmark measures the admission layer, not the test harness.
+type nopResponseWriter struct{ h http.Header }
+
+func (w nopResponseWriter) Header() http.Header         { return w.h }
+func (w nopResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (nopResponseWriter) WriteHeader(int)               {}
+
+// BenchmarkServeMiddleware measures one full middleware pass: classify,
+// admit, context injection, handler dispatch, observe, histogram record.
+func BenchmarkServeMiddleware(b *testing.B) {
+	a := benchAdmission(b)
+	h := a.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	req := httptest.NewRequest("GET", "/backend", nil)
+	req.Header.Set(HeaderClass, "QoSh")
+	w := nopResponseWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, req)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServeMiddlewareParallel is the same pass under GOMAXPROCS-way
+// concurrency.
+func BenchmarkServeMiddlewareParallel(b *testing.B) {
+	a := benchAdmission(b)
+	h := a.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		req := httptest.NewRequest("GET", "/backend", nil)
+		req.Header.Set(HeaderClass, "QoSh")
+		w := nopResponseWriter{h: make(http.Header)}
+		for pb.Next() {
+			h.ServeHTTP(w, req)
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}

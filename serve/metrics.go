@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aequitas"
+	"aequitas/internal/obs"
+	"aequitas/internal/stats"
+)
+
+// maxClasses bounds the per-class metric arrays; classes beyond it fold
+// into the last slot (the paper uses 2-4 levels).
+const maxClasses = 8
+
+// metrics aggregates serving-side observability: decision counters
+// (atomic, updated on the admit path), per-class latency histograms
+// (mutex-guarded, updated on completion), and the exporter the HTTP
+// handler publishes through.
+type metrics struct {
+	start      time.Time
+	admitted   atomic.Int64
+	downgraded atomic.Int64
+	rejected   atomic.Int64
+	done       atomic.Int64
+
+	mu  sync.Mutex
+	lat [maxClasses]*stats.Hist // completion latency in µs, per run class
+
+	exp *obs.Exporter
+}
+
+func (m *metrics) init() {
+	m.start = time.Now()
+	m.exp = obs.NewExporter()
+}
+
+func classSlot(c aequitas.Class) int {
+	if c < 0 {
+		return 0
+	}
+	if int(c) >= maxClasses {
+		return maxClasses - 1
+	}
+	return int(c)
+}
+
+func (m *metrics) decided(v Verdict, reject bool) {
+	if !v.Downgraded {
+		m.admitted.Add(1)
+		return
+	}
+	if reject {
+		m.rejected.Add(1)
+		return
+	}
+	m.downgraded.Add(1)
+}
+
+func (m *metrics) completed(class aequitas.Class, elapsed time.Duration) {
+	m.done.Add(1)
+	slot := classSlot(class)
+	m.mu.Lock()
+	h := m.lat[slot]
+	if h == nil {
+		h = stats.NewHist()
+		m.lat[slot] = h
+	}
+	h.Record(float64(elapsed) / float64(time.Microsecond))
+	m.mu.Unlock()
+}
+
+// snapshot freezes the serving state into an exportable document:
+// middleware counters, the controller's cumulative Algorithm 1 counters,
+// live per-(peer, class) admit probabilities as gauges, and per-class
+// latency histograms.
+func (m *metrics) snapshot(ctl *aequitas.AdmissionController) *obs.Snapshot {
+	s := &obs.Snapshot{
+		Schema:   obs.SnapshotSchema,
+		Label:    "serve",
+		SimTimeS: time.Since(m.start).Seconds(),
+	}
+	cs := ctl.Stats()
+	s.Counters = []obs.NamedValue{
+		{Name: "serve_admitted", Value: float64(m.admitted.Load())},
+		{Name: "serve_downgraded", Value: float64(m.downgraded.Load())},
+		{Name: "serve_rejected", Value: float64(m.rejected.Load())},
+		{Name: "serve_completed", Value: float64(m.done.Load())},
+		{Name: "ctl_admitted", Value: float64(cs.Admitted)},
+		{Name: "ctl_downgraded", Value: float64(cs.Downgraded)},
+		{Name: "ctl_dropped", Value: float64(cs.Dropped)},
+		{Name: "ctl_slo_misses", Value: float64(cs.SLOMisses)},
+		{Name: "ctl_slo_met", Value: float64(cs.SLOMet)},
+	}
+	ctl.ForEachProbability(func(peer string, class aequitas.Class, p float64) {
+		s.Gauges = append(s.Gauges, obs.NamedValue{
+			Name:  fmt.Sprintf("padmit.%s.q%d", peer, int(class)),
+			Value: p,
+		})
+	})
+	m.mu.Lock()
+	for slot, h := range m.lat {
+		if h == nil {
+			continue
+		}
+		s.Hists = append(s.Hists,
+			obs.SnapHist("serve_latency_us", "class", aequitas.Class(slot).String(), h))
+	}
+	m.mu.Unlock()
+	return s
+}
+
+// Handler serves this admission layer's observability endpoints:
+// Prometheus text on /metrics, the JSON document on /snapshot, pprof under
+// /debug/pprof/. A fresh snapshot is published per scrape, so readers
+// always see current state without the serving path paying for
+// publication.
+func (a *Admission) Handler() http.Handler {
+	inner := a.m.exp.Handler()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		a.m.exp.Publish(a.m.snapshot(a.ctl))
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// Snapshot returns a freshly built observability document — the same view
+// /snapshot serves.
+func (a *Admission) Snapshot() *obs.Snapshot { return a.m.snapshot(a.ctl) }

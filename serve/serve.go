@@ -1,0 +1,189 @@
+// Package serve embeds the Aequitas admission controller in a live RPC
+// server: an net/http middleware and a gRPC-style unary interceptor that
+// classify each inbound request to a (peer, QoS class) admission channel,
+// consult the controller, downgrade or reject unadmitted work, and feed
+// measured handler latencies back as SLO observations — Algorithm 1
+// running on the wall clock instead of the simulator.
+//
+// The package is intentionally dependency-free: the interceptor types
+// mirror google.golang.org/grpc's unary server interceptor signature so a
+// real gRPC server adapts with a one-line wrapper, without this module
+// importing grpc.
+//
+// Serving metrics (decision counters, per-class latency histograms, live
+// admit probabilities) are exported through the same obs.Exporter surface
+// the simulator uses: Prometheus text on /metrics, JSON on /snapshot.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"aequitas"
+)
+
+// Request is one classified unit of inbound work: the admission channel it
+// belongs to and its size.
+type Request struct {
+	// Peer names the admission channel's destination — typically the
+	// downstream service or route this request will occupy.
+	Peer string
+	// Class is the requested QoS level.
+	Class aequitas.Class
+	// SizeBytes is the request's payload size; it scales both the SLO
+	// target and the multiplicative decrease. Non-positive sizes count as
+	// one MTU.
+	SizeBytes int64
+}
+
+// Config parameterises an Admission layer.
+type Config struct {
+	// Controller is the admission controller consulted per request.
+	// Required.
+	Controller *aequitas.AdmissionController
+	// Classify maps an inbound HTTP request to its admission channel.
+	// Nil uses ClassifyByHeader.
+	Classify func(*http.Request) Request
+	// RejectDowngraded replies 503 Service Unavailable (or ErrRejected
+	// from the interceptor) instead of serving downgraded requests on the
+	// scavenger class — for servers whose scavenger work is handled by a
+	// separate pool.
+	RejectDowngraded bool
+}
+
+// The headers the middleware reads and writes.
+const (
+	// HeaderClass carries the requested QoS class on requests and the
+	// assigned class on responses.
+	HeaderClass = "X-Aequitas-Class"
+	// HeaderPeer optionally names the admission channel on requests.
+	HeaderPeer = "X-Aequitas-Peer"
+	// HeaderDowngraded marks responses served on the scavenger class
+	// after a failed admission draw.
+	HeaderDowngraded = "X-Aequitas-Downgraded"
+)
+
+// ClassifyByHeader is the default classifier: the channel peer comes from
+// X-Aequitas-Peer (falling back to the URL path), the requested class from
+// X-Aequitas-Class (default the highest), and the size from the request
+// body length.
+func ClassifyByHeader(r *http.Request) Request {
+	peer := r.Header.Get(HeaderPeer)
+	if peer == "" {
+		peer = r.URL.Path
+	}
+	class := aequitas.High
+	if c, err := ParseClass(r.Header.Get(HeaderClass)); err == nil {
+		class = c
+	}
+	return Request{Peer: peer, Class: class, SizeBytes: r.ContentLength}
+}
+
+// ParseClass reads a QoS class from its paper name (QoSh/QoSm/QoSl),
+// a plain level name (high/medium/low), or a numeric level.
+func ParseClass(s string) (aequitas.Class, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "qosh", "high", "h":
+		return aequitas.High, nil
+	case "qosm", "medium", "m":
+		return aequitas.Medium, nil
+	case "qosl", "low", "l":
+		return aequitas.Low, nil
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("serve: unknown QoS class %q", s)
+	}
+	return aequitas.Class(n), nil
+}
+
+// Admission is the serving-side admission layer: construct once per
+// process, then wrap handlers with Middleware or RPC endpoints with
+// UnaryInterceptor. All methods are safe for concurrent use.
+type Admission struct {
+	ctl    *aequitas.AdmissionController
+	cls    func(*http.Request) Request
+	reject bool
+	m      metrics
+}
+
+// New builds an Admission layer over cfg.Controller.
+func New(cfg Config) (*Admission, error) {
+	if cfg.Controller == nil {
+		return nil, fmt.Errorf("serve: Config.Controller is required")
+	}
+	cls := cfg.Classify
+	if cls == nil {
+		cls = ClassifyByHeader
+	}
+	a := &Admission{ctl: cfg.Controller, cls: cls, reject: cfg.RejectDowngraded}
+	a.m.init()
+	return a, nil
+}
+
+// Controller returns the wrapped admission controller.
+func (a *Admission) Controller() *aequitas.AdmissionController { return a.ctl }
+
+// ctxKey carries the admission verdict through the request context.
+type ctxKey struct{}
+
+// Verdict is the admission outcome attached to a request's context.
+type Verdict struct {
+	Request Request
+	// Class is the QoS level the request actually runs on.
+	Class aequitas.Class
+	// Downgraded reports a failed admission draw (the request runs on
+	// the scavenger class, or was rejected under RejectDowngraded).
+	Downgraded bool
+}
+
+// FromContext returns the admission verdict for the current request, if it
+// passed through the middleware or interceptor.
+func FromContext(ctx context.Context) (Verdict, bool) {
+	v, ok := ctx.Value(ctxKey{}).(Verdict)
+	return v, ok
+}
+
+// admit runs one classified request through the controller and records the
+// decision.
+func (a *Admission) admit(req Request) Verdict {
+	d := a.ctl.Admit(req.Peer, req.Class, req.SizeBytes)
+	v := Verdict{Request: req, Class: d.Class, Downgraded: d.Downgraded}
+	a.m.decided(v, a.reject)
+	return v
+}
+
+// finish feeds the completed request's latency back to the controller on
+// the class it ran on, and records it in the serving histograms.
+func (a *Admission) finish(v Verdict, elapsed time.Duration) {
+	a.ctl.Observe(v.Request.Peer, v.Class, elapsed, v.Request.SizeBytes)
+	a.m.completed(v.Class, elapsed)
+}
+
+// Middleware wraps next with admission control: classify, admit (setting
+// the response headers), serve on the decided class, and feed the measured
+// handler latency back as an SLO observation. Rejected requests (under
+// RejectDowngraded) receive 503 with Retry-After and are not observed —
+// they never ran.
+func (a *Admission) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		v := a.admit(a.cls(r))
+		h := w.Header()
+		h.Set(HeaderClass, v.Class.String())
+		if v.Downgraded {
+			h.Set(HeaderDowngraded, "1")
+			if a.reject {
+				h.Set("Retry-After", "1")
+				http.Error(w, "rejected by admission control", http.StatusServiceUnavailable)
+				return
+			}
+		}
+		start := time.Now()
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ctxKey{}, v)))
+		a.finish(v, time.Since(start))
+	})
+}
