@@ -19,39 +19,54 @@
 // With -work above -slo the handler can never meet the SLO, so the admit
 // probability falls and the client sees X-Aequitas-Downgraded responses —
 // Algorithm 1 converging on the wall clock.
+//
+// The server carries a flight recorder (-flight): the last N admission
+// decisions ride in a lock-free ring, the burn-rate anomaly engine
+// freezes it into an NDJSON dump when the SLO burns too fast, and
+// /debug/flight serves the trigger status and dumps. On SIGINT/SIGTERM
+// the server shuts down gracefully — in-flight requests drain and a final
+// flight dump is written.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"aequitas"
+	"aequitas/internal/obs/flight"
 	"aequitas/serve"
 )
 
 func main() {
 	var (
-		mode     = flag.String("mode", "server", "server | client")
-		addr     = flag.String("addr", ":8080", "server listen address")
-		work     = flag.Duration("work", 300*time.Microsecond, "server: simulated handler work per request")
-		slo      = flag.Duration("slo", 200*time.Microsecond, "server: latency SLO for the highest class (medium gets 2x)")
-		reject   = flag.Bool("reject", false, "server: reject downgraded requests with 503 instead of serving them")
-		url      = flag.String("url", "http://localhost:8080", "client: target server")
-		conc     = flag.Int("conc", 16, "client: concurrent workers")
-		duration = flag.Duration("duration", 10*time.Second, "client: run length")
+		mode      = flag.String("mode", "server", "server | client")
+		addr      = flag.String("addr", ":8080", "server listen address")
+		work      = flag.Duration("work", 300*time.Microsecond, "server: simulated handler work per request")
+		slo       = flag.Duration("slo", 200*time.Microsecond, "server: latency SLO for the highest class (medium gets 2x)")
+		reject    = flag.Bool("reject", false, "server: reject downgraded requests with 503 instead of serving them")
+		flightOut = flag.String("flight", "", "server: write the final flight dump (NDJSON) here on shutdown; empty disables the recorder")
+		flightDir = flag.String("flight-profiles", "", "server: capture goroutine/heap profiles into this directory on anomaly triggers")
+		drain     = flag.Duration("drain", 10*time.Second, "server: graceful-shutdown drain budget")
+		url       = flag.String("url", "http://localhost:8080", "client: target server")
+		conc      = flag.Int("conc", 16, "client: concurrent workers")
+		duration  = flag.Duration("duration", 10*time.Second, "client: run length")
 	)
 	flag.Parse()
 	switch *mode {
 	case "server":
-		runServer(*addr, *work, *slo, *reject)
+		runServer(*addr, *work, *slo, *reject, *flightOut, *flightDir, *drain)
 	case "client":
 		runClient(*url, *conc, *duration)
 	default:
@@ -60,7 +75,7 @@ func main() {
 	}
 }
 
-func runServer(addr string, work, slo time.Duration, reject bool) {
+func runServer(addr string, work, slo time.Duration, reject bool, flightOut, flightDir string, drain time.Duration) {
 	ctl, err := aequitas.NewController(aequitas.ControllerConfig{
 		SLOs: []aequitas.SLO{
 			{Target: slo},
@@ -70,7 +85,14 @@ func runServer(addr string, work, slo time.Duration, reject bool) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	adm, err := serve.New(serve.Config{Controller: ctl, RejectDowngraded: reject})
+	scfg := serve.Config{Controller: ctl, RejectDowngraded: reject}
+	if flightOut != "" {
+		scfg.Flight = &serve.FlightConfig{
+			ProfileDir: flightDir,
+			Engine:     &flight.EngineConfig{},
+		}
+	}
+	adm, err := serve.New(scfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,20 +111,71 @@ func runServer(addr string, work, slo time.Duration, reject bool) {
 	mux.Handle("/metrics", metrics)
 	mux.Handle("/snapshot", metrics)
 	mux.Handle("/debug/pprof/", metrics)
+	mux.Handle("/debug/flight", metrics)
 	mux.Handle("/", adm.Middleware(handler))
 
+	stopStats := make(chan struct{})
 	go func() {
 		t := time.NewTicker(2 * time.Second)
 		defer t.Stop()
-		for range t.C {
-			s := ctl.Stats()
-			log.Printf("ctl: admitted=%d downgraded=%d slo_met=%d slo_miss=%d",
-				s.Admitted, s.Downgraded, s.SLOMet, s.SLOMisses)
+		for {
+			select {
+			case <-t.C:
+				s := ctl.Stats()
+				log.Printf("ctl: admitted=%d downgraded=%d slo_met=%d slo_miss=%d triggers=%d",
+					s.Admitted, s.Downgraded, s.SLOMet, s.SLOMisses, adm.FlightTriggered())
+			case <-stopStats:
+				return
+			}
 		}
 	}()
 
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests and flush
+	// the black box: Shutdown stops accepting, waits for handlers (bounded
+	// by the drain budget), and only then do we freeze the final state.
+	srv := &http.Server{Addr: addr, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("serving on %s (work=%v, SLO=%v/%v, reject=%v)", addr, work, slo, 2*slo, reject)
-	log.Fatal(http.ListenAndServe(addr, mux))
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutting down: draining in-flight requests (budget %v)", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	close(stopStats)
+
+	// Final telemetry flush: the closing counters, and the flight ring as
+	// the shutdown dump.
+	s := ctl.Stats()
+	log.Printf("final: admitted=%d downgraded=%d dropped=%d slo_met=%d slo_miss=%d triggers=%d",
+		s.Admitted, s.Downgraded, s.Dropped, s.SLOMet, s.SLOMisses, adm.FlightTriggered())
+	if flightOut != "" {
+		f, err := os.Create(flightOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := adm.DumpFlight(f, flight.TriggerFinal, "graceful shutdown"); err != nil {
+			log.Fatalf("flight dump: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("flight dump written to %s", flightOut)
+	}
 }
 
 // clientStats aggregates one load run.

@@ -58,6 +58,8 @@ func main() {
 		traceCSV = flag.String("trace-csv", "", "write a per-RPC completion CSV trace to this file")
 		traceChr = flag.String("trace-chrome", "", "write a Chrome trace-event JSON (Perfetto) to this file")
 		metrics  = flag.String("metrics", "", "write the periodic metrics time series (CSV) to this file")
+		flightF  = flag.String("flight", "", "write flight-recorder dumps (NDJSON) to this file: one per fault onset plus a final dump")
+		flightN  = flag.Int("flight-records", 0, "flight ring capacity in records (default 16384)")
 		metEvery = flag.Duration("metrics-every", 0, "metrics sampling interval in simulated time (default 100us)")
 		tailTS   = flag.Bool("tail", false, "add per-(dst,class) windowed RNL tail quantiles to -metrics")
 		httpAddr = flag.String("http", "", "serve live /metrics (Prometheus), /snapshot (JSON) and /debug/pprof on this address during the run")
@@ -155,6 +157,12 @@ func main() {
 		cfg.Obs.TailSeries = *tailTS
 	} else if *tailTS {
 		log.Fatal("-tail needs -metrics to write the time series to")
+	}
+	if *flightF != "" {
+		f := mustCreate(*flightF)
+		defer f.Close()
+		cfg.Obs.FlightNDJSON = f
+		cfg.Obs.FlightRecords = *flightN
 	}
 	cfg.Obs.Attribution = *attrib
 	cfg.Obs.Audit = *audit

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGateViolations: the regression policy fires on ns/op growth past
+// the threshold, any allocation on a previously 0-alloc benchmark, and a
+// tracked benchmark disappearing — and stays quiet on noise within the
+// threshold, improvements, and freshly added benchmarks.
+func TestGateViolations(t *testing.T) {
+	oldB := map[string]Benchmark{
+		"BenchmarkAdmitDecision": {Name: "BenchmarkAdmitDecision", NsPerOp: 40, AllocsPerOp: 0},
+		"BenchmarkObserve":       {Name: "BenchmarkObserve", NsPerOp: 70, AllocsPerOp: 0},
+		"BenchmarkRun":           {Name: "BenchmarkRun", NsPerOp: 1000, AllocsPerOp: 12},
+		"BenchmarkGone":          {Name: "BenchmarkGone", NsPerOp: 5, AllocsPerOp: 0},
+	}
+	newB := map[string]Benchmark{
+		"BenchmarkAdmitDecision": {Name: "BenchmarkAdmitDecision", NsPerOp: 48, AllocsPerOp: 0},   // +20%: within 25%
+		"BenchmarkObserve":       {Name: "BenchmarkObserve", NsPerOp: 95, AllocsPerOp: 2},         // +36% and new allocs
+		"BenchmarkRun":           {Name: "BenchmarkRun", NsPerOp: 900, AllocsPerOp: 14},           // faster; allocs ok (old != 0)
+		"BenchmarkNew":           {Name: "BenchmarkNew", NsPerOp: 1e9, AllocsPerOp: 99},           // added: no old reference
+	}
+	names := []string{"BenchmarkAdmitDecision", "BenchmarkGone", "BenchmarkNew", "BenchmarkObserve", "BenchmarkRun"}
+
+	bad := gateViolations(names, oldB, newB, 25, 2)
+	if len(bad) != 3 {
+		t.Fatalf("violations = %d, want 3:\n%s", len(bad), strings.Join(bad, "\n"))
+	}
+	joined := strings.Join(bad, "\n")
+	for _, want := range []string{
+		"BenchmarkGone: tracked benchmark missing",
+		"BenchmarkObserve: ns/op 70.00 -> 95.00",
+		"BenchmarkObserve: allocs/op 0 -> 2",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("violations missing %q in:\n%s", want, joined)
+		}
+	}
+
+	if bad := gateViolations(names, oldB, oldB, 25, 2); len(bad) != 0 {
+		t.Errorf("identical snapshots flagged: %v", bad)
+	}
+	// A looser threshold forgives the timing regression but never the
+	// allocation one.
+	bad = gateViolations([]string{"BenchmarkObserve"}, oldB, newB, 50, 2)
+	if len(bad) != 1 || !strings.Contains(bad[0], "allocs/op") {
+		t.Errorf("alloc gate at 50%% = %v, want just the allocs violation", bad)
+	}
+	// The absolute floor absorbs jitter that is huge in percent but tiny
+	// in ns — a 5 -> 7 swing on a single-digit-ns benchmark — without
+	// loosening benchmarks where 2ns is negligible.
+	tiny := map[string]Benchmark{"BenchmarkTiny": {Name: "BenchmarkTiny", NsPerOp: 5}}
+	tinySlow := map[string]Benchmark{"BenchmarkTiny": {Name: "BenchmarkTiny", NsPerOp: 7}}
+	if bad := gateViolations([]string{"BenchmarkTiny"}, tiny, tinySlow, 25, 2); len(bad) != 0 {
+		t.Errorf("floor did not absorb 2ns jitter: %v", bad)
+	}
+	if bad := gateViolations([]string{"BenchmarkTiny"}, tiny, tinySlow, 25, 0); len(bad) != 1 {
+		t.Errorf("without floor, +40%% should fail: %v", bad)
+	}
+}
+
+// TestMergeBestOfN: repeated runs of one benchmark collapse to the
+// fastest ns/op but the worst allocs/op, regardless of arrival order.
+func TestMergeBestOfN(t *testing.T) {
+	var bs []Benchmark
+	for _, b := range []Benchmark{
+		{Name: "BenchmarkX", Pkg: "p", NsPerOp: 50, AllocsPerOp: 0, Metrics: map[string]float64{"ops/s": 100}},
+		{Name: "BenchmarkX", Pkg: "p", NsPerOp: 30, AllocsPerOp: 0, Metrics: map[string]float64{"ops/s": 160}},
+		{Name: "BenchmarkX", Pkg: "p", NsPerOp: 45, AllocsPerOp: 1},
+		{Name: "BenchmarkY", Pkg: "p", NsPerOp: 9, AllocsPerOp: 2},
+	} {
+		bs = merge(bs, b)
+	}
+	if len(bs) != 2 {
+		t.Fatalf("merged to %d entries, want 2", len(bs))
+	}
+	x := bs[0]
+	if x.NsPerOp != 30 || x.Metrics["ops/s"] != 160 {
+		t.Errorf("best run not kept: %+v", x)
+	}
+	if x.AllocsPerOp != 1 {
+		t.Errorf("allocs/op = %g, want the max (1) — alloc regressions must not be minimized away", x.AllocsPerOp)
+	}
+	if bs[1].Name != "BenchmarkY" || bs[1].NsPerOp != 9 {
+		t.Errorf("distinct benchmark clobbered: %+v", bs[1])
+	}
+}

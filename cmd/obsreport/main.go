@@ -32,13 +32,14 @@ func main() {
 		trace   = flag.String("trace", "", "NDJSON lifecycle trace to summarise")
 		metrics = flag.String("metrics", "", "metrics CSV to summarise")
 		attr    = flag.String("attr", "", "attribution CSV to summarise")
+		flightF = flag.String("flight", "", "flight-recorder NDJSON dump stream to summarise")
 		jsonOut = flag.String("json", "", "write the report (or diff) as JSON to this file ('-' = stdout)")
 		mdOut   = flag.String("md", "", "write the report (or diff) as markdown to this file ('-' = stdout)")
 		diff    = flag.Bool("diff", false, "compare two report JSON files: obsreport -diff a.json b.json")
 		all     = flag.Bool("all", false, "with -diff, print every metric row instead of the top movements")
 	)
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: obsreport [-label name] [-trace t.ndjson] [-metrics m.csv] [-attr a.csv] [-json out] [-md out]")
+		fmt.Fprintln(os.Stderr, "usage: obsreport [-label name] [-trace t.ndjson] [-metrics m.csv] [-attr a.csv] [-flight f.ndjson] [-json out] [-md out]")
 		fmt.Fprintln(os.Stderr, "       obsreport -diff [-all] a-report.json b-report.json")
 		flag.PrintDefaults()
 	}
@@ -48,7 +49,7 @@ func main() {
 		runDiff(flag.Args(), *jsonOut, *mdOut, *all)
 		return
 	}
-	if *trace == "" && *metrics == "" && *attr == "" {
+	if *trace == "" && *metrics == "" && *attr == "" && *flightF == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -63,7 +64,7 @@ func main() {
 		}
 		return f
 	}
-	rep, err := obs.BuildReport(*label, open(*trace), open(*metrics), open(*attr))
+	rep, err := obs.BuildReport(*label, open(*trace), open(*metrics), open(*attr), open(*flightF))
 	if err != nil {
 		fatal(err)
 	}

@@ -12,9 +12,16 @@
 // field counts, and monotonically non-decreasing time. It exits non-zero
 // on the first violation in each file, naming the line and field.
 //
+// Flight-recorder dumps (aequitas-sim -flight, serve's /debug/flight,
+// aequitas-serve's shutdown dump) are validated with -flight against the
+// aequitas.flight/v1 schema: per-dump headers with known triggers and
+// consistent retention accounting, contiguous record sequence numbers,
+// non-decreasing timestamps, and verdicts consistent with each record's
+// kind.
+//
 // Usage:
 //
-//	tracecheck [-metrics metrics.csv ...] [-report report.json ...] [trace.ndjson ...]
+//	tracecheck [-metrics metrics.csv ...] [-report report.json ...] [-flight flight.ndjson ...] [trace.ndjson ...]
 //
 // `make trace-check` runs a short instrumented simulation and feeds the
 // results through this command.
@@ -26,6 +33,7 @@ import (
 	"os"
 
 	"aequitas/internal/obs"
+	"aequitas/internal/obs/flight"
 )
 
 // multiFlag collects a repeatable string flag.
@@ -39,15 +47,16 @@ func (m *multiFlag) Set(v string) error {
 }
 
 func main() {
-	var metrics, reports multiFlag
+	var metrics, reports, flights multiFlag
 	flag.Var(&metrics, "metrics", "metrics CSV to validate (repeatable)")
 	flag.Var(&reports, "report", "obsreport JSON to validate against the aequitas.obsreport/v1 schema (repeatable)")
+	flag.Var(&flights, "flight", "flight-recorder NDJSON dump to validate against the aequitas.flight/v1 schema (repeatable)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-metrics metrics.csv ...] [-report report.json ...] [trace.ndjson ...]")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-metrics metrics.csv ...] [-report report.json ...] [-flight flight.ndjson ...] [trace.ndjson ...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if len(metrics) == 0 && len(reports) == 0 && flag.NArg() == 0 {
+	if len(metrics) == 0 && len(reports) == 0 && len(flights) == 0 && flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -75,6 +84,16 @@ func main() {
 	for _, path := range metrics {
 		check(path, "rows", func(f *os.File) (int, error) { return obs.ValidateMetricsCSV(f, obs.MetricFamilies) })
 	}
+	for _, path := range flights {
+		check(path, "flight records", func(f *os.File) (int, error) {
+			dumps, records, err := flight.ValidateDump(f)
+			if err != nil {
+				return 0, err
+			}
+			fmt.Printf("%s: %d dumps ok\n", path, dumps)
+			return records, nil
+		})
+	}
 	for _, path := range reports {
 		check(path, "sections", func(f *os.File) (int, error) {
 			rep, err := obs.ValidateReportJSON(f)
@@ -89,6 +108,9 @@ func main() {
 				n++
 			}
 			if rep.Attribution != nil {
+				n++
+			}
+			if rep.Flight != nil {
 				n++
 			}
 			return n, nil

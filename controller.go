@@ -9,6 +9,7 @@ import (
 
 	"aequitas/internal/core"
 	"aequitas/internal/netsim"
+	"aequitas/internal/obs/flight"
 	"aequitas/internal/qos"
 	"aequitas/internal/sim"
 )
@@ -251,6 +252,38 @@ func (c *AdmissionController) Stats() ControllerStats {
 		SLOMisses:  s.SLOMisses,
 		SLOMet:     s.SLOMet,
 	}
+}
+
+// SetFlight attaches a flight recorder to the controller: every
+// admission decision and SLO observation lands in r as a fixed-size
+// record, ready to dump when an anomaly trigger fires. A nil r detaches.
+// Attach before serving begins.
+func (c *AdmissionController) SetFlight(r *flight.Ring) { c.inner.SetFlight(r, 0) }
+
+// Flight returns the attached flight recorder, or nil.
+func (c *AdmissionController) Flight() *flight.Ring { return c.inner.Flight() }
+
+// PeerName resolves an interned peer id back to its name, for rendering
+// flight dumps; unknown ids yield "".
+func (c *AdmissionController) PeerName(id int32) string {
+	names := c.peers.Load().names
+	if id >= 0 && int(id) < len(names) {
+		return names[id]
+	}
+	return ""
+}
+
+// MinAdmitProbability reports the minimum admit probability across every
+// live (peer, class) channel, or 1 when no channel exists yet — the
+// scalar the anomaly engine watches for admission collapse.
+func (c *AdmissionController) MinAdmitProbability() float64 {
+	minP := 1.0
+	c.inner.ForEachState(c.inner.Clock().Now(), func(_ int, _ qos.Class, p float64, _ sim.Duration) {
+		if p < minP {
+			minP = p
+		}
+	})
+	return minP
 }
 
 // ForEachProbability visits every (peer, class) admission channel in

@@ -1,0 +1,113 @@
+package aequitas
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"aequitas/internal/obs/flight"
+	"aequitas/internal/sim"
+)
+
+// TestFlightDumpEndToEnd runs one instrumented simulation with a fault
+// plan and checks the flight stream: schema-valid NDJSON, a fault-trigger
+// dump per fault onset, and a final dump at run end.
+func TestFlightDumpEndToEnd(t *testing.T) {
+	plan, err := FaultPreset("flapcrash", 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	cfg := faultTestConfig(7, plan)
+	cfg.Obs.FlightNDJSON = &buf
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	dumps, records, err := flight.ValidateDump(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("flight dump invalid: %v", err)
+	}
+	if dumps < 2 {
+		t.Fatalf("got %d dumps, want at least one fault trigger plus the final dump", dumps)
+	}
+	if records == 0 {
+		t.Fatal("flight dumps carry no records")
+	}
+	out := buf.String()
+	for _, want := range []string{`"trigger":"fault"`, `"trigger":"final"`, `"label":"aequitas"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("flight stream missing %s", want)
+		}
+	}
+}
+
+// TestFlightEngineTriggersInSim drives the anomaly engine from the sim's
+// metrics cadence: the overloaded run misses SLOs far beyond the tiny
+// budget, so a burn-rate dump must fire mid-run.
+func TestFlightEngineTriggersInSim(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := obsTestConfig(7)
+	cfg.Obs.FlightNDJSON = &buf
+	cfg.Obs.FlightEngine = &flight.EngineConfig{
+		ShortWindow: 200 * sim.Microsecond,
+		LongWindow:  sim.Millisecond,
+		SLOBudget:   0.001,
+		MinSamples:  20,
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := flight.ValidateDump(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("flight dump invalid: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"trigger":"burn_rate"`) {
+		t.Fatal("overloaded run never fired the burn-rate trigger")
+	}
+}
+
+// TestFlightDeterministicUnderParallel is the tentpole's golden
+// criterion: with the flight recorder and a fault plan active, sweeping
+// the same configs on 1, 4, and 8 workers produces byte-identical flight
+// dumps — recording draws no randomness and reads only simulated time.
+func TestFlightDeterministicUnderParallel(t *testing.T) {
+	plan, err := FaultPreset("flapcrash", 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	systems := []System{SystemAequitas, SystemBaseline}
+	sweep := func(workers int) []string {
+		bufs := make([]bytes.Buffer, len(systems))
+		_, err := Sweep(len(systems), func(i int) SimConfig {
+			cfg := faultTestConfig(7, plan)
+			cfg.System = systems[i]
+			cfg.Obs.FlightNDJSON = &bufs[i]
+			return cfg
+		}, ParallelOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, len(systems))
+		for i := range systems {
+			out[i] = bufs[i].String()
+		}
+		return out
+	}
+	ref := sweep(1)
+	for i, d := range ref {
+		if d == "" {
+			t.Fatalf("config %d: empty flight stream", i)
+		}
+		if _, _, err := flight.ValidateDump(strings.NewReader(d)); err != nil {
+			t.Fatalf("config %d: flight dump invalid: %v", i, err)
+		}
+	}
+	for _, workers := range []int{4, 8} {
+		got := sweep(workers)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("config %d: flight dump differs between 1 and %d workers", i, workers)
+			}
+		}
+	}
+}

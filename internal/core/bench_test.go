@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"aequitas/internal/obs/flight"
 	"aequitas/internal/qos"
 	"aequitas/internal/sim"
 )
@@ -54,4 +55,17 @@ func BenchmarkObserve(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ct.Observe(i&63, qos.High, sim.Microsecond, 1)
 	}
+}
+
+// BenchmarkAdmitDecisionFlight is BenchmarkAdmitDecision with the flight
+// recorder attached — the cost of the black box on the hot path.
+func BenchmarkAdmitDecisionFlight(b *testing.B) {
+	ct := benchController(b)
+	ct.SetFlight(flight.NewRing(flight.Config{}), 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ct.Admit(i&63, qos.High, 1)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
 }

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"aequitas/internal/obs"
+	"aequitas/internal/obs/flight"
 	"aequitas/internal/qos"
 	"aequitas/internal/rpc"
 	"aequitas/internal/sim"
@@ -199,6 +200,13 @@ type Controller struct {
 	windows []sim.Duration
 	shards  [stateShards]stateShard
 	Stats   Stats
+
+	// flight, when non-nil, receives a Record per admission decision and
+	// per SLO observation — the flight-recorder tap. flightSrc names this
+	// controller in the records (the sending host id in a simulation).
+	// The disabled path is a single nil check on the fast path.
+	flight    *flight.Ring
+	flightSrc int32
 }
 
 // New builds a Controller on the monotonic wall clock — the live serving
@@ -243,6 +251,25 @@ func (ct *Controller) Config() Config { return ct.cfg }
 
 // Clock returns the controller's time source.
 func (ct *Controller) Clock() Clock { return ct.clock }
+
+// SetFlight attaches a flight recorder: every admission decision and SLO
+// observation is recorded into r, tagged with src as the recording
+// controller's id. A nil r detaches. Set before serving begins; the tap
+// itself is lock-free and allocation-free, and with no recorder attached
+// the fast path pays one nil check.
+func (ct *Controller) SetFlight(r *flight.Ring, src int) {
+	ct.flight = r
+	ct.flightSrc = int32(src)
+}
+
+// Flight returns the attached flight recorder, or nil.
+func (ct *Controller) Flight() *flight.Ring { return ct.flight }
+
+// recordDecision is the flight-recorder tap for AdmitAt, kept out of
+// line so the recorder-off fast path stays lean.
+func (ct *Controller) recordDecision(dst int, requested, got qos.Class, v flight.Verdict, p float64, sizeMTUs int64) {
+	ct.flight.Decision(ct.clock.Now(), ct.flightSrc, int32(dst), int8(requested), int8(got), v, p, int32(sizeMTUs))
+}
 
 // Reset discards all learned admission state, returning every channel to
 // its initial p_admit of 1 — the state loss a host crash implies
@@ -393,21 +420,34 @@ func (ct *Controller) Admit(dst int, requested qos.Class, sizeMTUs int64) rpc.De
 // AdmitAt is Admit with the uniform random draw supplied by the caller,
 // for callers that manage their own draw sequence (e.g. a seeded
 // deterministic embedding).
-func (ct *Controller) AdmitAt(draw float64, dst int, requested qos.Class, _ int64) rpc.Decision {
+func (ct *Controller) AdmitAt(draw float64, dst int, requested qos.Class, sizeMTUs int64) rpc.Decision {
 	if requested >= ct.lowest || requested < 0 {
 		atomic.AddInt64(&ct.Stats.Admitted, 1)
+		if ct.flight != nil {
+			ct.recordDecision(dst, requested, ct.lowest, flight.VerdictAdmit, 1, sizeMTUs)
+		}
 		return rpc.Decision{Class: ct.lowest}
 	}
 	st := ct.classState(dst, requested)
-	if draw <= st.load() {
+	p := st.load()
+	if draw <= p {
 		atomic.AddInt64(&ct.Stats.Admitted, 1)
+		if ct.flight != nil {
+			ct.recordDecision(dst, requested, requested, flight.VerdictAdmit, p, sizeMTUs)
+		}
 		return rpc.Decision{Class: requested}
 	}
 	if ct.cfg.DropInsteadOfDowngrade {
 		atomic.AddInt64(&ct.Stats.Dropped, 1)
+		if ct.flight != nil {
+			ct.recordDecision(dst, requested, requested, flight.VerdictDrop, p, sizeMTUs)
+		}
 		return rpc.Decision{Drop: true}
 	}
 	atomic.AddInt64(&ct.Stats.Downgraded, 1)
+	if ct.flight != nil {
+		ct.recordDecision(dst, requested, ct.lowest, flight.VerdictDowngrade, p, sizeMTUs)
+	}
 	return rpc.Decision{Class: ct.lowest, Downgraded: true}
 }
 
@@ -440,6 +480,10 @@ func (ct *Controller) ObserveAt(now sim.Time, dst int, run qos.Class, rnl sim.Du
 			st.everIncreased = true
 		}
 		st.mu.Unlock()
+		if ct.flight != nil {
+			ct.flight.Complete(now, ct.flightSrc, int32(dst), int8(run),
+				flight.VerdictSLOMet, st.load(), int32(sizeMTUs), rnl.Micros())
+		}
 		return
 	}
 	atomic.AddInt64(&ct.Stats.SLOMisses, 1)
@@ -450,4 +494,8 @@ func (ct *Controller) ObserveAt(now sim.Time, dst int, run qos.Class, rnl sim.Du
 	st.mu.Lock()
 	st.store(max(st.load()-dec, ct.cfg.Floor))
 	st.mu.Unlock()
+	if ct.flight != nil {
+		ct.flight.Complete(now, ct.flightSrc, int32(dst), int8(run),
+			flight.VerdictSLOMiss, st.load(), int32(sizeMTUs), rnl.Micros())
+	}
 }

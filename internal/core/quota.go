@@ -210,10 +210,15 @@ type QuotaAdmitter struct {
 // Admit implements rpc.Admitter.
 func (qa *QuotaAdmitter) Admit(dst int, requested qos.Class, sizeMTUs int64) rpc.Decision {
 	bytes := sizeMTUs * 1436
+	now := qa.Controller.clock.Now()
 	if requested >= 0 && requested < qa.Controller.lowest &&
-		qa.Client.InQuotaAt(qa.Controller.clock.Now(), requested, bytes) {
+		qa.Client.InQuotaAt(now, requested, bytes) {
 		atomic.AddInt64(&qa.InQuotaAdmits, 1)
 		atomic.AddInt64(&qa.Controller.Stats.Admitted, 1)
+		// The flight record marks the quota bypass explicitly: these RPCs
+		// were admitted without consulting p_admit.
+		qa.Controller.flight.QuotaBypassDecision(now, qa.Controller.flightSrc,
+			int32(dst), int8(requested), int32(sizeMTUs))
 		return rpc.Decision{Class: requested}
 	}
 	return qa.Controller.Admit(dst, requested, sizeMTUs)

@@ -1,0 +1,308 @@
+package flight
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Schema tags every dump header line.
+const Schema = "aequitas.flight/v1"
+
+// Meta describes one dump: why it was taken and how to render it.
+type Meta struct {
+	// Trigger is the cause recorded in the header.
+	Trigger Trigger
+	// Label names the producing run or server (e.g. the sweep point).
+	Label string
+	// PeerName optionally resolves peer ids to names; resolved names are
+	// emitted as a peer_name field alongside the numeric id.
+	PeerName func(int32) string
+}
+
+// WriteDump writes one flight dump: a header line carrying the schema
+// tag, the trigger, and the ring counters, followed by one NDJSON line
+// per record in snapshot order. Multiple dumps may share a stream; each
+// header starts a new dump.
+func WriteDump(w io.Writer, meta Meta, recs []Record, st Stats) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var b []byte
+	b = append(b, `{"schema":"`...)
+	b = append(b, Schema...)
+	b = append(b, `","trigger":`...)
+	b = strconv.AppendQuote(b, meta.Trigger.Kind.String())
+	if meta.Trigger.Detail != "" {
+		b = append(b, `,"detail":`...)
+		b = strconv.AppendQuote(b, meta.Trigger.Detail)
+	}
+	if meta.Label != "" {
+		b = append(b, `,"label":`...)
+		b = strconv.AppendQuote(b, meta.Label)
+	}
+	b = append(b, `,"ts_us":`...)
+	b = strconv.AppendFloat(b, meta.Trigger.At.Micros(), 'f', 3, 64)
+	b = append(b, `,"records":`...)
+	b = strconv.AppendInt(b, int64(len(recs)), 10)
+	b = append(b, `,"offered":`...)
+	b = strconv.AppendUint(b, st.Offered, 10)
+	b = append(b, `,"sampled_out":`...)
+	b = strconv.AppendUint(b, st.SampledOut, 10)
+	b = append(b, `,"dropped_frozen":`...)
+	b = strconv.AppendUint(b, st.DroppedFrozen, 10)
+	b = append(b, '}', '\n')
+	if _, err := bw.Write(b); err != nil {
+		return err
+	}
+	for i := range recs {
+		b = appendRecord(b[:0], int64(i), &recs[i], meta.PeerName)
+		b = append(b, '\n')
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// appendRecord renders one record as a dump line.
+func appendRecord(b []byte, seq int64, r *Record, peerName func(int32) string) []byte {
+	num := func(b []byte, key string, v int64) []byte {
+		b = append(b, ',', '"')
+		b = append(b, key...)
+		b = append(b, '"', ':')
+		return strconv.AppendInt(b, v, 10)
+	}
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendInt(b, seq, 10)
+	b = append(b, `,"ts_us":`...)
+	b = strconv.AppendFloat(b, r.TS.Micros(), 'f', 3, 64)
+	b = append(b, `,"kind":`...)
+	b = strconv.AppendQuote(b, r.Kind.String())
+	b = append(b, `,"verdict":`...)
+	b = strconv.AppendQuote(b, r.Verdict.String())
+	b = num(b, "src", int64(r.Src))
+	b = num(b, "peer", int64(r.Peer))
+	if peerName != nil {
+		if name := peerName(r.Peer); name != "" {
+			b = append(b, `,"peer_name":`...)
+			b = strconv.AppendQuote(b, name)
+		}
+	}
+	b = num(b, "req", int64(r.Requested))
+	b = num(b, "class", int64(r.Class))
+	b = append(b, `,"p_admit":`...)
+	b = strconv.AppendFloat(b, r.PAdmit, 'g', -1, 64)
+	b = num(b, "size_mtus", int64(r.SizeMTUs))
+	if r.Kind == KindComplete {
+		b = append(b, `,"lat_us":`...)
+		b = strconv.AppendFloat(b, r.LatencyUS, 'f', 3, 64)
+	}
+	if r.Quota != QuotaNone {
+		b = append(b, `,"quota":`...)
+		b = strconv.AppendQuote(b, r.Quota.String())
+	}
+	return append(b, '}')
+}
+
+// decisionVerdicts and completeVerdicts are the verdict names legal for
+// each record kind.
+var (
+	decisionVerdicts = map[string]bool{"admit": true, "downgrade": true, "drop": true}
+	completeVerdicts = map[string]bool{"slo_met": true, "slo_miss": true}
+)
+
+// ValidateDump checks a flight-dump stream: every dump starts with an
+// aequitas.flight/v1 header whose record count matches the lines that
+// follow, record sequence numbers are contiguous from zero, timestamps
+// are non-negative and non-decreasing within a dump, kinds and verdicts
+// are known and consistent (decisions carry admission verdicts,
+// completions carry SLO verdicts and a latency), probabilities lie in
+// [0, 1], and the header's sampling counters satisfy the retention
+// invariant records + sampled_out + dropped_frozen <= offered (the gap is
+// ring-wrap eviction). It returns the number of dumps and records.
+func ValidateDump(r io.Reader) (dumps, records int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	remaining := 0 // record lines still expected for the current dump
+	nextSeq := int64(0)
+	lastTS := -1.0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(line, &m); err != nil {
+			return dumps, records, fmt.Errorf("flight: line %d: invalid JSON: %w", lineNo, err)
+		}
+		if remaining == 0 {
+			// Expect a header.
+			schema, _ := m["schema"].(string)
+			if schema != Schema {
+				return dumps, records, fmt.Errorf("flight: line %d: expected %q header, got schema %q", lineNo, Schema, schema)
+			}
+			trig, _ := m["trigger"].(string)
+			if _, ok := triggerKinds[trig]; !ok {
+				return dumps, records, fmt.Errorf("flight: line %d: unknown trigger %q", lineNo, trig)
+			}
+			n, ok := m["records"].(float64)
+			if !ok || n < 0 || n != float64(int(n)) {
+				return dumps, records, fmt.Errorf("flight: line %d: field \"records\" missing or not a count", lineNo)
+			}
+			offered, ok1 := m["offered"].(float64)
+			sampled, ok2 := m["sampled_out"].(float64)
+			dropped, ok3 := m["dropped_frozen"].(float64)
+			if !ok1 || !ok2 || !ok3 {
+				return dumps, records, fmt.Errorf("flight: line %d: header missing sampling counters", lineNo)
+			}
+			if n+sampled+dropped > offered {
+				return dumps, records, fmt.Errorf("flight: line %d: retention invariant violated: %g records + %g sampled_out + %g dropped_frozen > %g offered",
+					lineNo, n, sampled, dropped, offered)
+			}
+			if _, ok := m["ts_us"].(float64); !ok {
+				return dumps, records, fmt.Errorf("flight: line %d: header field \"ts_us\" missing", lineNo)
+			}
+			dumps++
+			remaining = int(n)
+			nextSeq = 0
+			lastTS = -1.0
+			continue
+		}
+		// Record line.
+		seq, ok := m["seq"].(float64)
+		if !ok || int64(seq) != nextSeq {
+			return dumps, records, fmt.Errorf("flight: line %d: field \"seq\" missing or not contiguous (want %d)", lineNo, nextSeq)
+		}
+		nextSeq++
+		ts, ok := m["ts_us"].(float64)
+		if !ok || ts < 0 {
+			return dumps, records, fmt.Errorf("flight: line %d: field \"ts_us\" missing or negative", lineNo)
+		}
+		if ts < lastTS {
+			return dumps, records, fmt.Errorf("flight: line %d: field \"ts_us\" %.3f before previous %.3f", lineNo, ts, lastTS)
+		}
+		lastTS = ts
+		kind, _ := m["kind"].(string)
+		verdict, _ := m["verdict"].(string)
+		switch kind {
+		case "decision":
+			if !decisionVerdicts[verdict] {
+				return dumps, records, fmt.Errorf("flight: line %d: verdict %q invalid for a decision", lineNo, verdict)
+			}
+		case "complete":
+			if !completeVerdicts[verdict] {
+				return dumps, records, fmt.Errorf("flight: line %d: verdict %q invalid for a completion", lineNo, verdict)
+			}
+			if lat, ok := m["lat_us"].(float64); !ok || lat < 0 {
+				return dumps, records, fmt.Errorf("flight: line %d: field \"lat_us\" missing or negative on completion", lineNo)
+			}
+		default:
+			return dumps, records, fmt.Errorf("flight: line %d: unknown kind %q", lineNo, kind)
+		}
+		for _, f := range []string{"src", "peer", "req", "class", "size_mtus"} {
+			if _, ok := m[f].(float64); !ok {
+				return dumps, records, fmt.Errorf("flight: line %d: field %q missing", lineNo, f)
+			}
+		}
+		p, ok := m["p_admit"].(float64)
+		if !ok || p < 0 || p > 1 {
+			return dumps, records, fmt.Errorf("flight: line %d: field \"p_admit\" missing or out of [0, 1]", lineNo)
+		}
+		remaining--
+		records++
+	}
+	if err := sc.Err(); err != nil {
+		return dumps, records, err
+	}
+	if remaining > 0 {
+		return dumps, records, fmt.Errorf("flight: truncated dump: %d record lines missing", remaining)
+	}
+	return dumps, records, nil
+}
+
+// DumpSummary condenses one dump for reports.
+type DumpSummary struct {
+	Trigger string  `json:"trigger"`
+	Detail  string  `json:"detail,omitempty"`
+	TSUS    float64 `json:"ts_us"`
+	Records int     `json:"records"`
+}
+
+// Summary condenses a flight-dump stream for obsreport: per-dump
+// triggers plus verdict totals and extremes across all records.
+type Summary struct {
+	Schema     string         `json:"schema"`
+	Dumps      []DumpSummary  `json:"dumps"`
+	Records    int            `json:"records"`
+	ByVerdict  map[string]int `json:"by_verdict"`
+	MinPAdmit  float64        `json:"min_p_admit"`
+	MaxLatUS   float64        `json:"max_lat_us"`
+	SampledOut uint64         `json:"sampled_out"`
+}
+
+// Summarize validates and condenses a flight-dump stream.
+func Summarize(r io.Reader) (*Summary, error) {
+	// Buffer the stream so it can be validated first, then summarised
+	// without re-reading the source.
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		return nil, err
+	}
+	if _, _, err := ValidateDump(bytes.NewReader(buf.Bytes())); err != nil {
+		return nil, err
+	}
+	sum := &Summary{Schema: Schema, ByVerdict: map[string]int{}, MinPAdmit: 1}
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(line, &m); err != nil {
+			return nil, err
+		}
+		if schema, _ := m["schema"].(string); schema == Schema {
+			ds := DumpSummary{}
+			ds.Trigger, _ = m["trigger"].(string)
+			ds.Detail, _ = m["detail"].(string)
+			ds.TSUS, _ = m["ts_us"].(float64)
+			if n, ok := m["records"].(float64); ok {
+				ds.Records = int(n)
+			}
+			if so, ok := m["sampled_out"].(float64); ok {
+				sum.SampledOut += uint64(so)
+			}
+			sum.Dumps = append(sum.Dumps, ds)
+			continue
+		}
+		sum.Records++
+		if v, ok := m["verdict"].(string); ok {
+			sum.ByVerdict[v]++
+		}
+		if p, ok := m["p_admit"].(float64); ok && p < sum.MinPAdmit {
+			sum.MinPAdmit = p
+		}
+		if lat, ok := m["lat_us"].(float64); ok && lat > sum.MaxLatUS {
+			sum.MaxLatUS = lat
+		}
+	}
+	return sum, sc.Err()
+}
+
+// DumpTo snapshots the ring and writes one dump — the freeze, gather,
+// render sequence every trigger path shares. With reset true the ring
+// restarts empty afterwards, so consecutive dumps partition the
+// timeline.
+func DumpTo(w io.Writer, r *Ring, meta Meta, reset bool) error {
+	if r == nil || w == nil {
+		return nil
+	}
+	recs := r.Snapshot(reset)
+	return WriteDump(w, meta, recs, r.Stats())
+}

@@ -1,0 +1,141 @@
+package flight
+
+import (
+	"strings"
+	"testing"
+
+	"aequitas/internal/sim"
+)
+
+// tickSeries drives an engine with a miss fraction per tick and returns
+// the first trigger, if any.
+func tickSeries(e *Engine, ticks int, every sim.Duration, missFrac float64, minP float64) (Trigger, bool) {
+	var met, miss int64
+	for i := 1; i <= ticks; i++ {
+		miss += int64(100 * missFrac)
+		met += int64(100 * (1 - missFrac))
+		if tr, ok := e.Tick(sim.Time(i)*every, met, miss, minP); ok {
+			return tr, true
+		}
+	}
+	return Trigger{}, false
+}
+
+func TestEngineBurnRateFires(t *testing.T) {
+	e := NewEngine(EngineConfig{
+		ShortWindow: 100 * sim.Millisecond,
+		LongWindow:  sim.Second,
+		SLOBudget:   0.01,
+	})
+	// 50% miss rate = 50x budget burn: must fire once both windows have
+	// enough samples.
+	tr, ok := tickSeries(e, 100, 10*sim.Millisecond, 0.5, 1)
+	if !ok {
+		t.Fatal("burn-rate trigger never fired at 50x budget")
+	}
+	if tr.Kind != TriggerBurnRate {
+		t.Fatalf("fired %v, want burn_rate", tr.Kind)
+	}
+	if !strings.Contains(tr.Detail, "burn") {
+		t.Fatalf("detail %q lacks burn rates", tr.Detail)
+	}
+}
+
+func TestEngineQuietUnderBudget(t *testing.T) {
+	e := NewEngine(EngineConfig{
+		ShortWindow: 100 * sim.Millisecond,
+		LongWindow:  sim.Second,
+		SLOBudget:   0.01,
+	})
+	// 0.5% misses is half the budget: no trigger, ever.
+	if tr, ok := tickSeries(e, 500, 10*sim.Millisecond, 0.005, 1); ok {
+		t.Fatalf("fired %v under budget", tr)
+	}
+}
+
+func TestEngineNeedsMinSamples(t *testing.T) {
+	e := NewEngine(EngineConfig{
+		ShortWindow: 100 * sim.Millisecond,
+		LongWindow:  sim.Second,
+		SLOBudget:   0.01,
+		MinSamples:  1_000_000,
+	})
+	if tr, ok := tickSeries(e, 200, 10*sim.Millisecond, 1.0, 1); ok {
+		t.Fatalf("fired %v below MinSamples", tr)
+	}
+}
+
+func TestEngineCooldown(t *testing.T) {
+	e := NewEngine(EngineConfig{
+		ShortWindow: 100 * sim.Millisecond,
+		LongWindow:  sim.Second,
+		SLOBudget:   0.01,
+		Cooldown:    sim.Second,
+	})
+	var met, miss int64
+	fires := 0
+	for i := 1; i <= 300; i++ {
+		miss += 50
+		met += 50
+		if _, ok := e.Tick(sim.Time(i)*10*sim.Millisecond, met, miss, 1); ok {
+			fires++
+		}
+	}
+	// 3 s of sustained 50x burn with a 1 s cooldown: at most one fire per
+	// cooldown period plus the first.
+	if fires == 0 || fires > 4 {
+		t.Fatalf("fired %d times over 3s with 1s cooldown", fires)
+	}
+	if e.Fired() != fires {
+		t.Fatalf("Fired() = %d, want %d", e.Fired(), fires)
+	}
+}
+
+func TestEnginePAdmitDropFires(t *testing.T) {
+	e := NewEngine(EngineConfig{
+		ShortWindow: 100 * sim.Millisecond,
+		LongWindow:  sim.Second,
+		PAdmitDrop:  0.4,
+	})
+	var met int64
+	// Healthy completions, but the admit probability collapses.
+	for i := 1; i <= 50; i++ {
+		met += 100
+		p := 1.0
+		if i > 25 {
+			p = 1.0 - float64(i-25)*0.05
+		}
+		if tr, ok := e.Tick(sim.Time(i)*10*sim.Millisecond, met, 0, p); ok {
+			if tr.Kind != TriggerPAdmitDrop {
+				t.Fatalf("fired %v, want padmit_drop", tr.Kind)
+			}
+			if !strings.Contains(tr.Detail, "p_admit") {
+				t.Fatalf("detail %q", tr.Detail)
+			}
+			return
+		}
+	}
+	t.Fatal("p_admit drop trigger never fired on a 1.0 to <0.6 collapse")
+}
+
+func TestEngineDeterministicDetail(t *testing.T) {
+	run := func() string {
+		e := NewEngine(EngineConfig{ShortWindow: 100 * sim.Millisecond, LongWindow: sim.Second, SLOBudget: 0.01})
+		tr, ok := tickSeries(e, 100, 10*sim.Millisecond, 0.5, 1)
+		if !ok {
+			t.Fatal("no trigger")
+		}
+		return tr.Detail + "@" + tr.At.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("trigger not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+func TestTriggerKindStrings(t *testing.T) {
+	for name, kind := range triggerKinds {
+		if kind.String() != name {
+			t.Errorf("TriggerKind %d String() = %q, want %q", kind, kind.String(), name)
+		}
+	}
+}

@@ -1,0 +1,432 @@
+// Package flight implements the admission-control flight recorder: a
+// bounded-memory black box that records every admission decision's context
+// (timestamp, peer, class, the admit probability consulted, the verdict)
+// and every SLO observation (measured latency, met/missed) into a
+// lock-free sharded ring buffer, so that when an anomaly engine trigger
+// fires — SLO burn rate, a collapsing p_admit, a fault window — the last
+// N decisions can be frozen and dumped as schema-tagged NDJSON
+// ("aequitas.flight/v1") for offline diagnosis.
+//
+// The record path is allocation-free and lock-free: a shard is selected by
+// hashing the admission channel, a slot is claimed with one atomic add on
+// the shard's cursor, and the fixed-size Record is written in place. A nil
+// *Ring disables recording with a single pointer check, which is the
+// zero-overhead path the controller's admit fast path relies on.
+//
+// Adaptive sampling keeps the interesting records: downgrades, drops and
+// SLO misses are always retained, while admits and SLO-met completions are
+// probabilistically sampled (1 in SampleAdmits) using a hash of the
+// shard's offered-record counter — no RNG draws and no clock reads, so a
+// deterministic caller (the simulator) produces bit-identical rings.
+package flight
+
+import (
+	"slices"
+	"sync/atomic"
+
+	"aequitas/internal/sim"
+)
+
+// Kind distinguishes the two record types.
+type Kind uint8
+
+const (
+	// KindDecision is an admission decision (Algorithm 1 lines 5-12).
+	KindDecision Kind = iota + 1
+	// KindComplete is an SLO observation on a completed RPC (lines 13-20).
+	KindComplete
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindDecision:
+		return "decision"
+	case KindComplete:
+		return "complete"
+	default:
+		return "unknown"
+	}
+}
+
+// Verdict is the outcome a record captures: the admission verdict for
+// decisions, the SLO comparison for completions.
+type Verdict uint8
+
+const (
+	VerdictAdmit Verdict = iota + 1
+	VerdictDowngrade
+	VerdictDrop
+	VerdictSLOMet
+	VerdictSLOMiss
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAdmit:
+		return "admit"
+	case VerdictDowngrade:
+		return "downgrade"
+	case VerdictDrop:
+		return "drop"
+	case VerdictSLOMet:
+		return "slo_met"
+	case VerdictSLOMiss:
+		return "slo_miss"
+	default:
+		return "unknown"
+	}
+}
+
+// Quota is the quota state attached to a decision record.
+type Quota uint8
+
+const (
+	// QuotaNone marks traffic admitted (or not) by the probabilistic path
+	// with no quota involvement.
+	QuotaNone Quota = iota
+	// QuotaBypass marks an RPC admitted on the quota fast path: it was
+	// within its tenant's granted rate and never reached the draw.
+	QuotaBypass
+)
+
+func (q Quota) String() string {
+	if q == QuotaBypass {
+		return "bypass"
+	}
+	return "none"
+}
+
+// Record is one flight-recorder entry. The struct is fixed-size and
+// pointer-free so the ring is a flat slice the GC never scans per record
+// and the record path never allocates.
+type Record struct {
+	// TS is the record's timestamp on the controller's clock.
+	TS sim.Time
+	// PAdmit is the admit probability of the (peer, class) channel: at
+	// decision time for decisions, after the AIMD update for completions.
+	PAdmit float64
+	// LatencyUS is the measured latency in microseconds (completions only).
+	LatencyUS float64
+	// Src identifies the recording controller (the sending host in the
+	// simulator, 0 in a single-process server).
+	Src int32
+	// Peer is the admission channel's destination id.
+	Peer int32
+	// SizeMTUs is the RPC's size in MTUs.
+	SizeMTUs int32
+	// Requested is the class the RPC asked for; Class is the class the
+	// verdict assigned (decisions) or the class the RPC ran on
+	// (completions).
+	Requested int8
+	Class     int8
+	Kind      Kind
+	Verdict   Verdict
+	Quota     Quota
+}
+
+// Stats counts the ring's activity since creation (or the last reset).
+type Stats struct {
+	// Offered is the number of records presented to the ring.
+	Offered uint64
+	// SampledOut counts admit/SLO-met records skipped by sampling.
+	SampledOut uint64
+	// DroppedFrozen counts records that arrived while a dump was freezing
+	// the ring and were discarded.
+	DroppedFrozen uint64
+}
+
+// Config parameterises a Ring.
+type Config struct {
+	// Records is the total ring capacity across all shards (default
+	// 16384). Rounded up so each shard holds a power of two.
+	Records int
+	// Shards is the number of independent ring shards (default 8, rounded
+	// up to a power of two). Writers hash their admission channel to a
+	// shard, so concurrent recorders on different channels touch disjoint
+	// cursors.
+	Shards int
+	// SampleAdmits keeps 1 in SampleAdmits admit and SLO-met records
+	// (rounded up to a power of two; default 8). Values <= 1 keep
+	// everything. Downgrades, drops, SLO misses and quota bypasses are
+	// always kept.
+	SampleAdmits int
+}
+
+// shard is one independent slice of the ring. The header is padded to
+// its own cache lines so cursors on different shards never false-share.
+type shard struct {
+	seq     atomic.Uint64 // next slot ordinal within this shard
+	offered atomic.Uint64 // records presented (drives sampling)
+	sampled atomic.Uint64 // records skipped by sampling
+	dropped atomic.Uint64 // records discarded during a freeze
+	active  atomic.Int64  // writers currently inside push
+	_       [24]byte
+
+	recs []Record
+	// commit[i] holds seq+1 of the last completed write to recs[i], with
+	// release semantics: a reader that observes the commit value observes
+	// the record's fields.
+	commit []atomic.Uint64
+}
+
+// Ring is the flight recorder's storage. All methods are safe for
+// concurrent use; a nil *Ring is the disabled recorder and every method
+// is a cheap no-op.
+type Ring struct {
+	shards     []shard
+	shardShift uint   // 64 - log2(len(shards)): shardFor keeps the top hash bits
+	slotMask   uint64 // per-shard capacity - 1
+	sampleMask uint64 // keep admits when hash(offered) & sampleMask == 0
+	frozen     atomic.Bool
+}
+
+// nextPow2 rounds n up to a power of two (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// NewRing builds a Ring. The zero Config gives 16384 records over 8
+// shards with 1-in-8 admit sampling.
+func NewRing(cfg Config) *Ring {
+	if cfg.Records <= 0 {
+		cfg.Records = 1 << 14
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	shards := nextPow2(cfg.Shards)
+	per := nextPow2((cfg.Records + shards - 1) / shards)
+	sample := cfg.SampleAdmits
+	if sample == 0 {
+		sample = 8
+	}
+	sample = nextPow2(sample)
+	shift := uint(64)
+	for s := shards; s > 1; s >>= 1 {
+		shift--
+	}
+	r := &Ring{
+		shards:     make([]shard, shards),
+		shardShift: shift,
+		slotMask:   uint64(per - 1),
+		sampleMask: uint64(sample - 1),
+	}
+	for i := range r.shards {
+		r.shards[i].recs = make([]Record, per)
+		r.shards[i].commit = make([]atomic.Uint64, per)
+	}
+	return r
+}
+
+// Cap reports the total record capacity.
+func (r *Ring) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.shards) * int(r.slotMask+1)
+}
+
+// shardFor hashes an admission channel to a shard — Fibonacci hashing
+// with the top bits kept, the well-mixed end of a golden-ratio multiply.
+// The hash depends only on the record's content, never the calling
+// goroutine, so a deterministic caller fills the shards
+// deterministically.
+func (r *Ring) shardFor(src, peer int32, class int8) *shard {
+	h := (uint64(uint32(src))<<20 ^ uint64(uint32(peer))<<4 ^ uint64(uint8(class))) * 0x9E3779B97F4A7C15
+	return &r.shards[h>>r.shardShift]
+}
+
+// sampleHash decides whether the n-th offered record on a shard survives
+// sampling. Fibonacci scrambling of the counter spreads kept records
+// evenly without an RNG draw.
+func (r *Ring) sampleKeep(n uint64) bool {
+	return (n*0x9E3779B97F4A7C15)>>33&r.sampleMask == 0
+}
+
+// push claims a slot on sh and writes rec into it. Writers register in
+// sh.active before checking the freeze flag, so a freezer that has set
+// frozen and seen active==0 knows no writer is mid-slot.
+func (r *Ring) push(sh *shard, rec Record) {
+	sh.active.Add(1)
+	if r.frozen.Load() {
+		sh.dropped.Add(1)
+		sh.active.Add(-1)
+		return
+	}
+	seq := sh.seq.Add(1) - 1
+	i := seq & r.slotMask
+	// Acquire the slot's previous commit so a lapped slot's old write is
+	// ordered before ours (two writers a full lap apart would otherwise
+	// race; a lap in the window a writer is descheduled requires the ring
+	// to be absurdly undersized).
+	_ = sh.commit[i].Load()
+	sh.recs[i] = rec
+	sh.commit[i].Store(seq + 1)
+	sh.active.Add(-1)
+}
+
+// Decision records one admission decision. v must be VerdictAdmit,
+// VerdictDowngrade or VerdictDrop; admits are subject to sampling.
+func (r *Ring) Decision(ts sim.Time, src, peer int32, requested, got int8, v Verdict, pAdmit float64, sizeMTUs int32) {
+	if r == nil {
+		return
+	}
+	sh := r.shardFor(src, peer, requested)
+	n := sh.offered.Add(1)
+	if v == VerdictAdmit && !r.sampleKeep(n) {
+		sh.sampled.Add(1)
+		return
+	}
+	r.push(sh, Record{
+		TS: ts, PAdmit: pAdmit, Src: src, Peer: peer, SizeMTUs: sizeMTUs,
+		Requested: requested, Class: got, Kind: KindDecision, Verdict: v,
+	})
+}
+
+// QuotaBypassDecision records an RPC admitted on the quota fast path.
+// Quota bypasses are always kept: they are the audit trail for in-quota
+// traffic skipping the draw.
+func (r *Ring) QuotaBypassDecision(ts sim.Time, src, peer int32, class int8, sizeMTUs int32) {
+	if r == nil {
+		return
+	}
+	sh := r.shardFor(src, peer, class)
+	sh.offered.Add(1)
+	r.push(sh, Record{
+		TS: ts, PAdmit: 1, Src: src, Peer: peer, SizeMTUs: sizeMTUs,
+		Requested: class, Class: class, Kind: KindDecision, Verdict: VerdictAdmit,
+		Quota: QuotaBypass,
+	})
+}
+
+// Complete records one SLO observation. v must be VerdictSLOMet or
+// VerdictSLOMiss; met completions are subject to sampling. pAdmit is the
+// channel's probability after the AIMD update.
+func (r *Ring) Complete(ts sim.Time, src, peer int32, class int8, v Verdict, pAdmit float64, sizeMTUs int32, latencyUS float64) {
+	if r == nil {
+		return
+	}
+	sh := r.shardFor(src, peer, class)
+	n := sh.offered.Add(1)
+	if v == VerdictSLOMet && !r.sampleKeep(n) {
+		sh.sampled.Add(1)
+		return
+	}
+	r.push(sh, Record{
+		TS: ts, PAdmit: pAdmit, LatencyUS: latencyUS, Src: src, Peer: peer,
+		SizeMTUs: sizeMTUs, Requested: class, Class: class, Kind: KindComplete, Verdict: v,
+	})
+}
+
+// Stats returns the ring's cumulative counters.
+func (r *Ring) Stats() Stats {
+	var st Stats
+	if r == nil {
+		return st
+	}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		st.Offered += sh.offered.Load()
+		st.SampledOut += sh.sampled.Load()
+		st.DroppedFrozen += sh.dropped.Load()
+	}
+	return st
+}
+
+// freeze stops writers and waits until none is mid-slot.
+func (r *Ring) freeze() {
+	r.frozen.Store(true)
+	for i := range r.shards {
+		for r.shards[i].active.Load() != 0 {
+			// Spin: writers between active.Add(1) and active.Add(-1) hold
+			// the slot for a handful of instructions.
+		}
+	}
+}
+
+// Snapshot freezes the ring, copies out every committed record in
+// deterministic order — by timestamp, with (src, peer, class, shard
+// order) tiebreaks — and unfreezes. With reset true the ring restarts
+// empty, so consecutive dumps partition the timeline. Records that arrive
+// during the freeze are counted in Stats.DroppedFrozen.
+func (r *Ring) Snapshot(reset bool) []Record {
+	if r == nil {
+		return nil
+	}
+	r.freeze()
+	var out []Record
+	for si := range r.shards {
+		sh := &r.shards[si]
+		seq := sh.seq.Load()
+		cap64 := r.slotMask + 1
+		start := uint64(0)
+		if seq > cap64 {
+			start = seq - cap64
+		}
+		for s := start; s < seq; s++ {
+			i := s & r.slotMask
+			if sh.commit[i].Load() == s+1 {
+				out = append(out, sh.recs[i])
+			}
+		}
+		if reset {
+			sh.seq.Store(0)
+			for i := range sh.commit {
+				sh.commit[i].Store(0)
+			}
+		}
+	}
+	r.frozen.Store(false)
+	sortRecords(out)
+	return out
+}
+
+// sortRecords orders a snapshot for dumping: primary by timestamp so the
+// dump reads chronologically, with content tiebreaks so the order is a
+// pure function of the record multiset (shard gathering order never
+// leaks into the dump).
+func sortRecords(recs []Record) {
+	slices.SortStableFunc(recs, func(a, b Record) int {
+		switch {
+		case a.TS != b.TS:
+			return int64Cmp(int64(a.TS), int64(b.TS))
+		case a.Src != b.Src:
+			return int64Cmp(int64(a.Src), int64(b.Src))
+		case a.Peer != b.Peer:
+			return int64Cmp(int64(a.Peer), int64(b.Peer))
+		case a.Requested != b.Requested:
+			return int64Cmp(int64(a.Requested), int64(b.Requested))
+		case a.Kind != b.Kind:
+			return int64Cmp(int64(a.Kind), int64(b.Kind))
+		case a.Verdict != b.Verdict:
+			return int64Cmp(int64(a.Verdict), int64(b.Verdict))
+		case a.PAdmit != b.PAdmit:
+			if a.PAdmit < b.PAdmit {
+				return -1
+			}
+			return 1
+		case a.LatencyUS != b.LatencyUS:
+			if a.LatencyUS < b.LatencyUS {
+				return -1
+			}
+			return 1
+		default:
+			return int64Cmp(int64(a.SizeMTUs), int64(b.SizeMTUs))
+		}
+	})
+}
+
+func int64Cmp(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

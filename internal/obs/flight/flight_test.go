@@ -1,0 +1,295 @@
+package flight
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"aequitas/internal/sim"
+)
+
+// keepAll disables sampling so tests can count records exactly.
+func keepAll() Config { return Config{Records: 1 << 12, SampleAdmits: 1} }
+
+func TestNilRingNoOps(t *testing.T) {
+	var r *Ring
+	r.Decision(0, 0, 0, 0, 0, VerdictAdmit, 1, 1)
+	r.Complete(0, 0, 0, 0, VerdictSLOMiss, 0.5, 1, 10)
+	r.QuotaBypassDecision(0, 0, 0, 0, 1)
+	if got := r.Snapshot(true); got != nil {
+		t.Fatalf("nil ring snapshot = %v, want nil", got)
+	}
+	if st := r.Stats(); st != (Stats{}) {
+		t.Fatalf("nil ring stats = %+v, want zero", st)
+	}
+	if r.Cap() != 0 {
+		t.Fatalf("nil ring cap = %d", r.Cap())
+	}
+}
+
+func TestRingRecordsAndSnapshotOrder(t *testing.T) {
+	r := NewRing(keepAll())
+	// Record out of timestamp order across channels; the snapshot must
+	// come back time-sorted.
+	r.Decision(3*sim.Microsecond, 0, 2, 0, 0, VerdictAdmit, 0.9, 1)
+	r.Decision(1*sim.Microsecond, 0, 1, 0, 2, VerdictDowngrade, 0.3, 1)
+	r.Complete(2*sim.Microsecond, 0, 1, 0, VerdictSLOMiss, 0.29, 1, 42.5)
+	recs := r.Snapshot(false)
+	if len(recs) != 3 {
+		t.Fatalf("snapshot has %d records, want 3", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].TS < recs[i-1].TS {
+			t.Fatalf("snapshot out of order at %d: %v before %v", i, recs[i].TS, recs[i-1].TS)
+		}
+	}
+	if recs[0].Verdict != VerdictDowngrade || recs[1].Verdict != VerdictSLOMiss || recs[2].Verdict != VerdictAdmit {
+		t.Fatalf("unexpected verdict order: %v %v %v", recs[0].Verdict, recs[1].Verdict, recs[2].Verdict)
+	}
+	if recs[1].LatencyUS != 42.5 {
+		t.Fatalf("completion latency = %v, want 42.5", recs[1].LatencyUS)
+	}
+	// Snapshot(false) preserves the ring.
+	if again := r.Snapshot(false); len(again) != 3 {
+		t.Fatalf("second snapshot has %d records, want 3", len(again))
+	}
+	// Snapshot(true) resets it.
+	if _ = r.Snapshot(true); len(r.Snapshot(false)) != 0 {
+		t.Fatal("ring not empty after reset snapshot")
+	}
+	st := r.Stats()
+	if st.Offered != 3 || st.SampledOut != 0 {
+		t.Fatalf("stats = %+v, want 3 offered, 0 sampled", st)
+	}
+}
+
+func TestRingWrapKeepsLatest(t *testing.T) {
+	r := NewRing(Config{Records: 64, Shards: 1, SampleAdmits: 1})
+	n := 10 * r.Cap()
+	for i := 0; i < n; i++ {
+		r.Decision(sim.Time(i)*sim.Microsecond, 0, 0, 0, 0, VerdictAdmit, 1, 1)
+	}
+	recs := r.Snapshot(false)
+	if len(recs) != r.Cap() {
+		t.Fatalf("wrapped ring holds %d records, want %d", len(recs), r.Cap())
+	}
+	// The survivors are the newest capacity records.
+	if got, want := recs[0].TS, sim.Time(n-r.Cap())*sim.Microsecond; got != want {
+		t.Fatalf("oldest surviving record at %v, want %v", got, want)
+	}
+}
+
+func TestAdaptiveSamplingKeepsAnomalies(t *testing.T) {
+	r := NewRing(Config{Records: 1 << 16, SampleAdmits: 8})
+	const n = 4096
+	for i := 0; i < n; i++ {
+		r.Decision(sim.Time(i), 0, int32(i%7), 0, 0, VerdictAdmit, 1, 1)
+		r.Decision(sim.Time(i), 0, int32(i%7), 0, 2, VerdictDowngrade, 0.2, 1)
+		r.Complete(sim.Time(i), 0, int32(i%7), 0, VerdictSLOMiss, 0.19, 1, 99)
+	}
+	recs := r.Snapshot(false)
+	var admits, downs, misses int
+	for _, rec := range recs {
+		switch rec.Verdict {
+		case VerdictAdmit:
+			admits++
+		case VerdictDowngrade:
+			downs++
+		case VerdictSLOMiss:
+			misses++
+		}
+	}
+	if downs != n || misses != n {
+		t.Fatalf("anomalous records sampled out: %d downgrades, %d misses, want %d each", downs, misses, n)
+	}
+	if admits == 0 || admits >= n/2 {
+		t.Fatalf("admit sampling kept %d of %d, want roughly 1 in 8", admits, n)
+	}
+	st := r.Stats()
+	if st.SampledOut != uint64(n-admits) {
+		t.Fatalf("sampled_out = %d, want %d", st.SampledOut, n-admits)
+	}
+	if st.Offered != 3*n {
+		t.Fatalf("offered = %d, want %d", st.Offered, 3*n)
+	}
+}
+
+func TestSamplingDeterministic(t *testing.T) {
+	run := func() []Record {
+		r := NewRing(Config{Records: 1 << 12, SampleAdmits: 8})
+		for i := 0; i < 1000; i++ {
+			r.Decision(sim.Time(i), 1, int32(i%5), 0, 0, VerdictAdmit, 0.8, 1)
+		}
+		return r.Snapshot(false)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs kept %d vs %d records", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestQuotaBypassAlwaysKept(t *testing.T) {
+	r := NewRing(Config{Records: 1 << 12, SampleAdmits: 1 << 30})
+	for i := 0; i < 100; i++ {
+		r.QuotaBypassDecision(sim.Time(i), 0, 3, 0, 1)
+	}
+	recs := r.Snapshot(false)
+	if len(recs) != 100 {
+		t.Fatalf("kept %d quota bypass records, want 100", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.Quota != QuotaBypass || rec.Verdict != VerdictAdmit {
+			t.Fatalf("quota record = %+v", rec)
+		}
+	}
+}
+
+// TestRecordPathNoAllocs pins the tentpole's core budget: recording a
+// decision or completion allocates nothing.
+func TestRecordPathNoAllocs(t *testing.T) {
+	r := NewRing(Config{Records: 1 << 14})
+	i := 0
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Decision(sim.Time(i), 0, int32(i&7), 0, 0, VerdictAdmit, 1, 1)
+		r.Complete(sim.Time(i), 0, int32(i&7), 0, VerdictSLOMiss, 0.5, 1, 10)
+		i++
+	}); n != 0 {
+		t.Fatalf("record path allocates %v per op, want 0", n)
+	}
+}
+
+// TestRingConcurrent exercises concurrent recorders against concurrent
+// snapshots under -race. The ring is sized far above the written volume
+// so no writer can lap another.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(Config{Records: 1 << 16, SampleAdmits: 1})
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Decision(sim.Time(i), int32(w), int32(i%9), 0, 0, VerdictDowngrade, 0.4, 1)
+				if i%3 == 0 {
+					r.Complete(sim.Time(i), int32(w), int32(i%9), 0, VerdictSLOMiss, 0.39, 1, 5)
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = r.Snapshot(false)
+		}
+	}()
+	wg.Wait()
+	<-done
+	st := r.Stats()
+	want := uint64(writers * (perWriter + (perWriter+2)/3))
+	if st.Offered != want {
+		t.Fatalf("offered = %d, want %d", st.Offered, want)
+	}
+	// Every record either landed, was sampled out (none: SampleAdmits 1,
+	// all anomalous), or arrived during a freeze.
+	recs := r.Snapshot(false)
+	if uint64(len(recs))+st.DroppedFrozen != want {
+		t.Fatalf("records %d + dropped %d != offered %d", len(recs), st.DroppedFrozen, want)
+	}
+}
+
+func TestDumpWriteValidateRoundTrip(t *testing.T) {
+	r := NewRing(keepAll())
+	r.Decision(1*sim.Microsecond, 0, 1, 0, 0, VerdictAdmit, 0.95, 1)
+	r.Decision(2*sim.Microsecond, 0, 1, 0, 2, VerdictDowngrade, 0.3, 4)
+	r.Complete(3*sim.Microsecond, 0, 1, 0, VerdictSLOMiss, 0.29, 4, 123.4)
+	r.QuotaBypassDecision(4*sim.Microsecond, 0, 2, 1, 2)
+
+	var buf bytes.Buffer
+	meta := Meta{
+		Trigger:  Trigger{Kind: TriggerBurnRate, At: 5 * sim.Microsecond, Detail: "test"},
+		Label:    "unit",
+		PeerName: func(p int32) string { return map[int32]string{1: "checkout"}[p] },
+	}
+	if err := DumpTo(&buf, r, meta, true); err != nil {
+		t.Fatal(err)
+	}
+	// Second dump on the same stream, post-reset.
+	r.Complete(6*sim.Microsecond, 0, 2, 1, VerdictSLOMet, 1, 1, 7)
+	if err := DumpTo(&buf, r, Meta{Trigger: Trigger{Kind: TriggerFinal, At: 7 * sim.Microsecond}}, false); err != nil {
+		t.Fatal(err)
+	}
+
+	dumps, records, err := ValidateDump(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("validate: %v\n%s", err, buf.String())
+	}
+	if dumps != 2 || records != 5 {
+		t.Fatalf("validated %d dumps / %d records, want 2 / 5", dumps, records)
+	}
+	if !strings.Contains(buf.String(), `"peer_name":"checkout"`) {
+		t.Fatal("peer name not resolved in dump")
+	}
+	if !strings.Contains(buf.String(), `"quota":"bypass"`) {
+		t.Fatal("quota bypass not marked in dump")
+	}
+
+	sum, err := Summarize(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Dumps) != 2 || sum.Records != 5 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.ByVerdict["downgrade"] != 1 || sum.ByVerdict["slo_miss"] != 1 || sum.ByVerdict["admit"] != 2 {
+		t.Fatalf("verdict totals = %v", sum.ByVerdict)
+	}
+	if sum.MinPAdmit != 0.29 {
+		t.Fatalf("min p_admit = %v, want 0.29", sum.MinPAdmit)
+	}
+	if sum.MaxLatUS != 123.4 {
+		t.Fatalf("max lat = %v, want 123.4", sum.MaxLatUS)
+	}
+}
+
+func TestValidateDumpRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"wrong schema": `{"schema":"nope","trigger":"final","ts_us":0,"records":0,"offered":0,"sampled_out":0,"dropped_frozen":0}`,
+		"bad trigger":  `{"schema":"aequitas.flight/v1","trigger":"gremlin","ts_us":0,"records":0,"offered":0,"sampled_out":0,"dropped_frozen":0}`,
+		"truncated": `{"schema":"aequitas.flight/v1","trigger":"final","ts_us":0,"records":2,"offered":2,"sampled_out":0,"dropped_frozen":0}
+{"seq":0,"ts_us":1,"kind":"decision","verdict":"admit","src":0,"peer":0,"req":0,"class":0,"p_admit":1,"size_mtus":1}`,
+		"retention violated": `{"schema":"aequitas.flight/v1","trigger":"final","ts_us":0,"records":1,"offered":0,"sampled_out":0,"dropped_frozen":0}
+{"seq":0,"ts_us":1,"kind":"decision","verdict":"admit","src":0,"peer":0,"req":0,"class":0,"p_admit":1,"size_mtus":1}`,
+		"time travel": `{"schema":"aequitas.flight/v1","trigger":"final","ts_us":0,"records":2,"offered":2,"sampled_out":0,"dropped_frozen":0}
+{"seq":0,"ts_us":5,"kind":"decision","verdict":"admit","src":0,"peer":0,"req":0,"class":0,"p_admit":1,"size_mtus":1}
+{"seq":1,"ts_us":4,"kind":"decision","verdict":"admit","src":0,"peer":0,"req":0,"class":0,"p_admit":1,"size_mtus":1}`,
+		"mixed verdict": `{"schema":"aequitas.flight/v1","trigger":"final","ts_us":0,"records":1,"offered":1,"sampled_out":0,"dropped_frozen":0}
+{"seq":0,"ts_us":1,"kind":"decision","verdict":"slo_miss","src":0,"peer":0,"req":0,"class":0,"p_admit":1,"size_mtus":1}`,
+		"bad probability": `{"schema":"aequitas.flight/v1","trigger":"final","ts_us":0,"records":1,"offered":1,"sampled_out":0,"dropped_frozen":0}
+{"seq":0,"ts_us":1,"kind":"decision","verdict":"admit","src":0,"peer":0,"req":0,"class":0,"p_admit":1.5,"size_mtus":1}`,
+	}
+	for name, in := range cases {
+		if _, _, err := ValidateDump(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validated, want error", name)
+		}
+	}
+}
+
+func TestCaptureProfiles(t *testing.T) {
+	dir := t.TempDir()
+	paths, err := CaptureProfiles(dir, "trig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("wrote %d profiles, want 2", len(paths))
+	}
+}

@@ -1,0 +1,41 @@
+package flight
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+)
+
+// CaptureProfiles writes goroutine and heap profiles into dir, named
+// <prefix>-goroutine.pprof and <prefix>-heap.pprof, and returns the
+// written paths. It is the optional companion to a flight dump: the dump
+// says what the admission layer decided, the profiles say what the
+// process was doing when the trigger fired. The directory is created if
+// missing.
+func CaptureProfiles(dir, prefix string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, name := range []string{"goroutine", "heap"} {
+		p := pprof.Lookup(name)
+		if p == nil {
+			return paths, fmt.Errorf("flight: profile %q unavailable", name)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%s-%s.pprof", prefix, name))
+		f, err := os.Create(path)
+		if err != nil {
+			return paths, err
+		}
+		if err := p.WriteTo(f, 0); err != nil {
+			f.Close()
+			return paths, err
+		}
+		if err := f.Close(); err != nil {
+			return paths, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"aequitas/internal/obs/flight"
 	"aequitas/internal/stats"
 )
 
@@ -17,16 +18,17 @@ import (
 const ReportSchema = "aequitas.obsreport/v1"
 
 // Report joins one run's observability artifacts — NDJSON lifecycle
-// trace, wide-format metrics CSV, per-RPC attribution CSV — into a
-// single summarised document. Sections are nil when the corresponding
-// artifact was not provided. cmd/obsreport builds, renders, and diffs
-// these.
+// trace, wide-format metrics CSV, per-RPC attribution CSV, and
+// flight-recorder dump stream — into a single summarised document.
+// Sections are nil when the corresponding artifact was not provided.
+// cmd/obsreport builds, renders, and diffs these.
 type Report struct {
 	Schema      string          `json:"schema"`
 	Label       string          `json:"label,omitempty"`
 	Trace       *TraceSummary   `json:"trace,omitempty"`
 	Metrics     *MetricsSummary `json:"metrics,omitempty"`
 	Attribution *AttrSummary    `json:"attribution,omitempty"`
+	Flight      *flight.Summary `json:"flight,omitempty"`
 }
 
 // QuantilesUS summarises a latency distribution in microseconds. Mean
@@ -113,7 +115,7 @@ type AttrClassSummary struct {
 // BuildReport assembles a report from whichever artifact readers are
 // non-nil. Each artifact is validated while being summarised; the first
 // malformed line fails the build.
-func BuildReport(label string, trace, metrics, attr io.Reader) (*Report, error) {
+func BuildReport(label string, trace, metrics, attr, flightDump io.Reader) (*Report, error) {
 	rep := &Report{Schema: ReportSchema, Label: label}
 	if trace != nil {
 		ts, err := summarizeTrace(trace)
@@ -135,6 +137,13 @@ func BuildReport(label string, trace, metrics, attr io.Reader) (*Report, error) 
 			return nil, fmt.Errorf("attribution: %w", err)
 		}
 		rep.Attribution = as
+	}
+	if flightDump != nil {
+		fs, err := flight.Summarize(flightDump)
+		if err != nil {
+			return nil, fmt.Errorf("flight: %w", err)
+		}
+		rep.Flight = fs
 	}
 	return rep, nil
 }
@@ -395,6 +404,21 @@ func (rep *Report) WriteMarkdown(w io.Writer) error {
 			}
 		}
 	}
+	if f := rep.Flight; f != nil {
+		fmt.Fprintf(bw, "\n## Flight recorder\n\n")
+		fmt.Fprintf(bw, "%d dumps, %d records (%d admits sampled out); min p_admit %.3g, max observed latency %.2f us.\n\n",
+			len(f.Dumps), f.Records, f.SampledOut, f.MinPAdmit, f.MaxLatUS)
+		fmt.Fprintf(bw, "| trigger | detail | t (us) | records |\n|---|---|---:|---:|\n")
+		for _, d := range f.Dumps {
+			fmt.Fprintf(bw, "| %s | %s | %.1f | %d |\n", d.Trigger, d.Detail, d.TSUS, d.Records)
+		}
+		if len(f.ByVerdict) > 0 {
+			fmt.Fprintf(bw, "\n| verdict | records |\n|---|---:|\n")
+			for _, k := range sortedKeys(f.ByVerdict) {
+				fmt.Fprintf(bw, "| %s | %d |\n", k, f.ByVerdict[k])
+			}
+		}
+	}
 	if a := rep.Attribution; a != nil {
 		fmt.Fprintf(bw, "\n## Latency attribution (mean us per RPC)\n\n")
 		fmt.Fprintf(bw, "%d attributed RPCs.\n\n", a.N)
@@ -445,7 +469,7 @@ func ValidateReportJSON(r io.Reader) (*Report, error) {
 	if rep.Schema != ReportSchema {
 		return nil, fmt.Errorf("obs: report: schema %q, want %q", rep.Schema, ReportSchema)
 	}
-	if rep.Trace == nil && rep.Metrics == nil && rep.Attribution == nil {
+	if rep.Trace == nil && rep.Metrics == nil && rep.Attribution == nil && rep.Flight == nil {
 		return nil, fmt.Errorf("obs: report: no sections")
 	}
 	if t := rep.Trace; t != nil {
@@ -501,6 +525,24 @@ func ValidateReportJSON(r io.Reader) (*Report, error) {
 		}
 		if n != a.N {
 			return nil, fmt.Errorf("obs: report: attribution class counts sum %d != total %d", n, a.N)
+		}
+	}
+	if f := rep.Flight; f != nil {
+		if f.Schema != flight.Schema {
+			return nil, fmt.Errorf("obs: report: flight schema %q, want %q", f.Schema, flight.Schema)
+		}
+		n := 0
+		for _, d := range f.Dumps {
+			if d.Records < 0 {
+				return nil, fmt.Errorf("obs: report: flight dump %q record count negative", d.Trigger)
+			}
+			n += d.Records
+		}
+		if n != f.Records {
+			return nil, fmt.Errorf("obs: report: flight dump records sum %d != total %d", n, f.Records)
+		}
+		if f.MinPAdmit < 0 || f.MinPAdmit > 1 {
+			return nil, fmt.Errorf("obs: report: flight min_p_admit %g out of [0, 1]", f.MinPAdmit)
 		}
 	}
 	return &rep, nil
@@ -641,6 +683,16 @@ func flattenReport(rep *Report) (map[string]float64, []string) {
 					put("attr."+c.Class+"."+comp+".mean", v)
 				}
 			}
+		}
+	}
+	if f := rep.Flight; f != nil {
+		put("flight.dumps", float64(len(f.Dumps)))
+		put("flight.records", float64(f.Records))
+		put("flight.sampled_out", float64(f.SampledOut))
+		put("flight.min_p_admit", f.MinPAdmit)
+		put("flight.max_lat_us", f.MaxLatUS)
+		for _, k := range sortedKeys(f.ByVerdict) {
+			put("flight.verdict."+k, float64(f.ByVerdict[k]))
 		}
 	}
 	return vals, order

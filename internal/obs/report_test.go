@@ -37,19 +37,28 @@ const reportAttrCSV = "rpc,src,dst,class,issue_s,admit_us,sender_us,transport_us
 	"2,0,1,0,0.002,2,3,4,0,0.5,2.5,2,14\n" +
 	"3,0,1,1,0.003,0,1,9,1,0.5,6.5,2,20\n"
 
-// TestBuildReportEndToEnd: all three sections populated, internally
+const reportFlightNDJSON = `{"schema":"aequitas.flight/v1","trigger":"manual","detail":"unit","label":"unit","ts_us":100.000,"records":2,"offered":3,"sampled_out":1,"dropped_frozen":0}
+{"seq":0,"ts_us":1.000,"kind":"decision","verdict":"admit","src":0,"peer":1,"req":0,"class":0,"p_admit":0.9,"size_mtus":1}
+{"seq":1,"ts_us":2.000,"kind":"complete","verdict":"slo_miss","src":0,"peer":1,"req":0,"class":0,"p_admit":0.8,"size_mtus":1,"lat_us":42.5}
+`
+
+// TestBuildReportEndToEnd: all four sections populated, internally
 // consistent, and round-trippable through JSON + the validator, with a
 // renderable markdown form.
 func TestBuildReportEndToEnd(t *testing.T) {
 	rep, err := BuildReport("unit",
 		strings.NewReader(reportTrace(40)),
 		strings.NewReader(reportMetricsCSV),
-		strings.NewReader(reportAttrCSV))
+		strings.NewReader(reportAttrCSV),
+		strings.NewReader(reportFlightNDJSON))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Trace == nil || rep.Metrics == nil || rep.Attribution == nil {
+	if rep.Trace == nil || rep.Metrics == nil || rep.Attribution == nil || rep.Flight == nil {
 		t.Fatal("missing sections")
+	}
+	if rep.Flight.Records != 2 || rep.Flight.ByVerdict["slo_miss"] != 1 || rep.Flight.MinPAdmit != 0.8 {
+		t.Errorf("flight summary = %+v", rep.Flight)
 	}
 	if rep.Trace.Events != 120 || rep.Trace.Kinds["complete"] != 40 {
 		t.Errorf("trace events/completes = %d/%d", rep.Trace.Events, rep.Trace.Kinds["complete"])
@@ -98,7 +107,7 @@ func TestBuildReportEndToEnd(t *testing.T) {
 	if err := rep.WriteMarkdown(&md); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"# Run report: unit", "## Lifecycle trace", "## Metrics time series", "## Latency attribution", "| q1 |"} {
+	for _, want := range []string{"# Run report: unit", "## Lifecycle trace", "## Metrics time series", "## Latency attribution", "## Flight recorder", "| slo_miss | 1 |", "| q1 |"} {
 		if !strings.Contains(md.String(), want) {
 			t.Errorf("markdown missing %q", want)
 		}
@@ -117,6 +126,10 @@ func TestValidateReportJSONRejects(t *testing.T) {
 		"series": `{"schema":"aequitas.obsreport/v1","metrics":{"rows":1,"columns":1,"start_s":0,"end_s":1,` +
 			`"series":[{"name":"x","n":1,"mean":9,"min":1,"max":2,"last":1}]}}`,
 		"attr sum": `{"schema":"aequitas.obsreport/v1","attribution":{"n":5,"classes":[{"class":"q0","n":2,"mean_us":{}}]}}`,
+		"flight sum": `{"schema":"aequitas.obsreport/v1","flight":{"schema":"aequitas.flight/v1",` +
+			`"dumps":[{"trigger":"final","ts_us":1,"records":2}],"records":5,"by_verdict":{},"min_p_admit":1,"max_lat_us":0}}`,
+		"flight p": `{"schema":"aequitas.obsreport/v1","flight":{"schema":"aequitas.flight/v1",` +
+			`"dumps":[],"records":0,"by_verdict":{},"min_p_admit":1.5,"max_lat_us":0}}`,
 	}
 	for name, doc := range cases {
 		if _, err := ValidateReportJSON(strings.NewReader(doc)); err == nil {
@@ -131,7 +144,7 @@ func TestValidateReportJSONRejects(t *testing.T) {
 func TestDiffReports(t *testing.T) {
 	build := func(n int, metrics string) *Report {
 		rep, err := BuildReport(fmt.Sprintf("run%d", n),
-			strings.NewReader(reportTrace(40)), strings.NewReader(metrics), nil)
+			strings.NewReader(reportTrace(40)), strings.NewReader(metrics), nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

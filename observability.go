@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"aequitas/internal/obs"
+	"aequitas/internal/obs/flight"
 )
 
 // ObsConfig configures the per-run observability layer: the structured
@@ -57,6 +58,31 @@ type ObsConfig struct {
 	// MetricsCSV; the window length is MetricsEvery.
 	TailSeries bool
 
+	// FlightNDJSON receives flight-recorder dumps as schema-tagged NDJSON
+	// ("aequitas.flight/v1"). Setting it attaches one shared flight ring
+	// to every host's admission controller: each decision and SLO
+	// observation becomes a fixed-size record, and the ring is dumped on
+	// every fault onset in the run's fault plan (resetting afterwards, so
+	// consecutive dumps partition the timeline), on every anomaly-engine
+	// trigger when FlightEngine is set, and once more when the run ends.
+	// Recording draws no randomness and reads only simulated time, so for
+	// a fixed SimConfig the dump bytes are identical regardless of sweep
+	// parallelism.
+	FlightNDJSON io.Writer
+	// FlightRecords is the flight ring's capacity in records (default
+	// 16384).
+	FlightRecords int
+	// FlightSampleAdmits keeps 1 in N admit and SLO-met records (rounded
+	// up to a power of two; default 8; values <= 1 keep everything).
+	// Downgrades, drops and SLO misses are always kept.
+	FlightSampleAdmits int
+	// FlightEngine, when set alongside FlightNDJSON, runs the SLO
+	// burn-rate anomaly engine on the metrics cadence (MetricsEvery):
+	// cumulative SLO counters and the minimum live admit probability are
+	// fed to the engine each tick, and a trigger dumps and resets the
+	// ring.
+	FlightEngine *flight.EngineConfig
+
 	// Attribution enables per-RPC latency decomposition: every completed
 	// RPC's RNL is split into admission, sender-host queueing, transport
 	// (window/CC), pacing stalls, NIC and switch queue residency, and a
@@ -98,7 +124,7 @@ func (o *ObsConfig) attributionOn() bool {
 // enabled reports whether any observability output is requested.
 func (o *ObsConfig) enabled() bool {
 	return o.TraceNDJSON != nil || o.TraceChrome != nil || o.MetricsCSV != nil ||
-		o.Export != nil || o.attributionOn()
+		o.Export != nil || o.FlightNDJSON != nil || o.attributionOn()
 }
 
 // tracer returns the run's tracer, or nil when tracing is off.

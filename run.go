@@ -8,6 +8,7 @@ import (
 	"aequitas/internal/faults"
 	"aequitas/internal/netsim"
 	"aequitas/internal/obs"
+	"aequitas/internal/obs/flight"
 	"aequitas/internal/qos"
 	"aequitas/internal/rpc"
 	"aequitas/internal/scenario"
@@ -32,6 +33,12 @@ type runState struct {
 	tails    *obs.TailTracker
 	attr     *obs.Attributor
 	audit    *obs.Auditor
+
+	// flight is the run's shared flight-recorder ring (nil when
+	// ObsConfig.FlightNDJSON is unset); flightErr carries a mid-run dump
+	// failure out of event callbacks to runAndDrain.
+	flight    *flight.Ring
+	flightErr error
 
 	col         *collector
 	controllers []*core.Controller
@@ -119,6 +126,12 @@ func buildFabric(st *runState) error {
 	if cfg.Obs.Export != nil {
 		st.col.expRNL = make(map[qos.Class]*stats.Hist)
 	}
+	if cfg.Obs.FlightNDJSON != nil {
+		st.flight = flight.NewRing(flight.Config{
+			Records:      cfg.Obs.FlightRecords,
+			SampleAdmits: cfg.Obs.FlightSampleAdmits,
+		})
+	}
 
 	// Auditor first (the attributor feeds it per-RPC fabric queueing),
 	// then the attributor, both attached to every link.
@@ -180,6 +193,9 @@ func buildHosts(st *runState) error {
 			return err
 		}
 		st.controllers[i] = hs.Controller
+		if st.flight != nil && hs.Controller != nil {
+			hs.Controller.SetFlight(st.flight, i)
+		}
 		var adm rpc.Admitter = rpc.PassThrough{}
 		if hs.Admitter != nil {
 			adm = hs.Admitter
@@ -251,8 +267,50 @@ func buildFaults(st *runState) error {
 	in.OnEvent = func(s *sim.Simulator, e faults.Event) {
 		tracer.Fault(s.Now(), obsFaultKind(e.Kind), e.Target(), e.Rate)
 		col.onFault(s, e)
+		// Fault onsets dump and reset the flight ring: the dump holds the
+		// decisions leading into the fault window, and the next dump
+		// starts clean inside it.
+		if st.flight != nil && faultOnset(e.Kind) {
+			st.flightDump(flight.Trigger{
+				Kind:   flight.TriggerFault,
+				At:     s.Now(),
+				Detail: obsFaultKind(e.Kind).String() + " " + e.Target(),
+			}, true)
+		}
 	}
 	return in.Schedule(st.s)
+}
+
+// faultOnset reports whether a fault event begins a degraded window (as
+// opposed to recovering from one).
+func faultOnset(k faults.Kind) bool {
+	switch k {
+	case faults.LinkDown, faults.LinkLoss, faults.HostCrash:
+		return true
+	default:
+		return false
+	}
+}
+
+// flightLabel names this run in dump headers.
+func (st *runState) flightLabel() string {
+	if st.cfg.Obs.ExportLabel != "" {
+		return st.cfg.Obs.ExportLabel
+	}
+	return st.cfg.System.String()
+}
+
+// flightDump snapshots the ring into the configured NDJSON sink. Errors
+// are latched into st.flightErr (callbacks have nowhere to return them)
+// and surfaced by runAndDrain.
+func (st *runState) flightDump(tr flight.Trigger, reset bool) {
+	err := flight.DumpTo(st.cfg.Obs.FlightNDJSON, st.flight, flight.Meta{
+		Trigger: tr,
+		Label:   st.flightLabel(),
+	}, reset)
+	if err != nil && st.flightErr == nil {
+		st.flightErr = err
+	}
 }
 
 // obsFaultKind maps the faults package's event kinds onto the trace
@@ -370,6 +428,44 @@ func buildSamplers(st *runState) error {
 		s.AtFunc(0, etick)
 	}
 
+	// Anomaly-engine pump: on the metrics cadence, feed the engine the
+	// cumulative SLO counters and the minimum live admit probability
+	// across every host. A trigger dumps and resets the flight ring.
+	if st.flight != nil && cfg.Obs.FlightEngine != nil {
+		eng := flight.NewEngine(*cfg.Obs.FlightEngine)
+		interval := sim.FromStd(cfg.Obs.MetricsEvery)
+		if interval <= 0 {
+			interval = sim.FromStd(100 * time.Microsecond)
+		}
+		controllers := st.controllers
+		var ftick func(*sim.Simulator)
+		ftick = func(s *sim.Simulator) {
+			var met, miss int64
+			minP := 1.0
+			now := s.Now()
+			for _, ct := range controllers {
+				if ct == nil {
+					continue
+				}
+				cs := ct.Stats.Load()
+				met += cs.SLOMet
+				miss += cs.SLOMisses
+				ct.ForEachState(now, func(_ int, _ qos.Class, p float64, _ sim.Duration) {
+					if p < minP {
+						minP = p
+					}
+				})
+			}
+			if tr, ok := eng.Tick(now, met, miss, minP); ok {
+				st.flightDump(tr, true)
+			}
+			if now < end {
+				s.AfterFunc(interval, ftick)
+			}
+		}
+		s.AtFunc(0, ftick)
+	}
+
 	// Probe and outstanding sampling.
 	if len(cfg.Probes) > 0 || cfg.TrackOutstanding {
 		interval := sim.FromStd(cfg.SampleEvery)
@@ -428,6 +524,15 @@ func runAndDrain(st *runState) error {
 	if w := cfg.Obs.AttributionCSV; w != nil {
 		if err := st.attr.WriteCSV(w); err != nil {
 			return fmt.Errorf("aequitas: attribution csv: %w", err)
+		}
+	}
+	if st.flight != nil {
+		if st.flightErr != nil {
+			return fmt.Errorf("aequitas: flight dump: %w", st.flightErr)
+		}
+		st.flightDump(flight.Trigger{Kind: flight.TriggerFinal, At: s.Now()}, false)
+		if st.flightErr != nil {
+			return fmt.Errorf("aequitas: flight dump: %w", st.flightErr)
 		}
 	}
 	return nil

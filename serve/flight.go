@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aequitas"
+	"aequitas/internal/obs/flight"
+	"aequitas/internal/sim"
+)
+
+// FlightConfig configures the serving-side flight recorder: a lock-free
+// ring holding the last N admission decisions and SLO observations, plus
+// an optional anomaly engine that watches the SLO burn rate and the
+// minimum live admit probability and freezes the ring into a dump when an
+// incident signature appears.
+type FlightConfig struct {
+	// Records is the ring capacity (default 16384).
+	Records int
+	// SampleAdmits keeps 1 in N admit / SLO-met records (default 8,
+	// values <= 1 keep everything). Downgrades, rejections and SLO misses
+	// are always kept.
+	SampleAdmits int
+	// Engine enables the anomaly engine with the given thresholds; nil
+	// leaves the ring recording passively (dump it via /debug/flight or
+	// DumpFlight).
+	Engine *flight.EngineConfig
+	// TickEvery is the minimum wall-clock spacing between engine
+	// evaluations (default 1s). The engine is ticked from the request
+	// completion path — no background goroutine — so a fully idle server
+	// does not evaluate, which is fine: no completions means no new SLO
+	// outcomes to alarm on.
+	TickEvery time.Duration
+	// ProfileDir, when set, captures goroutine and heap profiles next to
+	// every trigger dump ("<dir>/flight-<n>-<kind>-{goroutine,heap}.pprof").
+	ProfileDir string
+}
+
+// flightState is the Admission layer's recorder: the shared ring, the
+// engine and its tick gate, and the most recent trigger dump.
+type flightState struct {
+	cfg   FlightConfig
+	ring  *flight.Ring
+	eng   *flight.Engine
+	epoch time.Time
+
+	// lastTickNS gates engine evaluation: completions race to CAS it
+	// forward, the winner ticks the engine under engMu.
+	lastTickNS atomic.Int64
+	engMu      sync.Mutex
+	triggers   atomic.Int64
+	last       atomic.Pointer[flightDump]
+}
+
+// flightDump is one frozen incident capture.
+type flightDump struct {
+	Trigger  flight.Trigger
+	Wall     time.Time
+	NDJSON   []byte
+	Profiles []string
+	Err      string
+}
+
+func newFlightState(cfg FlightConfig, start time.Time) *flightState {
+	f := &flightState{
+		cfg:   cfg,
+		ring:  flight.NewRing(flight.Config{Records: cfg.Records, SampleAdmits: cfg.SampleAdmits}),
+		epoch: start,
+	}
+	if cfg.Engine != nil {
+		f.eng = flight.NewEngine(*cfg.Engine)
+		if f.cfg.TickEvery <= 0 {
+			f.cfg.TickEvery = time.Second
+		}
+	}
+	return f
+}
+
+// maybeTick evaluates the anomaly engine if at least TickEvery has passed
+// since the last evaluation. Called on every request completion; the CAS
+// ensures exactly one completion per interval pays for the evaluation.
+func (f *flightState) maybeTick(ctl *aequitas.AdmissionController) {
+	if f == nil || f.eng == nil {
+		return
+	}
+	now := time.Since(f.epoch)
+	last := f.lastTickNS.Load()
+	if now.Nanoseconds()-last < f.cfg.TickEvery.Nanoseconds() {
+		return
+	}
+	if !f.lastTickNS.CompareAndSwap(last, now.Nanoseconds()) {
+		return
+	}
+	f.engMu.Lock()
+	defer f.engMu.Unlock()
+	cs := ctl.Stats()
+	tr, ok := f.eng.Tick(sim.FromStd(now), cs.SLOMet, cs.SLOMisses, ctl.MinAdmitProbability())
+	if ok {
+		f.fire(ctl, tr)
+	}
+}
+
+// fire freezes the ring into an NDJSON dump (resetting it, so the next
+// incident starts clean), captures profiles when configured, and
+// publishes the capture as the latest dump.
+func (f *flightState) fire(ctl *aequitas.AdmissionController, tr flight.Trigger) {
+	n := f.triggers.Add(1)
+	d := &flightDump{Trigger: tr, Wall: time.Now()}
+	var buf bytes.Buffer
+	err := flight.DumpTo(&buf, f.ring, flight.Meta{
+		Trigger:  tr,
+		Label:    "serve",
+		PeerName: ctl.PeerName,
+	}, true)
+	if err != nil {
+		d.Err = err.Error()
+	}
+	d.NDJSON = buf.Bytes()
+	if f.cfg.ProfileDir != "" {
+		prefix := fmt.Sprintf("flight-%d-%s", n, tr.Kind)
+		files, perr := flight.CaptureProfiles(f.cfg.ProfileDir, prefix)
+		d.Profiles = files
+		if perr != nil && d.Err == "" {
+			d.Err = perr.Error()
+		}
+	}
+	f.last.Store(d)
+}
+
+// DumpFlight writes the ring's current contents to w as an
+// "aequitas.flight/v1" NDJSON dump without resetting the ring. It is the
+// programmatic face of /debug/flight?format=ndjson — call it on shutdown
+// to preserve the black box.
+func (a *Admission) DumpFlight(w io.Writer, kind flight.TriggerKind, detail string) error {
+	if a.fl == nil {
+		return fmt.Errorf("serve: flight recorder not configured")
+	}
+	return flight.DumpTo(w, a.fl.ring, flight.Meta{
+		Trigger: flight.Trigger{
+			Kind:   kind,
+			At:     sim.FromStd(time.Since(a.fl.epoch)),
+			Detail: detail,
+		},
+		Label:    "serve",
+		PeerName: a.ctl.PeerName,
+	}, false)
+}
+
+// FlightTriggered reports how many anomaly triggers have fired.
+func (a *Admission) FlightTriggered() int64 {
+	if a.fl == nil {
+		return 0
+	}
+	return a.fl.triggers.Load()
+}
+
+// flightStatus is the /debug/flight JSON document.
+type flightStatus struct {
+	Schema       string         `json:"schema"`
+	Enabled      bool           `json:"enabled"`
+	Capacity     int            `json:"capacity,omitempty"`
+	Offered      uint64         `json:"offered"`
+	SampledOut   uint64         `json:"sampled_out"`
+	Triggers     int64          `json:"triggers"`
+	Engine       *engineStatus  `json:"engine,omitempty"`
+	LastTrigger  *triggerStatus `json:"last_trigger,omitempty"`
+	DumpEndpoint string         `json:"dump_endpoint"`
+}
+
+type engineStatus struct {
+	ShortWindowS  float64 `json:"short_window_s"`
+	LongWindowS   float64 `json:"long_window_s"`
+	SLOBudget     float64 `json:"slo_budget"`
+	BurnThreshold float64 `json:"burn_threshold"`
+	PAdmitDrop    float64 `json:"padmit_drop"`
+}
+
+type triggerStatus struct {
+	Kind     string   `json:"kind"`
+	Detail   string   `json:"detail,omitempty"`
+	WallTime string   `json:"wall_time"`
+	Records  int      `json:"dump_bytes"`
+	Profiles []string `json:"profiles,omitempty"`
+	Err      string   `json:"error,omitempty"`
+}
+
+// serveFlight handles /debug/flight: trigger status as JSON by default,
+// the raw ring as an NDJSON dump with ?format=ndjson, and the last
+// trigger's frozen dump with ?format=ndjson&dump=last.
+func (a *Admission) serveFlight(w http.ResponseWriter, r *http.Request) {
+	if a.fl == nil {
+		http.Error(w, "flight recorder not configured", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "ndjson" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if r.URL.Query().Get("dump") == "last" {
+			d := a.fl.last.Load()
+			if d == nil {
+				http.Error(w, "no trigger has fired", http.StatusNotFound)
+				return
+			}
+			w.Write(d.NDJSON)
+			return
+		}
+		if err := a.DumpFlight(w, flight.TriggerManual, "debug endpoint"); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	st := a.fl.ring.Stats()
+	doc := flightStatus{
+		Schema:       flight.Schema,
+		Enabled:      true,
+		Capacity:     a.fl.ring.Cap(),
+		Offered:      st.Offered,
+		SampledOut:   st.SampledOut,
+		Triggers:     a.fl.triggers.Load(),
+		DumpEndpoint: r.URL.Path + "?format=ndjson",
+	}
+	if a.fl.eng != nil {
+		ec := a.fl.eng.Config()
+		doc.Engine = &engineStatus{
+			ShortWindowS:  ec.ShortWindow.Seconds(),
+			LongWindowS:   ec.LongWindow.Seconds(),
+			SLOBudget:     ec.SLOBudget,
+			BurnThreshold: ec.BurnThreshold,
+			PAdmitDrop:    ec.PAdmitDrop,
+		}
+	}
+	if d := a.fl.last.Load(); d != nil {
+		doc.LastTrigger = &triggerStatus{
+			Kind:     d.Trigger.Kind.String(),
+			Detail:   d.Trigger.Detail,
+			WallTime: d.Wall.UTC().Format(time.RFC3339Nano),
+			Records:  len(d.NDJSON),
+			Profiles: d.Profiles,
+			Err:      d.Err,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}

@@ -115,12 +115,17 @@ func (m *metrics) snapshot(ctl *aequitas.AdmissionController) *obs.Snapshot {
 
 // Handler serves this admission layer's observability endpoints:
 // Prometheus text on /metrics, the JSON document on /snapshot, pprof under
-// /debug/pprof/. A fresh snapshot is published per scrape, so readers
-// always see current state without the serving path paying for
-// publication.
+// /debug/pprof/, and the flight recorder on /debug/flight (trigger status
+// as JSON; the ring as an NDJSON dump with ?format=ndjson). A fresh
+// snapshot is published per scrape, so readers always see current state
+// without the serving path paying for publication.
 func (a *Admission) Handler() http.Handler {
 	inner := a.m.exp.Handler()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/debug/flight" {
+			a.serveFlight(w, r)
+			return
+		}
 		a.m.exp.Publish(a.m.snapshot(a.ctl))
 		inner.ServeHTTP(w, r)
 	})

@@ -53,6 +53,15 @@ type Config struct {
 	// scavenger class — for servers whose scavenger work is handled by a
 	// separate pool.
 	RejectDowngraded bool
+	// Flight enables the flight recorder: the controller's decisions and
+	// observations land in a lock-free ring, dumpable at /debug/flight
+	// and frozen automatically when Flight.Engine detects an SLO burn or
+	// admission collapse.
+	Flight *FlightConfig
+	// DecisionLog, when set, receives every admission verdict after it is
+	// recorded — the hook for an application's own structured decision
+	// log. It runs on the request path; keep it cheap and non-blocking.
+	DecisionLog func(Verdict)
 }
 
 // The headers the middleware reads and writes.
@@ -109,6 +118,8 @@ type Admission struct {
 	cls    func(*http.Request) Request
 	reject bool
 	m      metrics
+	fl     *flightState
+	dlog   func(Verdict)
 }
 
 // New builds an Admission layer over cfg.Controller.
@@ -120,8 +131,12 @@ func New(cfg Config) (*Admission, error) {
 	if cls == nil {
 		cls = ClassifyByHeader
 	}
-	a := &Admission{ctl: cfg.Controller, cls: cls, reject: cfg.RejectDowngraded}
+	a := &Admission{ctl: cfg.Controller, cls: cls, reject: cfg.RejectDowngraded, dlog: cfg.DecisionLog}
 	a.m.init()
+	if cfg.Flight != nil {
+		a.fl = newFlightState(*cfg.Flight, a.m.start)
+		a.ctl.SetFlight(a.fl.ring)
+	}
 	return a, nil
 }
 
@@ -154,14 +169,19 @@ func (a *Admission) admit(req Request) Verdict {
 	d := a.ctl.Admit(req.Peer, req.Class, req.SizeBytes)
 	v := Verdict{Request: req, Class: d.Class, Downgraded: d.Downgraded}
 	a.m.decided(v, a.reject)
+	if a.dlog != nil {
+		a.dlog(v)
+	}
 	return v
 }
 
 // finish feeds the completed request's latency back to the controller on
-// the class it ran on, and records it in the serving histograms.
+// the class it ran on, records it in the serving histograms, and gives
+// the anomaly engine a chance to evaluate.
 func (a *Admission) finish(v Verdict, elapsed time.Duration) {
 	a.ctl.Observe(v.Request.Peer, v.Class, elapsed, v.Request.SizeBytes)
 	a.m.completed(v.Class, elapsed)
+	a.fl.maybeTick(a.ctl)
 }
 
 // Middleware wraps next with admission control: classify, admit (setting
