@@ -21,7 +21,9 @@
 package flight
 
 import (
+	"runtime"
 	"slices"
+	"sync"
 	"sync/atomic"
 
 	"aequitas/internal/sim"
@@ -178,6 +180,10 @@ type Ring struct {
 	slotMask   uint64 // per-shard capacity - 1
 	sampleMask uint64 // keep admits when hash(offered) & sampleMask == 0
 	frozen     atomic.Bool
+	// snapMu serializes snapshots: without it, the first of two concurrent
+	// snapshots to finish would unfreeze the ring while the other is still
+	// copying (or resetting seq, letting two writers claim one slot).
+	snapMu sync.Mutex
 }
 
 // nextPow2 rounds n up to a power of two (minimum 1).
@@ -259,11 +265,21 @@ func (r *Ring) push(sh *shard, rec Record) {
 	}
 	seq := sh.seq.Add(1) - 1
 	i := seq & r.slotMask
-	// Acquire the slot's previous commit so a lapped slot's old write is
-	// ordered before ours (two writers a full lap apart would otherwise
-	// race; a lap in the window a writer is descheduled requires the ring
-	// to be absurdly undersized).
-	_ = sh.commit[i].Load()
+	// Wait for the previous lap's write to this slot to commit before
+	// overwriting it: two writers a full lap apart would otherwise touch
+	// the slot concurrently (reachable when a writer is descheduled while
+	// the ring wraps). Every claimed seq is committed — a frozen writer
+	// bails before claiming — and each writer waits only on a strictly
+	// smaller seq, so the wait chain always bottoms out on a committed
+	// slot. In the common case the slot committed a lap ago and the loop
+	// is a single load, exactly what the fast path paid before.
+	want := uint64(0)
+	if seq > r.slotMask {
+		want = seq - r.slotMask // previous lap's commit value: (seq-cap)+1
+	}
+	for sh.commit[i].Load() != want {
+		runtime.Gosched()
+	}
 	sh.recs[i] = rec
 	sh.commit[i].Store(seq + 1)
 	sh.active.Add(-1)
@@ -342,8 +358,11 @@ func (r *Ring) freeze() {
 	r.frozen.Store(true)
 	for i := range r.shards {
 		for r.shards[i].active.Load() != 0 {
-			// Spin: writers between active.Add(1) and active.Add(-1) hold
-			// the slot for a handful of instructions.
+			// Writers between active.Add(1) and active.Add(-1) hold the
+			// slot for a handful of instructions, but one may be
+			// descheduled inside that window — yield rather than burn a
+			// core until it runs again.
+			runtime.Gosched()
 		}
 	}
 }
@@ -357,6 +376,8 @@ func (r *Ring) Snapshot(reset bool) []Record {
 	if r == nil {
 		return nil
 	}
+	r.snapMu.Lock()
+	defer r.snapMu.Unlock()
 	r.freeze()
 	var out []Record
 	for si := range r.shards {

@@ -206,6 +206,51 @@ func TestRingConcurrent(t *testing.T) {
 	}
 }
 
+// TestRingConcurrentSnapshots pins the fix for snapshots racing each
+// other: /debug/flight can be hit from several HTTP requests while the
+// anomaly engine fires, so Snapshot must serialize internally — without
+// that, the first snapshot to finish unfreezes the ring while another is
+// still copying (or resetting seq, letting two writers claim one slot;
+// formerly a confirmed -race failure).
+func TestRingConcurrentSnapshots(t *testing.T) {
+	r := NewRing(Config{Records: 1 << 8, SampleAdmits: 1})
+	const writers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Decision(sim.Time(i), int32(w), int32(i%9), 0, 0, VerdictDowngrade, 0.4, 1)
+			}
+		}(w)
+	}
+	var sg sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		sg.Add(1)
+		go func(s int) {
+			defer sg.Done()
+			for i := 0; i < 100; i++ {
+				_ = r.Snapshot(s%2 == 0)
+			}
+		}(s)
+	}
+	sg.Wait()
+	close(stop)
+	wg.Wait()
+	// The ring must still be coherent after the churn: a quiescent
+	// snapshot holds at most one record per slot.
+	if got, c := len(r.Snapshot(false)), r.Cap(); got > c {
+		t.Fatalf("quiescent snapshot holds %d records, capacity %d", got, c)
+	}
+}
+
 func TestDumpWriteValidateRoundTrip(t *testing.T) {
 	r := NewRing(keepAll())
 	r.Decision(1*sim.Microsecond, 0, 1, 0, 0, VerdictAdmit, 0.95, 1)

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,8 +56,13 @@ type flightState struct {
 	// forward, the winner ticks the engine under engMu.
 	lastTickNS atomic.Int64
 	engMu      sync.Mutex
-	triggers   atomic.Int64
-	last       atomic.Pointer[flightDump]
+	// lastFedNS (under engMu) is the timestamp of the last sample actually
+	// fed to the engine. Two CAS winners from successive intervals can
+	// reach engMu in either order; the engine assumes monotonically
+	// increasing timestamps, so the late-arriving older sample is dropped.
+	lastFedNS int64
+	triggers  atomic.Int64
+	last      atomic.Pointer[flightDump]
 }
 
 // flightDump is one frozen incident capture.
@@ -99,6 +106,10 @@ func (f *flightState) maybeTick(ctl *aequitas.AdmissionController) {
 	}
 	f.engMu.Lock()
 	defer f.engMu.Unlock()
+	if now.Nanoseconds() <= f.lastFedNS {
+		return
+	}
+	f.lastFedNS = now.Nanoseconds()
 	cs := ctl.Stats()
 	tr, ok := f.eng.Tick(sim.FromStd(now), cs.SLOMet, cs.SLOMisses, ctl.MinAdmitProbability())
 	if ok {
@@ -206,10 +217,16 @@ func (a *Admission) serveFlight(w http.ResponseWriter, r *http.Request) {
 				http.Error(w, "no trigger has fired", http.StatusNotFound)
 				return
 			}
-			w.Write(d.NDJSON)
+			w.Header().Set("Content-Length", strconv.Itoa(len(d.NDJSON)))
+			if _, err := w.Write(d.NDJSON); err != nil {
+				log.Printf("serve: flight dump write: %v", err)
+			}
 			return
 		}
 		if err := a.DumpFlight(w, flight.TriggerManual, "debug endpoint"); err != nil {
+			// Headers may already be out; a 500 is best-effort, the log
+			// line is the reliable signal that the dump is truncated.
+			log.Printf("serve: flight dump write: %v", err)
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 		return
@@ -247,5 +264,7 @@ func (a *Admission) serveFlight(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(doc)
+	if err := enc.Encode(doc); err != nil {
+		log.Printf("serve: flight status write: %v", err)
+	}
 }
