@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-save bench-compare bench-gate figures trace-check chaos-check export-check serve-check
+.PHONY: all build test race vet check bench bench-save bench-compare bench-gate figures trace-check chaos-check export-check serve-check chaos-serve-check
 
 # BENCH is the tracked benchmark snapshot for this PR; bump the number
 # each PR so the trajectory stays reviewable in-tree (see EXPERIMENTS.md,
 # "Performance").
-BENCH ?= BENCH_9.json
+BENCH ?= BENCH_10.json
 
 all: build
 
@@ -25,7 +25,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: vet build race trace-check chaos-check export-check serve-check
+check: vet build race trace-check chaos-check export-check serve-check chaos-serve-check
 
 # trace-check runs a short instrumented simulation and validates every
 # observability artifact against the schemas in internal/obs: the NDJSON
@@ -69,6 +69,14 @@ chaos-check:
 serve-check:
 	$(GO) test -race -run 'TestServeOverloadSmoke|TestServeConcurrent|TestServeFlight' -count=1 -timeout 10m ./serve
 
+# chaos-serve-check is the hardened-serving smoke: a race-enabled httptest
+# server with deadline budgets, brownout, a fail-open quota plane, and a
+# wall-clock chaos plan (latency spike, error burst, quota outage) driven
+# through it — every request must be accounted for across served /
+# expired / shed / rejected / errored, and /metrics must stay parseable.
+chaos-serve-check:
+	$(GO) test -race -run TestChaosServeWallClockSmoke -count=1 -timeout 10m ./serve
+
 # bench runs the tracked benchmark families (end-to-end Run, raw sim
 # loop, WFQ dequeue, transport send, histogram record/quantile, /metrics
 # render) with full iterations and memory stats; `make bench` is the
@@ -83,7 +91,7 @@ bench:
 # slow you down), so the minimum is the honest per-benchmark number and
 # the only one stable enough for bench-gate's threshold.
 bench-save:
-	$(GO) run ./cmd/benchjson -pr 9 -benchtime 300ms -count 3 -out $(BENCH)
+	$(GO) run ./cmd/benchjson -pr 10 -benchtime 300ms -count 3 -out $(BENCH)
 
 # bench-compare diffs two snapshots: make bench-compare OLD=a.json NEW=b.json
 OLD ?= $(BENCH)
@@ -94,10 +102,14 @@ bench-compare:
 # bench-gate re-measures the tracked suite and fails on regression against
 # the checked-in $(BENCH): ns/op growing more than GATE_PCT percent, any
 # allocs/op appearing on an allocation-free benchmark, or a tracked
-# benchmark disappearing. CI widens GATE_PCT because the snapshot was
-# measured on a different machine — the allocation gate stays strict
-# everywhere, since allocs/op is machine-independent.
-GATE_PCT ?= 25
+# benchmark disappearing. The default tolerance is wide because even
+# same-machine timings swing with virtualized-host frequency scaling
+# (sub-10ns benchmarks measurably double run-to-run); the gate's job is
+# catching order-of-magnitude bit-rot, and the allocation gate stays
+# strict everywhere since allocs/op is machine-independent. CI widens
+# GATE_PCT further because the snapshot was measured on different
+# hardware.
+GATE_PCT ?= 100
 GATE_BENCHTIME ?= 300ms
 GATE_COUNT ?= 3
 bench-gate:

@@ -92,6 +92,10 @@ type Decision struct {
 	// class. Applications receive this explicitly (Algorithm 1 lines
 	// 10-11) and may react by prioritising their most critical RPCs.
 	Downgraded bool
+	// Dropped reports that the RPC must not be sent at all. It only
+	// occurs with a quota admitter running fail-closed during a
+	// quota-plane outage (see SetQuota).
+	Dropped bool
 }
 
 // ControllerStats is a point-in-time snapshot of an AdmissionController's
@@ -102,6 +106,10 @@ type ControllerStats struct {
 	Dropped    int64
 	SLOMisses  int64
 	SLOMet     int64
+	// Expired counts requests rejected before the admission draw because
+	// their remaining deadline budget could not cover the observed
+	// latency floor (see RecordExpired).
+	Expired int64
 }
 
 // AdmissionController is the Aequitas algorithm packaged for a real RPC
@@ -117,6 +125,9 @@ type AdmissionController struct {
 	inner *core.Controller
 	mu    sync.Mutex // guards peer-table inserts
 	peers atomic.Pointer[peerTable]
+	// quota, when set, layers a tenant quota bypass (and its stale-lease
+	// failure policy) over the probabilistic path.
+	quota atomic.Pointer[core.QuotaAdmitter]
 }
 
 // peerTable interns peer names to dense destination IDs. It is immutable;
@@ -147,6 +158,14 @@ func (c *lockedClock) Float64() float64 {
 
 // NewController validates cfg and builds a controller.
 func NewController(cfg ControllerConfig) (*AdmissionController, error) {
+	return NewControllerWithClock(cfg, nil)
+}
+
+// NewControllerWithClock is NewController with an explicit time-and-draw
+// source. A non-nil clk overrides cfg.Now and cfg.Seed — the hook that
+// lets deterministic serving tests share one core.ManualClock between
+// the controller and the serve layer.
+func NewControllerWithClock(cfg ControllerConfig, clk core.Clock) (*AdmissionController, error) {
 	if len(cfg.SLOs) == 0 {
 		return nil, fmt.Errorf("aequitas: at least one SLO class required")
 	}
@@ -175,8 +194,7 @@ func NewController(cfg ControllerConfig) (*AdmissionController, error) {
 			cc.TargetPercentiles[i] = 99.9
 		}
 	}
-	var clk core.Clock
-	if cfg.Now != nil || cfg.Seed != 0 {
+	if clk == nil && (cfg.Now != nil || cfg.Seed != 0) {
 		now := cfg.Now
 		if now == nil {
 			now = time.Now
@@ -225,9 +243,83 @@ func (c *AdmissionController) peerID(peer string) int {
 // Admit decides the QoS class for an RPC of sizeBytes toward peer that
 // requested the given class.
 func (c *AdmissionController) Admit(peer string, requested Class, sizeBytes int64) Decision {
-	d := c.inner.Admit(c.peerID(peer), requested, netsim.MTUsFor(sizeBytes))
+	dst, mtus := c.peerID(peer), netsim.MTUsFor(sizeBytes)
+	if qa := c.quota.Load(); qa != nil {
+		d := qa.Admit(dst, requested, mtus)
+		return Decision{Class: d.Class, Downgraded: d.Downgraded, Dropped: d.Drop}
+	}
+	d := c.inner.Admit(dst, requested, mtus)
 	return Decision{Class: d.Class, Downgraded: d.Downgraded}
 }
+
+// SetQuota layers a tenant quota over the controller: RPCs within the
+// client's leased rate bypass the probabilistic draw, and quota-plane
+// outages past the lease TTL are handled per policy (fail-open falls
+// through to the normal path, fail-closed drops SLO-class RPCs). A nil
+// client removes the layer. Attach before serving begins.
+func (c *AdmissionController) SetQuota(client *core.QuotaClient, policy core.QuotaFailPolicy) {
+	if client == nil {
+		c.quota.Store(nil)
+		return
+	}
+	c.quota.Store(&core.QuotaAdmitter{Controller: c.inner, Client: client, Policy: policy})
+}
+
+// QuotaStats snapshots the quota layer's counters; ok is false when no
+// quota client is attached.
+type QuotaStats struct {
+	// Policy is the stale-lease failure policy in effect.
+	Policy core.QuotaFailPolicy
+	// InQuotaAdmits counts RPCs admitted on the quota bypass.
+	InQuotaAdmits int64
+	// StalePassed counts RPCs that fell through to the probabilistic path
+	// on a stale lease under fail-open.
+	StalePassed int64
+	// StaleDropped counts RPCs dropped on a stale lease under fail-closed.
+	StaleDropped int64
+	// Lease is the underlying client's lease-health snapshot.
+	Lease core.QuotaLeaseStats
+}
+
+// QuotaStats reports the quota layer's counters, or ok=false when no
+// quota client is attached.
+func (c *AdmissionController) QuotaStats() (QuotaStats, bool) {
+	qa := c.quota.Load()
+	if qa == nil {
+		return QuotaStats{}, false
+	}
+	return QuotaStats{
+		Policy:        qa.Policy,
+		InQuotaAdmits: atomic.LoadInt64(&qa.InQuotaAdmits),
+		StalePassed:   atomic.LoadInt64(&qa.StalePassed),
+		StaleDropped:  atomic.LoadInt64(&qa.StaleDropped),
+		Lease:         qa.Client.LeaseStats(),
+	}, true
+}
+
+// RecordExpired counts (and flight-records) a request rejected before
+// the admission draw because its remaining deadline budget could not
+// cover the observed latency floor — the serving layer's
+// expired-before-admit verdict.
+func (c *AdmissionController) RecordExpired(peer string, requested Class, sizeBytes int64) {
+	c.inner.RecordExpired(c.peerID(peer), requested, netsim.MTUsFor(sizeBytes))
+}
+
+// IncrementWindow reports class's additive-increase window: the earliest
+// interval after which a rejected sender could observe a higher admit
+// probability, and therefore the natural Retry-After hint. Classes
+// without an SLO report zero.
+func (c *AdmissionController) IncrementWindow(class Class) time.Duration {
+	return c.inner.IncrementWindow(class).Std()
+}
+
+// Scavenger reports the lowest configured class — the SLO-free level
+// that carries best-effort and downgraded traffic.
+func (c *AdmissionController) Scavenger() Class { return c.inner.Scavenger() }
+
+// Clock exposes the controller's time-and-draw source so colocated
+// layers (serving middleware, brownout) share one time base.
+func (c *AdmissionController) Clock() core.Clock { return c.inner.Clock() }
 
 // Observe feeds back one completed RPC's measured network latency on the
 // class it actually ran on.
@@ -251,6 +343,7 @@ func (c *AdmissionController) Stats() ControllerStats {
 		Dropped:    s.Dropped,
 		SLOMisses:  s.SLOMisses,
 		SLOMet:     s.SLOMet,
+		Expired:    s.Expired,
 	}
 }
 

@@ -122,6 +122,17 @@ func (c Config) incrementWindow(k int) sim.Duration {
 	return sim.Duration(float64(c.LatencyTargets[k]) * 100 / (100 - pctl))
 }
 
+// IncrementWindow reports class's additive-increase window — the
+// earliest interval after which a rejected sender could see a higher
+// admit probability, and therefore the natural Retry-After hint for a
+// load-shedding server. Classes without an SLO report zero.
+func (ct *Controller) IncrementWindow(class qos.Class) sim.Duration {
+	if class < 0 || class >= ct.lowest {
+		return 0
+	}
+	return ct.windows[class]
+}
+
 // Stats counts controller activity. The fields are updated with atomic
 // adds; concurrent readers should use Load, single-threaded readers (the
 // simulator, post-run assertions) may read the fields directly.
@@ -131,6 +142,10 @@ type Stats struct {
 	Dropped    int64
 	SLOMisses  int64
 	SLOMet     int64
+	// Expired counts requests rejected before the admission draw because
+	// their remaining deadline budget could not cover the observed
+	// latency floor (serving mode only; see RecordExpired).
+	Expired int64
 }
 
 // Load returns an atomic snapshot of the counters, safe to call while
@@ -142,6 +157,7 @@ func (s *Stats) Load() Stats {
 		Dropped:    atomic.LoadInt64(&s.Dropped),
 		SLOMisses:  atomic.LoadInt64(&s.SLOMisses),
 		SLOMet:     atomic.LoadInt64(&s.SLOMet),
+		Expired:    atomic.LoadInt64(&s.Expired),
 	}
 }
 
@@ -251,6 +267,10 @@ func (ct *Controller) Config() Config { return ct.cfg }
 
 // Clock returns the controller's time source.
 func (ct *Controller) Clock() Clock { return ct.clock }
+
+// Scavenger reports the lowest configured class — the SLO-free level
+// that carries best-effort and downgraded traffic.
+func (ct *Controller) Scavenger() qos.Class { return ct.lowest }
 
 // SetFlight attaches a flight recorder: every admission decision and SLO
 // observation is recorded into r, tagged with src as the recording
@@ -449,6 +469,22 @@ func (ct *Controller) AdmitAt(draw float64, dst int, requested qos.Class, sizeMT
 		ct.recordDecision(dst, requested, ct.lowest, flight.VerdictDowngrade, p, sizeMTUs)
 	}
 	return rpc.Decision{Class: ct.lowest, Downgraded: true}
+}
+
+// RecordExpired counts and flight-records an expired-before-admit
+// rejection: the request's remaining deadline budget could not cover the
+// observed latency floor, so the serving layer rejected it without
+// consulting p_admit — admitting it would only have burned capacity on
+// work the client had already given up on.
+func (ct *Controller) RecordExpired(dst int, requested qos.Class, sizeMTUs int64) {
+	atomic.AddInt64(&ct.Stats.Expired, 1)
+	if ct.flight != nil {
+		p := 1.0
+		if requested >= 0 && requested < ct.lowest {
+			p = ct.classState(dst, requested).load()
+		}
+		ct.recordDecision(dst, requested, requested, flight.VerdictExpired, p, sizeMTUs)
+	}
 }
 
 // Observe implements rpc.Admitter — Algorithm 1 lines 13-20. rnl is the

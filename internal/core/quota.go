@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"aequitas/internal/obs/flight"
 	"aequitas/internal/qos"
 	"aequitas/internal/rpc"
 	"aequitas/internal/sim"
@@ -28,6 +30,13 @@ import (
 //
 // QuotaServer and QuotaClient are safe for concurrent use: Grant/Revoke
 // from a control plane can race with InQuota checks on the serving path.
+//
+// Clients consume grants as TTL leases (LeaseFor): a host caches the
+// granted rate for QuotaClient.LeaseTTL and keeps enforcing it locally
+// while the lease is fresh, so a brief quota-plane outage is invisible.
+// When the server is unreachable (SetAvailable(false), the chaos
+// harness's outage window) past the lease TTL, the lease is stale and
+// the QuotaAdmitter's failure policy decides what happens.
 type QuotaServer struct {
 	mu sync.Mutex
 	// capacity[class] is the total grantable rate per class in
@@ -35,7 +44,19 @@ type QuotaServer struct {
 	capacity map[qos.Class]float64
 	granted  map[qos.Class]float64
 	tenants  map[string]*tenantGrant
+	// down marks the server unreachable: lease refreshes fail until
+	// SetAvailable(true). It models the quota control plane stalling,
+	// not the grants disappearing — Grant/Revoke still work (the state
+	// is intact), clients just cannot read it.
+	down atomic.Bool
 }
+
+// SetAvailable marks the quota plane reachable (true) or unreachable
+// (false) from the serving hosts — the chaos harness's outage control.
+func (q *QuotaServer) SetAvailable(up bool) { q.down.Store(!up) }
+
+// Available reports whether lease refreshes currently succeed.
+func (q *QuotaServer) Available() bool { return !q.down.Load() }
 
 type tenantGrant struct {
 	rates map[qos.Class]float64
@@ -114,6 +135,26 @@ func (q *QuotaServer) Remaining(class qos.Class) float64 {
 	return q.capacity[class] - q.granted[class]
 }
 
+// Lease is a time-bounded snapshot of a tenant's granted rate: the
+// client enforces Rate locally until Expires, then must refresh.
+type Lease struct {
+	// Rate is the granted rate in bytes/second at issue time.
+	Rate float64
+	// Expires is the instant (on the client's clock) the lease goes
+	// stale.
+	Expires sim.Time
+}
+
+// LeaseFor issues tenant's current grant on class as a lease expiring at
+// now+ttl. ok is false when the server is unreachable — the client must
+// keep its previous lease (if still fresh) or report staleness.
+func (q *QuotaServer) LeaseFor(tenant string, class qos.Class, now sim.Time, ttl sim.Duration) (Lease, bool) {
+	if q.down.Load() {
+		return Lease{}, false
+	}
+	return Lease{Rate: q.GrantedRate(tenant, class), Expires: now + ttl}, true
+}
+
 // Client returns a host-local quota enforcer for tenant, timestamped by
 // its own monotonic wall clock. Clients read the granted rate through on
 // each refill, so Grant/Revoke take effect immediately.
@@ -132,7 +173,8 @@ func (q *QuotaServer) ClientWithClock(tenant string, clk Clock) *QuotaClient {
 }
 
 // QuotaClient enforces one tenant's quota at one sending host with
-// per-class token buckets. It is safe for concurrent use.
+// per-class token buckets fed by TTL leases on the server's grants. It
+// is safe for concurrent use.
 type QuotaClient struct {
 	server *QuotaServer
 	tenant string
@@ -143,15 +185,73 @@ type QuotaClient struct {
 	// BurstSeconds bounds token accumulation to rate×BurstSeconds
 	// (default 0.01 s). Set it before serving begins.
 	BurstSeconds float64
+	// LeaseTTL is how long a fetched grant stays valid without a
+	// refresh. Zero (the default) refreshes on every check, so
+	// Grant/Revoke take effect immediately — but any quota-plane outage
+	// is immediately visible too. A positive TTL rides through outages
+	// shorter than the TTL at the cost of Grant/Revoke taking up to one
+	// TTL to propagate. Set it before serving begins.
+	LeaseTTL time.Duration
+
+	// Lease-health counters, atomically updated.
+	refreshes   atomic.Int64
+	staleChecks atomic.Int64
+}
+
+// QuotaState is the tri-state outcome of a quota check.
+type QuotaState uint8
+
+const (
+	// QuotaNo: the request does not fit the tenant's tokens (or the
+	// tenant has no grant); fall through to the probabilistic path.
+	QuotaNo QuotaState = iota
+	// QuotaYes: the request fits and the tokens were consumed; admit on
+	// the requested class, bypassing the draw.
+	QuotaYes
+	// QuotaStale: the quota plane is unreachable and the lease has
+	// expired — the client cannot tell whether the tenant is in quota.
+	// The QuotaAdmitter's failure policy decides.
+	QuotaStale
+)
+
+func (s QuotaState) String() string {
+	switch s {
+	case QuotaYes:
+		return "yes"
+	case QuotaStale:
+		return "stale"
+	default:
+		return "no"
+	}
+}
+
+// QuotaLeaseStats snapshots the client's lease health.
+type QuotaLeaseStats struct {
+	// Refreshes counts successful lease fetches from the server.
+	Refreshes int64
+	// StaleChecks counts quota checks answered while the lease was
+	// expired and the server unreachable.
+	StaleChecks int64
+}
+
+// LeaseStats returns an atomic snapshot of the lease-health counters.
+func (c *QuotaClient) LeaseStats() QuotaLeaseStats {
+	return QuotaLeaseStats{
+		Refreshes:   c.refreshes.Load(),
+		StaleChecks: c.staleChecks.Load(),
+	}
 }
 
 type quotaBucket struct {
-	tokens float64
-	last   sim.Time
+	tokens    float64
+	last      sim.Time
+	lease     Lease
+	haveLease bool
 }
 
 // InQuota reports whether bytes on class fit the tenant's remaining
-// tokens now, consuming them if so.
+// tokens now, consuming them if so. A stale lease reads as out of quota;
+// callers that need to distinguish staleness use Check/CheckAt.
 func (c *QuotaClient) InQuota(class qos.Class, bytes int64) bool {
 	return c.InQuotaAt(c.clock.Now(), class, bytes)
 }
@@ -159,21 +259,49 @@ func (c *QuotaClient) InQuota(class qos.Class, bytes int64) bool {
 // InQuotaAt is InQuota with an explicit timestamp, for callers that
 // manage their own time base. Timestamps must not move backwards.
 func (c *QuotaClient) InQuotaAt(now sim.Time, class qos.Class, bytes int64) bool {
-	// The server lock (inside GrantedRate) and the client lock nest
-	// strictly client-outside-server nowhere: GrantedRate is called
-	// before c.mu is taken, so the two locks are never held together.
-	rate := c.server.GrantedRate(c.tenant, class)
-	if rate <= 0 {
-		return false
-	}
+	return c.CheckAt(now, class, bytes) == QuotaYes
+}
+
+// Check is CheckAt on the client's clock.
+func (c *QuotaClient) Check(class qos.Class, bytes int64) QuotaState {
+	return c.CheckAt(c.clock.Now(), class, bytes)
+}
+
+// CheckAt runs one quota check at now: refresh the class's lease if it
+// has expired, then try to consume bytes from the token bucket refilled
+// at the leased rate. It reports QuotaStale when the lease is expired
+// and the server unreachable — the caller's failure policy applies.
+func (c *QuotaClient) CheckAt(now sim.Time, class qos.Class, bytes int64) QuotaState {
+	// The server lock (inside LeaseFor/GrantedRate) and the client lock
+	// never nest: the refresh call happens under c.mu but LeaseFor only
+	// takes q.mu, and the server never calls back into the client.
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	b, ok := c.buckets[class]
 	if !ok {
 		b = &quotaBucket{last: now}
 		c.buckets[class] = b
-		// A fresh bucket starts with one burst of tokens.
-		b.tokens = rate * c.burstSeconds()
+	}
+	if !b.haveLease || now >= b.lease.Expires {
+		lease, up := c.server.LeaseFor(c.tenant, class, now, sim.FromStd(c.LeaseTTL))
+		if up {
+			fresh := !b.haveLease
+			if fresh || lease.Rate != b.lease.Rate {
+				// A fresh or re-rated bucket starts with one burst.
+				b.tokens = lease.Rate * c.burstSeconds()
+				b.last = now
+			}
+			b.lease, b.haveLease = lease, true
+			c.refreshes.Add(1)
+		} else {
+			// Unreachable past the TTL: the lease is stale.
+			c.staleChecks.Add(1)
+			return QuotaStale
+		}
+	}
+	rate := b.lease.Rate
+	if rate <= 0 {
+		return QuotaNo
 	}
 	// Refill.
 	b.tokens += rate * (now - b.last).Seconds()
@@ -182,10 +310,10 @@ func (c *QuotaClient) InQuotaAt(now sim.Time, class qos.Class, bytes int64) bool
 		b.tokens = max
 	}
 	if b.tokens < float64(bytes) {
-		return false
+		return QuotaNo
 	}
 	b.tokens -= float64(bytes)
-	return true
+	return QuotaYes
 }
 
 func (c *QuotaClient) burstSeconds() float64 {
@@ -195,24 +323,60 @@ func (c *QuotaClient) burstSeconds() float64 {
 	return 0.01
 }
 
+// QuotaFailPolicy decides what a QuotaAdmitter does when the quota plane
+// is unreachable and the local lease has expired.
+type QuotaFailPolicy uint8
+
+const (
+	// QuotaFailOpen (the default) falls through to the normal Algorithm 1
+	// probabilistic path: the quota bypass is lost but admission control
+	// keeps working, so goodput degrades gracefully toward the
+	// quota-free baseline.
+	QuotaFailOpen QuotaFailPolicy = iota
+	// QuotaFailClosed drops SLO-class RPCs outright while the lease is
+	// stale: strict enforcement for deployments where admitting
+	// unaccounted traffic is worse than shedding it.
+	QuotaFailClosed
+)
+
+func (p QuotaFailPolicy) String() string {
+	if p == QuotaFailClosed {
+		return "fail-closed"
+	}
+	return "fail-open"
+}
+
 // QuotaAdmitter layers tenant quotas over a Controller: in-quota RPCs are
 // admitted on their requested class unconditionally; out-of-quota RPCs go
-// through the normal probabilistic path. It implements rpc.Admitter and
+// through the normal probabilistic path; quota-plane outages past the
+// lease TTL are handled per Policy. It implements rpc.Admitter and
 // shares the Controller's clock for bucket refills.
 type QuotaAdmitter struct {
 	Controller *Controller
 	Client     *QuotaClient
+	// Policy is the stale-lease failure policy (default QuotaFailOpen).
+	Policy QuotaFailPolicy
 	// InQuotaAdmits counts RPCs admitted on the quota bypass; updated
 	// atomically.
 	InQuotaAdmits int64
+	// StalePassed counts RPCs that fell through to the probabilistic
+	// path because the lease was stale under QuotaFailOpen.
+	StalePassed int64
+	// StaleDropped counts RPCs dropped because the lease was stale under
+	// QuotaFailClosed.
+	StaleDropped int64
 }
 
 // Admit implements rpc.Admitter.
 func (qa *QuotaAdmitter) Admit(dst int, requested qos.Class, sizeMTUs int64) rpc.Decision {
+	if requested < 0 || requested >= qa.Controller.lowest {
+		// Scavenger (and out-of-range) traffic never consumes quota.
+		return qa.Controller.Admit(dst, requested, sizeMTUs)
+	}
 	bytes := sizeMTUs * 1436
 	now := qa.Controller.clock.Now()
-	if requested >= 0 && requested < qa.Controller.lowest &&
-		qa.Client.InQuotaAt(now, requested, bytes) {
+	switch qa.Client.CheckAt(now, requested, bytes) {
+	case QuotaYes:
 		atomic.AddInt64(&qa.InQuotaAdmits, 1)
 		atomic.AddInt64(&qa.Controller.Stats.Admitted, 1)
 		// The flight record marks the quota bypass explicitly: these RPCs
@@ -220,6 +384,17 @@ func (qa *QuotaAdmitter) Admit(dst int, requested qos.Class, sizeMTUs int64) rpc
 		qa.Controller.flight.QuotaBypassDecision(now, qa.Controller.flightSrc,
 			int32(dst), int8(requested), int32(sizeMTUs))
 		return rpc.Decision{Class: requested}
+	case QuotaStale:
+		if qa.Policy == QuotaFailClosed {
+			atomic.AddInt64(&qa.StaleDropped, 1)
+			atomic.AddInt64(&qa.Controller.Stats.Dropped, 1)
+			if qa.Controller.flight != nil {
+				qa.Controller.recordDecision(dst, requested, requested,
+					flight.VerdictDrop, 0, sizeMTUs)
+			}
+			return rpc.Decision{Drop: true}
+		}
+		atomic.AddInt64(&qa.StalePassed, 1)
 	}
 	return qa.Controller.Admit(dst, requested, sizeMTUs)
 }

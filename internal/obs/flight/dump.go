@@ -109,7 +109,7 @@ func appendRecord(b []byte, seq int64, r *Record, peerName func(int32) string) [
 // decisionVerdicts and completeVerdicts are the verdict names legal for
 // each record kind.
 var (
-	decisionVerdicts = map[string]bool{"admit": true, "downgrade": true, "drop": true}
+	decisionVerdicts = map[string]bool{"admit": true, "downgrade": true, "drop": true, "expired": true}
 	completeVerdicts = map[string]bool{"slo_met": true, "slo_miss": true}
 )
 

@@ -23,6 +23,9 @@ const (
 	TriggerFinal
 	// TriggerManual marks an operator-requested dump (/debug/flight).
 	TriggerManual
+	// TriggerBrownout marks a dump taken when the serving-side brownout
+	// controller stepped up a degradation level.
+	TriggerBrownout
 )
 
 func (k TriggerKind) String() string {
@@ -37,6 +40,8 @@ func (k TriggerKind) String() string {
 		return "final"
 	case TriggerManual:
 		return "manual"
+	case TriggerBrownout:
+		return "brownout"
 	default:
 		return "unknown"
 	}
@@ -50,6 +55,7 @@ var triggerKinds = map[string]TriggerKind{
 	"fault":       TriggerFault,
 	"final":       TriggerFinal,
 	"manual":      TriggerManual,
+	"brownout":    TriggerBrownout,
 }
 
 // Trigger describes one anomaly-engine firing (or synthetic dump cause).

@@ -60,6 +60,10 @@ const (
 	VerdictDrop
 	VerdictSLOMet
 	VerdictSLOMiss
+	// VerdictExpired marks a request rejected before the admission draw
+	// because its remaining deadline budget could not cover the observed
+	// latency floor — it would have timed out even if admitted.
+	VerdictExpired
 )
 
 func (v Verdict) String() string {
@@ -74,6 +78,8 @@ func (v Verdict) String() string {
 		return "slo_met"
 	case VerdictSLOMiss:
 		return "slo_miss"
+	case VerdictExpired:
+		return "expired"
 	default:
 		return "unknown"
 	}
@@ -286,7 +292,8 @@ func (r *Ring) push(sh *shard, rec Record) {
 }
 
 // Decision records one admission decision. v must be VerdictAdmit,
-// VerdictDowngrade or VerdictDrop; admits are subject to sampling.
+// VerdictDowngrade, VerdictDrop or VerdictExpired; only admits are
+// subject to sampling.
 func (r *Ring) Decision(ts sim.Time, src, peer int32, requested, got int8, v Verdict, pAdmit float64, sizeMTUs int32) {
 	if r == nil {
 		return

@@ -1,0 +1,180 @@
+package chaos
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"aequitas/internal/core"
+	"aequitas/internal/sim"
+)
+
+func TestParsePlan(t *testing.T) {
+	src := `
+# overload drill
+1s slow 20ms
+2s errs 0.3
+3s skew 5ms
+4s quotadown
+5s quotaup
+6s errs 0
+7s slow
+`
+	p, err := ParsePlan(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 7 {
+		t.Fatalf("parsed %d events", len(p.Events))
+	}
+	want := []Event{
+		{At: time.Second, Kind: Slow, Amount: 20 * time.Millisecond},
+		{At: 2 * time.Second, Kind: Errors, Rate: 0.3},
+		{At: 3 * time.Second, Kind: Skew, Amount: 5 * time.Millisecond},
+		{At: 4 * time.Second, Kind: QuotaDown},
+		{At: 5 * time.Second, Kind: QuotaUp},
+		{At: 6 * time.Second, Kind: Errors},
+		{At: 7 * time.Second, Kind: Slow},
+	}
+	for i, w := range want {
+		if p.Events[i] != w {
+			t.Errorf("event %d = %+v, want %+v", i, p.Events[i], w)
+		}
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, bad := range []string{
+		"1s explode",
+		"soon slow 2ms",
+		"1s errs 1.5",
+		"1s slow 2ms extra junk",
+		"1s",
+	} {
+		if _, err := ParsePlan(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestWindows(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{At: 1 * time.Second, Kind: Slow, Amount: 20 * time.Millisecond},
+		{At: 2 * time.Second, Kind: QuotaDown},
+		{At: 3 * time.Second, Kind: Slow},
+		{At: 4 * time.Second, Kind: QuotaUp},
+		{At: 5 * time.Second, Kind: Errors, Rate: 0.5}, // never cleared
+	}}
+	ws := p.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("windows = %+v", ws)
+	}
+	if ws[0].Kind != Slow || ws[0].Start != time.Second || ws[0].End != 3*time.Second {
+		t.Errorf("slow window = %+v", ws[0])
+	}
+	if ws[1].Kind != QuotaDown || ws[1].End != 4*time.Second {
+		t.Errorf("quota window = %+v", ws[1])
+	}
+	if ws[2].Kind != Errors || ws[2].End < time.Hour {
+		t.Errorf("open errors window = %+v", ws[2])
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		p, err := Preset(name, time.Minute)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("Preset(%q) invalid: %v", name, err)
+		}
+		if p.Empty() {
+			t.Errorf("Preset(%q) empty", name)
+		}
+	}
+	if _, err := Preset("nope", time.Minute); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+type fakeQuota struct{ up, down int }
+
+func (f *fakeQuota) SetAvailable(up bool) {
+	if up {
+		f.up++
+	} else {
+		f.down++
+	}
+}
+
+func TestInjectorAdvance(t *testing.T) {
+	fq := &fakeQuota{}
+	inj := NewInjector(&Plan{Events: []Event{
+		{At: 1 * time.Second, Kind: Slow, Amount: 5 * time.Millisecond},
+		{At: 1 * time.Second, Kind: QuotaDown},
+		{At: 2 * time.Second, Kind: Errors, Rate: 0.4},
+		{At: 3 * time.Second, Kind: Slow},
+		{At: 3 * time.Second, Kind: QuotaUp},
+	}}, fq)
+	inj.Advance(500 * time.Millisecond)
+	if inj.ExtraLatency() != 0 || fq.down != 0 {
+		t.Error("events applied early")
+	}
+	inj.Advance(1 * time.Second)
+	if inj.ExtraLatency() != 5*time.Millisecond || fq.down != 1 {
+		t.Errorf("at 1s: extra=%v down=%d", inj.ExtraLatency(), fq.down)
+	}
+	inj.Advance(2500 * time.Millisecond)
+	if inj.ErrorRate() != 0.4 {
+		t.Errorf("at 2.5s: rate=%v", inj.ErrorRate())
+	}
+	if inj.Done() {
+		t.Error("Done before the last event")
+	}
+	inj.Advance(10 * time.Second)
+	if inj.ExtraLatency() != 0 || fq.up != 1 || !inj.Done() {
+		t.Errorf("at end: extra=%v up=%d done=%v", inj.ExtraLatency(), fq.up, inj.Done())
+	}
+	if inj.Applied() != 5 {
+		t.Errorf("Applied = %d", inj.Applied())
+	}
+}
+
+func TestInjectorWrapErrors(t *testing.T) {
+	inj := NewInjector(&Plan{Events: []Event{
+		{At: 0, Kind: Errors, Rate: 1},
+	}}, nil)
+	inj.Advance(0)
+	h := inj.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("handler ran during a rate-1 error burst")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("code = %d", rec.Code)
+	}
+}
+
+func TestInjectorClockSkew(t *testing.T) {
+	base := &core.ManualClock{}
+	base.SetNow(sim.Time(1000))
+	inj := NewInjector(&Plan{Events: []Event{
+		{At: 1 * time.Second, Kind: Skew, Amount: 5 * time.Millisecond},
+		{At: 2 * time.Second, Kind: Skew},
+	}}, nil)
+	clk := inj.Clock(base)
+	if clk.Now() != base.Now() {
+		t.Error("skew applied before its event")
+	}
+	inj.Advance(1 * time.Second)
+	if got, want := clk.Now(), base.Now()+sim.FromStd(5*time.Millisecond); got != want {
+		t.Errorf("skewed now = %v, want %v", got, want)
+	}
+	inj.Advance(2 * time.Second)
+	if clk.Now() != base.Now() {
+		t.Error("skew not cleared")
+	}
+}

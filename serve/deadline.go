@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"math"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// HeaderDeadline carries a request's remaining deadline budget as a Go
+// duration string ("250ms"). Budgets are durations, not absolute times,
+// so client and server clocks need not agree; a request context deadline
+// is honoured as a fallback.
+const HeaderDeadline = "X-Aequitas-Deadline"
+
+// HeaderExpired marks a response rejected because the request's deadline
+// budget could not cover the observed per-class latency floor.
+const HeaderExpired = "X-Aequitas-Expired"
+
+// DeadlineConfig enables deadline-budget admission: requests whose
+// remaining budget cannot cover the class's observed completion-latency
+// floor are rejected before the admission draw ("expired before admit").
+// Admitting such a request only burns server capacity on work the client
+// will have abandoned by the time the response arrives.
+type DeadlineConfig struct {
+	// Header names the request header carrying the budget (default
+	// HeaderDeadline). The context deadline applies when the header is
+	// absent.
+	Header string
+	// MinBudget rejects any budget below this outright, even before a
+	// latency floor has been learned. Zero disables the static check.
+	MinBudget time.Duration
+	// SafetyFactor scales the learned floor before comparison (default
+	// 1.0): 2.0 rejects requests whose budget is under twice the floor.
+	SafetyFactor float64
+}
+
+func (c DeadlineConfig) withDefaults() DeadlineConfig {
+	if c.Header == "" {
+		c.Header = HeaderDeadline
+	}
+	if c.SafetyFactor <= 0 {
+		c.SafetyFactor = 1
+	}
+	return c
+}
+
+// latFloor tracks the per-class completion-latency floor: the cheapest a
+// request of that class has recently been observed to complete. Samples
+// below the floor snap it down immediately; samples above drift it up
+// slowly (gain 1/64) so a stale low from a quiet period ages out. The
+// float64 bit patterns live in atomics; a lost update under a race only
+// delays convergence by one sample.
+type latFloor struct {
+	ns [maxClasses]atomic.Uint64
+}
+
+// observe feeds one completion latency for class.
+func (f *latFloor) observe(slot int, elapsed time.Duration) {
+	if elapsed <= 0 {
+		return
+	}
+	s := float64(elapsed)
+	cur := math.Float64frombits(f.ns[slot].Load())
+	switch {
+	case cur == 0 || s < cur:
+		f.ns[slot].Store(math.Float64bits(s))
+	default:
+		f.ns[slot].Store(math.Float64bits(cur + (s-cur)/64))
+	}
+}
+
+// floor reports the current estimate for class, or 0 when unlearned.
+func (f *latFloor) floor(slot int) time.Duration {
+	return time.Duration(math.Float64frombits(f.ns[slot].Load()))
+}
+
+// deadlineState is the Admission layer's budget checker.
+type deadlineState struct {
+	cfg   DeadlineConfig
+	floor latFloor
+}
+
+func newDeadlineState(cfg DeadlineConfig) *deadlineState {
+	return &deadlineState{cfg: cfg.withDefaults()}
+}
+
+// budgetFromRequest extracts the remaining budget: the deadline header
+// (a Go duration) wins; otherwise the request context's deadline counts
+// down on the wall clock. ok is false when the request carries neither.
+func (d *deadlineState) budgetFromRequest(r *http.Request) (time.Duration, bool) {
+	if s := r.Header.Get(d.cfg.Header); s != "" {
+		if b, err := time.ParseDuration(s); err == nil {
+			return b, true
+		}
+	}
+	if dl, ok := r.Context().Deadline(); ok {
+		return time.Until(dl), true
+	}
+	return 0, false
+}
+
+// expired reports whether budget cannot cover class slot's latency
+// floor (or the static MinBudget).
+func (d *deadlineState) expired(slot int, budget time.Duration) bool {
+	if budget <= 0 {
+		return true
+	}
+	if d.cfg.MinBudget > 0 && budget < d.cfg.MinBudget {
+		return true
+	}
+	if fl := d.floor.floor(slot); fl > 0 &&
+		float64(budget) < d.cfg.SafetyFactor*float64(fl) {
+		return true
+	}
+	return false
+}

@@ -33,8 +33,8 @@ type FlightConfig struct {
 	// leaves the ring recording passively (dump it via /debug/flight or
 	// DumpFlight).
 	Engine *flight.EngineConfig
-	// TickEvery is the minimum wall-clock spacing between engine
-	// evaluations (default 1s). The engine is ticked from the request
+	// TickEvery is the minimum spacing between engine evaluations on the
+	// layer's clock (default 1s). The engine is ticked from the request
 	// completion path — no background goroutine — so a fully idle server
 	// does not evaluate, which is fine: no completions means no new SLO
 	// outcomes to alarm on.
@@ -47,10 +47,9 @@ type FlightConfig struct {
 // flightState is the Admission layer's recorder: the shared ring, the
 // engine and its tick gate, and the most recent trigger dump.
 type flightState struct {
-	cfg   FlightConfig
-	ring  *flight.Ring
-	eng   *flight.Engine
-	epoch time.Time
+	cfg  FlightConfig
+	ring *flight.Ring
+	eng  *flight.Engine
 
 	// lastTickNS gates engine evaluation: completions race to CAS it
 	// forward, the winner ticks the engine under engMu.
@@ -74,11 +73,10 @@ type flightDump struct {
 	Err      string
 }
 
-func newFlightState(cfg FlightConfig, start time.Time) *flightState {
+func newFlightState(cfg FlightConfig) *flightState {
 	f := &flightState{
-		cfg:   cfg,
-		ring:  flight.NewRing(flight.Config{Records: cfg.Records, SampleAdmits: cfg.SampleAdmits}),
-		epoch: start,
+		cfg:  cfg,
+		ring: flight.NewRing(flight.Config{Records: cfg.Records, SampleAdmits: cfg.SampleAdmits}),
 	}
 	if cfg.Engine != nil {
 		f.eng = flight.NewEngine(*cfg.Engine)
@@ -90,28 +88,28 @@ func newFlightState(cfg FlightConfig, start time.Time) *flightState {
 }
 
 // maybeTick evaluates the anomaly engine if at least TickEvery has passed
-// since the last evaluation. Called on every request completion; the CAS
-// ensures exactly one completion per interval pays for the evaluation.
-func (f *flightState) maybeTick(ctl *aequitas.AdmissionController) {
+// on the layer's clock since the last evaluation. Called on every request
+// completion; the CAS ensures exactly one completion per interval pays
+// for the evaluation.
+func (f *flightState) maybeTick(ctl *aequitas.AdmissionController, now sim.Time) {
 	if f == nil || f.eng == nil {
 		return
 	}
-	now := time.Since(f.epoch)
 	last := f.lastTickNS.Load()
-	if now.Nanoseconds()-last < f.cfg.TickEvery.Nanoseconds() {
+	if int64(now)-last < int64(sim.FromStd(f.cfg.TickEvery)) {
 		return
 	}
-	if !f.lastTickNS.CompareAndSwap(last, now.Nanoseconds()) {
+	if !f.lastTickNS.CompareAndSwap(last, int64(now)) {
 		return
 	}
 	f.engMu.Lock()
 	defer f.engMu.Unlock()
-	if now.Nanoseconds() <= f.lastFedNS {
+	if int64(now) <= f.lastFedNS {
 		return
 	}
-	f.lastFedNS = now.Nanoseconds()
+	f.lastFedNS = int64(now)
 	cs := ctl.Stats()
-	tr, ok := f.eng.Tick(sim.FromStd(now), cs.SLOMet, cs.SLOMisses, ctl.MinAdmitProbability())
+	tr, ok := f.eng.Tick(now, cs.SLOMet, cs.SLOMisses, ctl.MinAdmitProbability())
 	if ok {
 		f.fire(ctl, tr)
 	}
@@ -155,12 +153,25 @@ func (a *Admission) DumpFlight(w io.Writer, kind flight.TriggerKind, detail stri
 	return flight.DumpTo(w, a.fl.ring, flight.Meta{
 		Trigger: flight.Trigger{
 			Kind:   kind,
-			At:     sim.FromStd(time.Since(a.fl.epoch)),
+			At:     a.clock.Now(),
 			Detail: detail,
 		},
 		Label:    "serve",
 		PeerName: a.ctl.PeerName,
 	}, false)
+}
+
+// LastFlightDump returns the most recent trigger's frozen NDJSON capture
+// and its trigger, or ok=false when none has fired.
+func (a *Admission) LastFlightDump() (flight.Trigger, []byte, bool) {
+	if a.fl == nil {
+		return flight.Trigger{}, nil, false
+	}
+	d := a.fl.last.Load()
+	if d == nil {
+		return flight.Trigger{}, nil, false
+	}
+	return d.Trigger, d.NDJSON, true
 }
 
 // FlightTriggered reports how many anomaly triggers have fired.

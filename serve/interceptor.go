@@ -7,9 +7,19 @@ import (
 )
 
 // ErrRejected is returned by the interceptor when RejectDowngraded is set
-// and the request failed its admission draw. Map it to your RPC
+// and the request failed its admission draw, or when a quota fail-closed
+// policy dropped it during a quota-plane outage. Map it to your RPC
 // framework's RESOURCE_EXHAUSTED / retry-later status.
 var ErrRejected = errors.New("serve: rejected by admission control")
+
+// ErrExpired is returned when the RPC's remaining deadline budget could
+// not cover the class's observed latency floor — the work would have
+// outlived its caller. Map it to DEADLINE_EXCEEDED.
+var ErrExpired = errors.New("serve: deadline budget exhausted before admission")
+
+// ErrShed is returned when the brownout ladder shed the RPC under
+// overload. Map it to UNAVAILABLE / retry-later.
+var ErrShed = errors.New("serve: shed by overload brownout")
 
 // UnaryHandler continues the RPC after admission, mirroring
 // grpc.UnaryHandler.
@@ -41,6 +51,8 @@ type RPCClassifier func(ctx context.Context, info *UnaryServerInfo, req any) Req
 // MTU. The admission verdict is available to the handler through
 // FromContext; completion latency (including handler errors — a failed
 // RPC still occupied the channel) is fed back as the SLO observation.
+// With Deadline configured, the RPC context's deadline is the budget;
+// RPCs that cannot finish inside it fail fast with ErrExpired.
 func (a *Admission) UnaryInterceptor(classify RPCClassifier) UnaryInterceptor {
 	if classify == nil {
 		classify = func(_ context.Context, info *UnaryServerInfo, _ any) Request {
@@ -48,13 +60,28 @@ func (a *Admission) UnaryInterceptor(classify RPCClassifier) UnaryInterceptor {
 		}
 	}
 	return func(ctx context.Context, req any, info *UnaryServerInfo, handler UnaryHandler) (any, error) {
-		v := a.admit(classify(ctx, info, req))
-		if v.Downgraded && a.reject {
+		var budget time.Duration
+		var haveBudget bool
+		if a.dl != nil {
+			if dl, ok := ctx.Deadline(); ok {
+				budget, haveBudget = time.Until(dl), true
+			}
+		}
+		v, c := a.decide(classify(ctx, info, req), budget, haveBudget)
+		switch c {
+		case causeExpired:
+			return nil, ErrExpired
+		case causeShed:
+			return nil, ErrShed
+		case causeRejected, causeDropped:
 			return nil, ErrRejected
 		}
-		start := time.Now()
+		a.bo.enter()
+		start := a.clock.Now()
 		resp, err := handler(context.WithValue(ctx, ctxKey{}, v), req)
-		a.finish(v, time.Since(start))
+		elapsed := (a.clock.Now() - start).Std()
+		a.bo.exit()
+		a.finish(v, elapsed)
 		return resp, err
 	}
 }

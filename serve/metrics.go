@@ -26,6 +26,11 @@ type metrics struct {
 	downgraded atomic.Int64
 	rejected   atomic.Int64
 	done       atomic.Int64
+	// expired counts deadline-budget rejections before the draw; shed
+	// counts brownout rejections; dropped counts quota fail-closed drops.
+	expired atomic.Int64
+	shed    atomic.Int64
+	dropped atomic.Int64
 
 	mu  sync.Mutex
 	lat [maxClasses]*stats.Hist // completion latency in µs, per run class
@@ -75,27 +80,58 @@ func (m *metrics) completed(class aequitas.Class, elapsed time.Duration) {
 
 // snapshot freezes the serving state into an exportable document:
 // middleware counters, the controller's cumulative Algorithm 1 counters,
-// live per-(peer, class) admit probabilities as gauges, and per-class
-// latency histograms.
-func (m *metrics) snapshot(ctl *aequitas.AdmissionController) *obs.Snapshot {
+// quota and brownout health, live per-(peer, class) admit probabilities
+// as gauges, and per-class latency histograms.
+func (a *Admission) snapshot() *obs.Snapshot {
+	m := &a.m
 	s := &obs.Snapshot{
 		Schema:   obs.SnapshotSchema,
 		Label:    "serve",
 		SimTimeS: time.Since(m.start).Seconds(),
 	}
-	cs := ctl.Stats()
+	cs := a.ctl.Stats()
 	s.Counters = []obs.NamedValue{
 		{Name: "serve_admitted", Value: float64(m.admitted.Load())},
 		{Name: "serve_downgraded", Value: float64(m.downgraded.Load())},
 		{Name: "serve_rejected", Value: float64(m.rejected.Load())},
 		{Name: "serve_completed", Value: float64(m.done.Load())},
+		{Name: "serve_expired", Value: float64(m.expired.Load())},
+		{Name: "serve_shed", Value: float64(m.shed.Load())},
+		{Name: "serve_quota_dropped", Value: float64(m.dropped.Load())},
 		{Name: "ctl_admitted", Value: float64(cs.Admitted)},
 		{Name: "ctl_downgraded", Value: float64(cs.Downgraded)},
 		{Name: "ctl_dropped", Value: float64(cs.Dropped)},
+		{Name: "ctl_expired", Value: float64(cs.Expired)},
 		{Name: "ctl_slo_misses", Value: float64(cs.SLOMisses)},
 		{Name: "ctl_slo_met", Value: float64(cs.SLOMet)},
 	}
-	ctl.ForEachProbability(func(peer string, class aequitas.Class, p float64) {
+	if qs, ok := a.ctl.QuotaStats(); ok {
+		s.Counters = append(s.Counters,
+			obs.NamedValue{Name: "quota_in_quota_admits", Value: float64(qs.InQuotaAdmits)},
+			obs.NamedValue{Name: "quota_stale_passed", Value: float64(qs.StalePassed)},
+			obs.NamedValue{Name: "quota_stale_dropped", Value: float64(qs.StaleDropped)},
+			obs.NamedValue{Name: "quota_lease_refreshes", Value: float64(qs.Lease.Refreshes)},
+			obs.NamedValue{Name: "quota_stale_checks", Value: float64(qs.Lease.StaleChecks)},
+		)
+	}
+	if a.bo != nil {
+		s.Gauges = append(s.Gauges,
+			obs.NamedValue{Name: "brownout_level", Value: float64(a.bo.Level())},
+			obs.NamedValue{Name: "serve_inflight", Value: float64(a.bo.inflight.Load())},
+			obs.NamedValue{Name: "brownout_transitions", Value: float64(a.bo.transitions.Load())},
+		)
+	}
+	if a.dl != nil {
+		for slot := 0; slot < maxClasses; slot++ {
+			if fl := a.dl.floor.floor(slot); fl > 0 {
+				s.Gauges = append(s.Gauges, obs.NamedValue{
+					Name:  fmt.Sprintf("latency_floor_us.q%d", slot),
+					Value: float64(fl) / float64(time.Microsecond),
+				})
+			}
+		}
+	}
+	a.ctl.ForEachProbability(func(peer string, class aequitas.Class, p float64) {
 		s.Gauges = append(s.Gauges, obs.NamedValue{
 			Name:  fmt.Sprintf("padmit.%s.q%d", peer, int(class)),
 			Value: p,
@@ -126,11 +162,11 @@ func (a *Admission) Handler() http.Handler {
 			a.serveFlight(w, r)
 			return
 		}
-		a.m.exp.Publish(a.m.snapshot(a.ctl))
+		a.m.exp.Publish(a.snapshot())
 		inner.ServeHTTP(w, r)
 	})
 }
 
 // Snapshot returns a freshly built observability document — the same view
 // /snapshot serves.
-func (a *Admission) Snapshot() *obs.Snapshot { return a.m.snapshot(a.ctl) }
+func (a *Admission) Snapshot() *obs.Snapshot { return a.snapshot() }

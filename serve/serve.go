@@ -18,12 +18,16 @@ package serve
 import (
 	"context"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
 	"aequitas"
+	"aequitas/internal/core"
+	"aequitas/internal/obs/flight"
+	"aequitas/internal/sim"
 )
 
 // Request is one classified unit of inbound work: the admission channel it
@@ -62,6 +66,31 @@ type Config struct {
 	// recorded — the hook for an application's own structured decision
 	// log. It runs on the request path; keep it cheap and non-blocking.
 	DecisionLog func(Verdict)
+	// Clock is the layer's time-and-draw source. Nil shares the
+	// controller's clock, which is what serving wants (one time base for
+	// admission, latency measurement, brownout and flight ticks) and what
+	// makes tests deterministic: build the controller with
+	// aequitas.NewControllerWithClock(cfg, manual) and every layer runs on
+	// the manual clock.
+	Clock core.Clock
+	// Deadline enables deadline-budget admission: requests whose
+	// remaining budget (HeaderDeadline or context deadline) cannot cover
+	// the class's observed latency floor are rejected before the draw.
+	Deadline *DeadlineConfig
+	// Brownout enables the overload brownout ladder: under sustained
+	// completion-latency or concurrency overload the layer sheds
+	// scavenger work, tightens the effective admit probability, and
+	// finally hard-sheds, stepping back down with hysteresis.
+	Brownout *BrownoutConfig
+	// RejectStatus is the HTTP status for rejected/shed/expired requests
+	// (default 503 Service Unavailable).
+	RejectStatus int
+	// RejectBody, when set, replaces the cause-specific rejection bodies.
+	RejectBody string
+	// RetryAfter fixes the Retry-After hint on rejections. Zero derives
+	// it per class from the controller's additive-increase window — the
+	// earliest moment a retry could see a higher admit probability.
+	RetryAfter time.Duration
 }
 
 // The headers the middleware reads and writes.
@@ -74,6 +103,9 @@ const (
 	// HeaderDowngraded marks responses served on the scavenger class
 	// after a failed admission draw.
 	HeaderDowngraded = "X-Aequitas-Downgraded"
+	// HeaderShed marks responses rejected by the brownout ladder, with
+	// the level name ("thin-scavenger", "tighten", "hard-shed").
+	HeaderShed = "X-Aequitas-Shed"
 )
 
 // ClassifyByHeader is the default classifier: the channel peer comes from
@@ -120,6 +152,13 @@ type Admission struct {
 	m      metrics
 	fl     *flightState
 	dlog   func(Verdict)
+	clock  core.Clock
+	dl     *deadlineState
+	bo     *brownout
+
+	rejStatus  int
+	rejBody    string
+	retryAfter time.Duration
 }
 
 // New builds an Admission layer over cfg.Controller.
@@ -131,14 +170,52 @@ func New(cfg Config) (*Admission, error) {
 	if cls == nil {
 		cls = ClassifyByHeader
 	}
-	a := &Admission{ctl: cfg.Controller, cls: cls, reject: cfg.RejectDowngraded, dlog: cfg.DecisionLog}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = cfg.Controller.Clock()
+	}
+	a := &Admission{
+		ctl:        cfg.Controller,
+		cls:        cls,
+		reject:     cfg.RejectDowngraded,
+		dlog:       cfg.DecisionLog,
+		clock:      clk,
+		rejStatus:  cfg.RejectStatus,
+		rejBody:    cfg.RejectBody,
+		retryAfter: cfg.RetryAfter,
+	}
+	if a.rejStatus == 0 {
+		a.rejStatus = http.StatusServiceUnavailable
+	}
 	a.m.init()
 	if cfg.Flight != nil {
-		a.fl = newFlightState(*cfg.Flight, a.m.start)
+		a.fl = newFlightState(*cfg.Flight)
 		a.ctl.SetFlight(a.fl.ring)
+	}
+	if cfg.Deadline != nil {
+		a.dl = newDeadlineState(*cfg.Deadline)
+	}
+	if cfg.Brownout != nil {
+		a.bo = newBrownout(*cfg.Brownout, clk)
+		a.bo.onTransition = func(from, to int32, at sim.Time) {
+			if to > from && a.fl != nil {
+				// Level-ups are incidents: freeze the ring so the decisions
+				// that preceded the escalation are preserved.
+				a.fl.fire(a.ctl, flight.Trigger{
+					Kind: flight.TriggerBrownout,
+					At:   at,
+					Detail: fmt.Sprintf("brownout %s -> %s (level %d -> %d)",
+						brownoutLevelName(from), brownoutLevelName(to), from, to),
+				})
+			}
+		}
 	}
 	return a, nil
 }
+
+// BrownoutLevel reports the current brownout degradation level (0 when
+// the ladder is disabled or healthy).
+func (a *Admission) BrownoutLevel() int32 { return a.bo.Level() }
 
 // Controller returns the wrapped admission controller.
 func (a *Admission) Controller() *aequitas.AdmissionController { return a.ctl }
@@ -146,7 +223,9 @@ func (a *Admission) Controller() *aequitas.AdmissionController { return a.ctl }
 // ctxKey carries the admission verdict through the request context.
 type ctxKey struct{}
 
-// Verdict is the admission outcome attached to a request's context.
+// Verdict is the admission outcome attached to a request's context (and
+// handed to DecisionLog for every request, including ones rejected
+// before the draw).
 type Verdict struct {
 	Request Request
 	// Class is the QoS level the request actually runs on.
@@ -154,6 +233,45 @@ type Verdict struct {
 	// Downgraded reports a failed admission draw (the request runs on
 	// the scavenger class, or was rejected under RejectDowngraded).
 	Downgraded bool
+	// Expired reports a rejection before the admission draw: the
+	// request's remaining deadline budget could not cover the class's
+	// observed latency floor.
+	Expired bool
+	// ShedLevel, when non-zero, is the brownout level that shed this
+	// request.
+	ShedLevel int32
+	// Dropped reports a quota fail-closed drop during a quota-plane
+	// outage.
+	Dropped bool
+}
+
+// cause classifies why a request did not reach its handler.
+type cause uint8
+
+const (
+	causeNone cause = iota
+	// causeRejected: failed the admission draw under RejectDowngraded.
+	causeRejected
+	// causeExpired: deadline budget below the latency floor.
+	causeExpired
+	// causeShed: rejected by the brownout ladder.
+	causeShed
+	// causeDropped: quota fail-closed drop (stale lease).
+	causeDropped
+)
+
+// body is the cause-specific default rejection body.
+func (c cause) body() string {
+	switch c {
+	case causeExpired:
+		return "deadline budget exhausted before admission"
+	case causeShed:
+		return "shed by overload brownout"
+	case causeDropped:
+		return "dropped by quota policy (stale lease, fail-closed)"
+	default:
+		return "rejected by admission control"
+	}
 }
 
 // FromContext returns the admission verdict for the current request, if it
@@ -163,47 +281,136 @@ func FromContext(ctx context.Context) (Verdict, bool) {
 	return v, ok
 }
 
-// admit runs one classified request through the controller and records the
-// decision.
-func (a *Admission) admit(req Request) Verdict {
+// decide runs one classified request through the full pre-serve
+// pipeline: deadline budget, brownout hard shed, the admission draw,
+// brownout tightening and scavenger thinning. It records metrics and the
+// decision log, and returns the verdict plus the cause when the request
+// must not be served.
+func (a *Admission) decide(req Request, budget time.Duration, haveBudget bool) (Verdict, cause) {
+	if a.dl != nil && haveBudget && a.dl.expired(classSlot(req.Class), budget) {
+		v := Verdict{Request: req, Class: req.Class, Expired: true}
+		a.ctl.RecordExpired(req.Peer, req.Class, req.SizeBytes)
+		a.m.expired.Add(1)
+		a.logv(v)
+		return v, causeExpired
+	}
+	if a.bo.preAdmit() == shedHard {
+		v := Verdict{Request: req, Class: req.Class, ShedLevel: a.bo.Level()}
+		a.m.shed.Add(1)
+		a.logv(v)
+		return v, causeShed
+	}
 	d := a.ctl.Admit(req.Peer, req.Class, req.SizeBytes)
-	v := Verdict{Request: req, Class: d.Class, Downgraded: d.Downgraded}
+	v := Verdict{Request: req, Class: d.Class, Downgraded: d.Downgraded, Dropped: d.Dropped}
+	if d.Dropped {
+		a.m.dropped.Add(1)
+		a.logv(v)
+		return v, causeDropped
+	}
+	scav := a.ctl.Scavenger()
+	if (v.Class >= scav && a.bo.thinsScavenger()) ||
+		(v.Class < scav && !v.Downgraded && a.bo.tightens()) {
+		v.ShedLevel = a.bo.Level()
+		a.m.shed.Add(1)
+		a.logv(v)
+		return v, causeShed
+	}
 	a.m.decided(v, a.reject)
+	a.logv(v)
+	if v.Downgraded && a.reject {
+		return v, causeRejected
+	}
+	return v, causeNone
+}
+
+func (a *Admission) logv(v Verdict) {
 	if a.dlog != nil {
 		a.dlog(v)
 	}
-	return v
 }
 
 // finish feeds the completed request's latency back to the controller on
-// the class it ran on, records it in the serving histograms, and gives
-// the anomaly engine a chance to evaluate.
+// the class it ran on, records it in the serving histograms and the
+// deadline floor, and gives the brownout and anomaly engines a chance to
+// evaluate.
 func (a *Admission) finish(v Verdict, elapsed time.Duration) {
 	a.ctl.Observe(v.Request.Peer, v.Class, elapsed, v.Request.SizeBytes)
 	a.m.completed(v.Class, elapsed)
-	a.fl.maybeTick(a.ctl)
+	if a.dl != nil {
+		a.dl.floor.observe(classSlot(v.Class), elapsed)
+	}
+	a.bo.completed(elapsed)
+	a.fl.maybeTick(a.ctl, a.clock.Now())
 }
 
-// Middleware wraps next with admission control: classify, admit (setting
-// the response headers), serve on the decided class, and feed the measured
-// handler latency back as an SLO observation. Rejected requests (under
-// RejectDowngraded) receive 503 with Retry-After and are not observed —
-// they never ran.
+// retryAfterValue is the Retry-After hint for a rejection on class: the
+// configured fixed value, or the class's additive-increase window — the
+// earliest interval after which the admit probability can have risen, so
+// retrying sooner cannot help.
+func (a *Admission) retryAfterValue(class aequitas.Class) string {
+	d := a.retryAfter
+	if d <= 0 {
+		d = a.ctl.IncrementWindow(class)
+	}
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// rejectHTTP writes the rejection response for cls/c.
+func (a *Admission) rejectHTTP(w http.ResponseWriter, class aequitas.Class, c cause) {
+	w.Header().Set("Retry-After", a.retryAfterValue(class))
+	body := a.rejBody
+	if body == "" {
+		body = c.body()
+	}
+	http.Error(w, body, a.rejStatus)
+}
+
+// Middleware wraps next with admission control: classify, check the
+// deadline budget and the brownout ladder, admit (setting the response
+// headers), serve on the decided class, and feed the measured handler
+// latency back as an SLO observation. Requests stopped before the
+// handler (expired, shed, rejected, quota-dropped) receive RejectStatus
+// with a Retry-After hint and are not observed — they never ran.
 func (a *Admission) Middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		v := a.admit(a.cls(r))
+		req := a.cls(r)
+		var budget time.Duration
+		var haveBudget bool
+		if a.dl != nil {
+			budget, haveBudget = a.dl.budgetFromRequest(r)
+		}
+		v, c := a.decide(req, budget, haveBudget)
 		h := w.Header()
+		switch c {
+		case causeExpired:
+			h.Set(HeaderExpired, "1")
+			a.rejectHTTP(w, req.Class, c)
+			return
+		case causeShed:
+			h.Set(HeaderShed, brownoutLevelName(v.ShedLevel))
+			a.rejectHTTP(w, req.Class, c)
+			return
+		case causeDropped:
+			a.rejectHTTP(w, req.Class, c)
+			return
+		}
 		h.Set(HeaderClass, v.Class.String())
 		if v.Downgraded {
 			h.Set(HeaderDowngraded, "1")
-			if a.reject {
-				h.Set("Retry-After", "1")
-				http.Error(w, "rejected by admission control", http.StatusServiceUnavailable)
+			if c == causeRejected {
+				a.rejectHTTP(w, req.Class, c)
 				return
 			}
 		}
-		start := time.Now()
+		a.bo.enter()
+		start := a.clock.Now()
 		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ctxKey{}, v)))
-		a.finish(v, time.Since(start))
+		elapsed := (a.clock.Now() - start).Std()
+		a.bo.exit()
+		a.finish(v, elapsed)
 	})
 }
